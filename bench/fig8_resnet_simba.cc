@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig. 8: ResNet-18 inference (batch 16) on the Simba-like
+ * hierarchical accelerator. Only Timeloop-like and CoSA-like baselines
+ * support this architecture (dMaze/INTER report unsupported, as in the
+ * paper). (a) per-layer EDP with CoSA invalids flagged; (b) time to
+ * solution.
+ *
+ * Expected shapes (paper): CoSA is fastest but returns invalid mappings
+ * on most layers and loses EDP where valid; TL needs orders of magnitude
+ * longer than Sunstone and lands ~1.5x worse EDP overall.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "core/sunstone.hh"
+#include "mappers/cosa_mapper.hh"
+#include "mappers/timeloop_mapper.hh"
+#include "workload/nets.hh"
+
+using namespace sunstone;
+
+int
+main()
+{
+    setQuiet(true);
+    ArchSpec arch = makeSimbaLike();
+    const double budget = bench::baselineBudgetSeconds();
+
+    std::printf("=== Fig. 8: ResNet-18 inference (batch 16) on the "
+                "Simba-like accelerator ===\n");
+    std::printf("(baseline budget %.1f s per layer)\n\n", budget);
+    std::printf("%-10s | %10s %8s | %10s %8s | %10s %8s | %8s\n", "layer",
+                "sun EDP", "sun s", "TL EDP", "TL s", "CoSA EDP",
+                "CoSA s", "TL/sun");
+    bench::rule(100);
+
+    std::vector<double> tl_gain, tl_speedup;
+    int cosa_invalid = 0, cosa_total = 0;
+    double sun_total_edp = 0, tl_total_edp = 0;
+
+    for (const auto &layer : resnet18Layers(16)) {
+        Workload wl = layer.workload;
+        applySimbaPrecisions(wl);
+        BoundArch ba(arch, wl);
+
+        SunstoneResult sun = sunstoneOptimize(ba);
+
+        TimeloopOptions to = TimeloopOptions::slow();
+        to.maxSeconds = budget;
+        auto tl = TimeloopMapper(to, "TL").optimize(ba);
+
+        auto cosa = CosaMapper().optimize(ba);
+        ++cosa_total;
+        if (!cosa.found)
+            ++cosa_invalid;
+
+        std::string cosa_edp = cosa.found ? "" : "invalid";
+        char buf[32];
+        if (cosa.found) {
+            std::snprintf(buf, sizeof(buf), "%.3g", cosa.cost.edp);
+            cosa_edp = buf;
+        }
+
+        std::printf("%-10s | %10.3g %8.3f | %10.3g %8.2f | %10s %8.4f | "
+                    "%8s\n",
+                    wl.name().c_str(), sun.cost.edp, sun.seconds,
+                    tl.found ? tl.cost.edp : 0.0, tl.seconds,
+                    cosa_edp.c_str(), cosa.seconds,
+                    tl.found
+                        ? bench::ratio(tl.cost.edp, sun.cost.edp).c_str()
+                        : "n/a");
+
+        if (tl.found && sun.found) {
+            tl_gain.push_back(tl.cost.edp / sun.cost.edp);
+            tl_speedup.push_back(tl.seconds / sun.seconds);
+            sun_total_edp += layer.count * sun.cost.edp;
+            tl_total_edp += layer.count * tl.cost.edp;
+        }
+    }
+    bench::rule(100);
+    std::printf("geomean per-layer TL/Sunstone EDP: %.2fx "
+                "(network-weighted %.2fx)\n",
+                bench::geomean(tl_gain), tl_total_edp / sun_total_edp);
+    std::printf("geomean TL/Sunstone time: %.1fx\n",
+                bench::geomean(tl_speedup));
+    std::printf("CoSA invalid mappings: %d/%d layers\n", cosa_invalid,
+                cosa_total);
+    return 0;
+}

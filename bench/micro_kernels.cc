@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels behind every
+ * search: cost-model evaluation, reuse inference, ordering-trie
+ * construction, tiling-tree growth, and divisor enumeration. These set
+ * the per-candidate cost that the "space size" columns of Tables I and
+ * VI multiply into wall-clock time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/presets.hh"
+#include "core/ordering_trie.hh"
+#include "core/tiling_tree.hh"
+#include "common/math_utils.hh"
+#include "model/cost_model.hh"
+#include "workload/nets.hh"
+
+using namespace sunstone;
+
+namespace {
+
+const Workload &
+convLayer()
+{
+    static Workload wl = resnet18Layers(16)[1].workload;
+    return wl;
+}
+
+const BoundArch &
+boundConv()
+{
+    static BoundArch ba(makeConventional(), convLayer());
+    return ba;
+}
+
+void
+BM_EvaluateMapping(benchmark::State &state)
+{
+    const BoundArch &ba = boundConv();
+    Mapping m = naiveMapping(ba);
+    CostModelOptions opts;
+    opts.assumeValid = true;
+    for (auto _ : state) {
+        auto r = evaluateMapping(ba, m, opts);
+        benchmark::DoNotOptimize(r.totalEnergyPj);
+    }
+}
+BENCHMARK(BM_EvaluateMapping);
+
+void
+BM_EvaluateMappingWithValidation(benchmark::State &state)
+{
+    const BoundArch &ba = boundConv();
+    Mapping m = naiveMapping(ba);
+    for (auto _ : state) {
+        auto r = evaluateMapping(ba, m);
+        benchmark::DoNotOptimize(r.edp);
+    }
+}
+BENCHMARK(BM_EvaluateMappingWithValidation);
+
+void
+BM_ReuseInference(benchmark::State &state)
+{
+    ConvShape sh;
+    sh.n = 16;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 56;
+    sh.q = 56;
+    sh.r = 3;
+    sh.s = 3;
+    for (auto _ : state) {
+        Workload wl = makeConv2D(sh);
+        benchmark::DoNotOptimize(wl.reuse(0).indexing.raw());
+    }
+}
+BENCHMARK(BM_ReuseInference);
+
+void
+BM_OrderingTrie(benchmark::State &state)
+{
+    const Workload &wl = convLayer();
+    for (auto _ : state) {
+        auto cands = orderingCandidates(wl, DimSet::all(wl.numDims()));
+        benchmark::DoNotOptimize(cands.size());
+    }
+}
+BENCHMARK(BM_OrderingTrie);
+
+void
+BM_TilingTree(benchmark::State &state)
+{
+    const BoundArch &ba = boundConv();
+    const Workload &wl = convLayer();
+    DimSet grow = wl.reuse(wl.tensorByName("ofmap")).indexing;
+    std::vector<std::int64_t> unit(wl.numDims(), 1);
+    for (auto _ : state) {
+        auto res = growTiles(ba, 0, unit, wl.shape(), grow);
+        benchmark::DoNotOptimize(res.maximal.size());
+    }
+}
+BENCHMARK(BM_TilingTree);
+
+void
+BM_Divisors(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    for (auto _ : state) {
+        auto d = divisors(n);
+        benchmark::DoNotOptimize(d.size());
+    }
+}
+BENCHMARK(BM_Divisors)->Arg(56)->Arg(480000);
+
+void
+BM_FactorSplitCount(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto c = countFactorSplits(480000, 5);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_FactorSplitCount);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Schedules every ResNet-18 layer (inference, configurable batch) on the
+ * conventional accelerator of Table IV and prints a per-layer report --
+ * the workload of Fig. 8 on the simpler machine, runnable in seconds.
+ *
+ * Usage:  ./build/examples/resnet_scheduling [batch]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "workload/nets.hh"
+
+using namespace sunstone;
+
+int
+main(int argc, char **argv)
+{
+    const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 4;
+    ArchSpec arch = makeConventional();
+
+    std::printf("ResNet-18 (batch %lld) on %s\n\n",
+                static_cast<long long>(batch), arch.name.c_str());
+    std::printf("%-10s %6s %12s %12s %10s %8s %9s\n", "layer", "count",
+                "MACs", "energy(pJ)", "EDP(J*s)", "util", "search(s)");
+
+    double total_energy = 0;
+    double total_delay = 0;
+    for (const auto &layer : resnet18Layers(batch)) {
+        BoundArch ba(arch, layer.workload);
+        SunstoneResult r = sunstoneOptimize(ba);
+        if (!r.found) {
+            std::printf("%-10s  -- no valid mapping --\n",
+                        layer.workload.name().c_str());
+            continue;
+        }
+        std::printf("%-10s %6d %12.4g %12.4g %10.3g %7.1f%% %9.3f\n",
+                    layer.workload.name().c_str(), layer.count,
+                    static_cast<double>(layer.workload.totalOps()),
+                    r.cost.totalEnergyPj, r.cost.edp,
+                    100.0 * r.cost.utilization, r.seconds);
+        total_energy += layer.count * r.cost.totalEnergyPj;
+        total_delay += layer.count * r.cost.delaySeconds;
+    }
+    std::printf("\nnetwork total: %.4g pJ over %.4g s  (EDP %.4g J*s)\n",
+                total_energy, total_delay,
+                total_energy * 1e-12 * total_delay);
+    return 0;
+}

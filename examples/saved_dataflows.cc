@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The save/re-use workflow: search once, persist the workload, the
+ * architecture, and the found dataflow as text; then reload all three,
+ * re-evaluate bit-identically, and compile the saved mapping for the
+ * DianNao-like machine — the flow a deployment pipeline would script
+ * around the `sunstone` CLI.
+ *
+ * Usage:  ./build/examples/saved_dataflows [output-dir]
+ */
+
+#include <cstdio>
+
+#include "arch/arch_config.hh"
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "diannao/simulator.hh"
+#include "mapping/serialize.hh"
+#include "workload/zoo.hh"
+
+using namespace sunstone;
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "/tmp";
+
+    // --- Search phase -------------------------------------------------
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 32;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    ArchSpec arch = makeDianNaoLike();
+    BoundArch ba(arch, wl);
+
+    SunstoneResult r = sunstoneOptimize(ba);
+    if (!r.found) {
+        std::printf("no valid mapping found\n");
+        return 1;
+    }
+    std::printf("searched: EDP %.4g J*s in %.3f s\n", r.cost.edp,
+                r.seconds);
+
+    const std::string wl_path = dir + "/conv.workload";
+    const std::string arch_path = dir + "/diannao.arch";
+    const std::string map_path = dir + "/conv.mapping";
+    saveWorkloadFile(wl, wl_path);
+    saveArchFile(arch, arch_path);
+    saveMappingFile(r.mapping, ba, map_path);
+    std::printf("saved %s, %s, %s\n", wl_path.c_str(), arch_path.c_str(),
+                map_path.c_str());
+
+    // --- Reload phase (a separate process would start here) -----------
+    Workload wl2 = loadWorkloadFile(wl_path);
+    ArchSpec arch2 = loadArchFile(arch_path);
+    BoundArch ba2(arch2, wl2);
+    Mapping m2 = loadMappingFile(map_path, ba2);
+
+    CostResult again = evaluateMapping(ba2, m2);
+    std::printf("reloaded: EDP %.4g J*s (%s)\n", again.edp,
+                again.edp == r.cost.edp ? "bit-identical" : "MISMATCH");
+
+    // --- Deployment phase: lower to the DianNao ISA --------------------
+    auto prog = diannao::compileMapping(ba2, m2);
+    auto sim = diannao::simulate(ba2, prog);
+    std::printf("compiled %zu instructions; simulated %.4g pJ, "
+                "%.4g cycles\n",
+                prog.program.size(), sim.totalPj, sim.cycles);
+    std::printf("first instruction: %s\n",
+                prog.program.front().toString().c_str());
+    return 0;
+}

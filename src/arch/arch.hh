@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Hierarchical spatial-accelerator description (paper Section II-A,
+ * Fig. 1): a stack of storage levels, innermost first and DRAM last, each
+ * with an optional spatial fanout of the level below it. Buffers may be
+ * unified or partitioned per datatype, and a partition may bypass a level
+ * entirely (e.g. weights skip the Simba global buffer).
+ *
+ * An ArchSpec is workload independent; a BoundArch pairs it with a
+ * Workload, assigning each tensor to a partition so capacities, bypass,
+ * and per-access energies can be queried per tensor.
+ */
+
+#ifndef SUNSTONE_ARCH_ARCH_HH
+#define SUNSTONE_ARCH_ARCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace sunstone {
+
+/** A named capacity partition inside a storage level. */
+struct PartitionSpec
+{
+    std::string name;
+    std::int64_t capacityBits = 0;
+};
+
+/** One storage level of the hierarchy. */
+struct LevelSpec
+{
+    std::string name;
+
+    /**
+     * Unified capacity in bits; used when partitions is empty. Zero with
+     * isDram means unbounded.
+     */
+    std::int64_t capacityBits = 0;
+
+    /** Per-datatype partitions (empty means unified). */
+    std::vector<PartitionSpec> partitions;
+
+    /** Partition names that skip this level (data flows through). */
+    std::vector<std::string> bypass;
+
+    /**
+     * Number of instances of the next-lower level (or MAC lanes for the
+     * innermost level) below one instance of this level.
+     */
+    int fanout = 1;
+
+    /** Read/write bandwidth to children, words per cycle per instance. */
+    double readBwWordsPerCycle = 1e18;
+    double writeBwWordsPerCycle = 1e18;
+
+    /** Whether the level's fanout network supports multicast. */
+    bool multicast = true;
+
+    /**
+     * Double-buffered levels overlap refill with compute (the latency
+     * model already assumes this, Section V-A) at the cost of half the
+     * usable capacity for resident tiles.
+     */
+    bool doubleBuffered = false;
+
+    /**
+     * Optional physical 2D mesh shape of the fanout (meshX * meshY ==
+     * fanout). When set, a mapping's spatial factors at this level must
+     * be partitionable into an X group and a Y group whose products fit
+     * the respective mesh sides (Timeloop-style placement). Zero means
+     * unconstrained (only the fanout product is checked).
+     */
+    int meshX = 0;
+    int meshY = 0;
+
+    /** DRAM levels have unchecked capacity. */
+    bool isDram = false;
+};
+
+/** A complete accelerator: levels (inner to outer) plus compute specs. */
+struct ArchSpec
+{
+    std::string name;
+    std::vector<LevelSpec> levels;
+
+    /** MAC operand width in bits (sets MAC energy). */
+    int macBits = 16;
+
+    double clockGhz = 1.0;
+
+    int numLevels() const { return static_cast<int>(levels.size()); }
+
+    /** @return total MAC lanes = product of all fanouts. */
+    std::int64_t totalFanout() const;
+
+    /** Sanity checks; fatal() on inconsistency. */
+    void validate() const;
+};
+
+/**
+ * An architecture bound to a workload: every tensor is assigned to a
+ * partition, so storage membership, capacity, and access energy become
+ * per-(level, tensor) queries. Binding is by explicit map or by the
+ * default rule: exact tensor-name match first, then outputs to an
+ * output-ish partition (ofmap/out/psum/nbout), then remaining inputs to
+ * remaining partitions in declaration order.
+ */
+class BoundArch
+{
+  public:
+    /**
+     * Copies both descriptions, so temporaries are safe to pass.
+     *
+     * @param arch architecture
+     * @param wl workload
+     * @param tensor_to_partition optional explicit assignment by name
+     */
+    BoundArch(ArchSpec arch, Workload wl,
+              const std::map<std::string, std::string> &tensor_to_partition
+              = {});
+
+    const ArchSpec &arch() const { return arch_; }
+    const Workload &workload() const { return wl_; }
+
+    int numLevels() const { return arch_.numLevels(); }
+    int numTensors() const { return wl_.numTensors(); }
+
+    /** @return whether tensor t is stored (not bypassed) at level l. */
+    bool stores(int level, TensorId t) const { return stores_[level][t]; }
+
+    /** @return innermost level storing t. */
+    int innermostLevel(TensorId t) const;
+
+    /** @return next level above `level` that stores t, or -1 if none. */
+    int nextLevelAbove(int level, TensorId t) const;
+
+    /** @return read energy (pJ) for one word of tensor t at level l. */
+    double readEnergyPj(int level, TensorId t) const;
+
+    /** @return write energy (pJ) for one word of tensor t at level l. */
+    double writeEnergyPj(int level, TensorId t) const;
+
+    /** @return MAC energy (pJ) per operation. */
+    double macEnergyPj() const { return macPj_; }
+
+    /**
+     * Checks that per-tensor footprints (words) fit level l, respecting
+     * partitions. DRAM always fits.
+     *
+     * @param level level index
+     * @param footprint_words per-tensor footprints; entries for tensors
+     *        not stored at this level are ignored
+     */
+    bool fits(int level, const std::vector<std::int64_t> &footprint_words)
+        const;
+
+    /**
+     * @return the capacity budget (bits) available to tensor t at level l
+     *         assuming it had the whole partition (for tile-growth
+     *         heuristics); unbounded levels return a large sentinel.
+     */
+    std::int64_t capacityBitsFor(int level, TensorId t) const;
+
+    /** @return the partition name tensor t is assigned to. */
+    const std::string &partitionOf(TensorId t) const;
+
+  private:
+    void assignPartitions(
+        const std::map<std::string, std::string> &explicit_map);
+    void computeStores();
+    void computeEnergies();
+
+    ArchSpec arch_;
+    Workload wl_;
+    std::vector<std::string> tensorPartition;
+    std::vector<std::vector<bool>> stores_;      // [level][tensor]
+    std::vector<std::vector<double>> readPj;     // [level][tensor]
+    std::vector<std::vector<double>> writePj;    // [level][tensor]
+    double macPj_ = 0;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_ARCH_ARCH_HH

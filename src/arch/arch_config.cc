@@ -1,0 +1,149 @@
+#include "arch/arch_config.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+
+std::string
+archToText(const ArchSpec &arch)
+{
+    std::ostringstream os;
+    os << "arch " << arch.name << "\n";
+    os << "mac_bits " << arch.macBits << "\n";
+    os << "clock_ghz " << arch.clockGhz << "\n";
+    for (const auto &l : arch.levels) {
+        os << "level " << l.name << "\n";
+        if (l.isDram) {
+            os << "  dram\n";
+        } else if (!l.partitions.empty()) {
+            for (const auto &p : l.partitions)
+                os << "  partition " << p.name << " " << p.capacityBits
+                   << "\n";
+        } else {
+            os << "  capacity " << l.capacityBits << "\n";
+        }
+        if (!l.bypass.empty()) {
+            os << "  bypass";
+            for (const auto &b : l.bypass)
+                os << " " << b;
+            os << "\n";
+        }
+        if (l.fanout != 1)
+            os << "  fanout " << l.fanout << "\n";
+        if (l.readBwWordsPerCycle < 1e17)
+            os << "  bw_read " << l.readBwWordsPerCycle << "\n";
+        if (l.writeBwWordsPerCycle < 1e17)
+            os << "  bw_write " << l.writeBwWordsPerCycle << "\n";
+        if (!l.multicast)
+            os << "  no_multicast\n";
+        if (l.doubleBuffered)
+            os << "  double_buffered\n";
+        if (l.meshX > 0)
+            os << "  mesh " << l.meshX << " " << l.meshY << "\n";
+    }
+    return os.str();
+}
+
+ArchSpec
+archFromText(const std::string &text)
+{
+    ArchSpec arch;
+    LevelSpec *cur = nullptr;
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+
+    auto fail = [&](const std::string &msg) {
+        SUNSTONE_FATAL("arch config line ", lineno, ": ", msg);
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+
+        if (key == "arch") {
+            ls >> arch.name;
+        } else if (key == "mac_bits") {
+            if (!(ls >> arch.macBits))
+                fail("expected integer after mac_bits");
+        } else if (key == "clock_ghz") {
+            if (!(ls >> arch.clockGhz))
+                fail("expected number after clock_ghz");
+        } else if (key == "level") {
+            LevelSpec l;
+            if (!(ls >> l.name))
+                fail("level needs a name");
+            arch.levels.push_back(l);
+            cur = &arch.levels.back();
+        } else if (!cur) {
+            fail("directive '" + key + "' before any level");
+        } else if (key == "dram") {
+            cur->isDram = true;
+        } else if (key == "capacity") {
+            if (!(ls >> cur->capacityBits))
+                fail("expected bits after capacity");
+        } else if (key == "partition") {
+            PartitionSpec p;
+            if (!(ls >> p.name >> p.capacityBits))
+                fail("partition needs a name and bits");
+            cur->partitions.push_back(p);
+        } else if (key == "bypass") {
+            std::string b;
+            while (ls >> b)
+                cur->bypass.push_back(b);
+        } else if (key == "fanout") {
+            if (!(ls >> cur->fanout))
+                fail("expected integer after fanout");
+        } else if (key == "bw_read") {
+            if (!(ls >> cur->readBwWordsPerCycle))
+                fail("expected number after bw_read");
+        } else if (key == "bw_write") {
+            if (!(ls >> cur->writeBwWordsPerCycle))
+                fail("expected number after bw_write");
+        } else if (key == "no_multicast") {
+            cur->multicast = false;
+        } else if (key == "double_buffered") {
+            cur->doubleBuffered = true;
+        } else if (key == "mesh") {
+            if (!(ls >> cur->meshX >> cur->meshY))
+                fail("mesh needs X and Y");
+        } else {
+            fail("unknown directive '" + key + "'");
+        }
+    }
+    arch.validate();
+    return arch;
+}
+
+ArchSpec
+loadArchFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot open architecture file '", path, "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return archFromText(os.str());
+}
+
+void
+saveArchFile(const ArchSpec &arch, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot write architecture file '", path, "'");
+    f << archToText(arch);
+    if (!f)
+        SUNSTONE_FATAL("error writing architecture file '", path, "'");
+}
+
+} // namespace sunstone

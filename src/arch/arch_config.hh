@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text serialization for ArchSpec — the equivalent of Timeloop's
+ * YAML architecture files, in a deliberately small line-oriented format
+ * so accelerator configs can live next to experiments and be diffed.
+ *
+ * Format (one directive per line, '#' comments):
+ *
+ *   arch my-simba
+ *   mac_bits 8
+ *   clock_ghz 1.0
+ *   level WeightReg
+ *     partition weight 64        # name, capacity in bits
+ *     bypass ifmap ofmap
+ *     fanout 8
+ *     bw_read 64
+ *     bw_write 8
+ *     no_multicast               # optional
+ *   level L2
+ *     capacity 26214400          # unified, bits
+ *     fanout 16
+ *   level DRAM
+ *     dram
+ *
+ * Levels appear innermost first; the last must be "dram".
+ */
+
+#ifndef SUNSTONE_ARCH_ARCH_CONFIG_HH
+#define SUNSTONE_ARCH_ARCH_CONFIG_HH
+
+#include <string>
+
+#include "arch/arch.hh"
+
+namespace sunstone {
+
+/** Renders an ArchSpec in the config format above. */
+std::string archToText(const ArchSpec &arch);
+
+/** Parses the config format; fatal() with a line number on errors. */
+ArchSpec archFromText(const std::string &text);
+
+/** Reads an architecture config file; fatal() if unreadable. */
+ArchSpec loadArchFile(const std::string &path);
+
+/** Writes an architecture config file; fatal() on I/O errors. */
+void saveArchFile(const ArchSpec &arch, const std::string &path);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_ARCH_ARCH_CONFIG_HH

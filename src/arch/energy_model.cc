@@ -1,0 +1,55 @@
+#include "arch/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+namespace energy {
+
+double
+sramReadPjPerBit(std::int64_t capacity_bits)
+{
+    SUNSTONE_ASSERT(capacity_bits > 0, "SRAM capacity must be positive");
+    // Fixed decode/sense floor plus sqrt-capacity bitline/wordline term.
+    // Yields (per 16-bit word): 64 B register file ~0.15 pJ, 512 B scratch
+    // ~0.38 pJ, 32 KB ~2.2 pJ, 512 KB ~8.3 pJ, 3 MB ~20 pJ.
+    return 0.008 + 0.00025 * std::sqrt(static_cast<double>(capacity_bits));
+}
+
+double
+sramWritePjPerBit(std::int64_t capacity_bits)
+{
+    return 1.1 * sramReadPjPerBit(capacity_bits);
+}
+
+double
+dramPjPerBit()
+{
+    // 200 pJ per 16-bit word: the canonical ~200x-a-MAC DRAM cost.
+    return 12.5;
+}
+
+double
+macPj(int operand_bits)
+{
+    SUNSTONE_ASSERT(operand_bits > 0, "MAC width must be positive");
+    // Multiplier energy grows ~quadratically with operand width:
+    // 0.1 pJ at 8 bits, 0.41 pJ at 16 bits (45 nm flavored).
+    return 0.0016 * operand_bits * operand_bits;
+}
+
+double
+nocHopPjPerBit()
+{
+    return 0.003;
+}
+
+double
+tagCheckPjPerWord()
+{
+    return 0.001;
+}
+
+} // namespace energy
+} // namespace sunstone

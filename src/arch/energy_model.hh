@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Closed-form 45 nm energy model standing in for the paper's
+ * Accelergy + Cacti + Aladdin toolchain (see DESIGN.md, "Substitutions").
+ *
+ * The constants are fitted so that the canonical Eyeriss-style relative
+ * access costs hold: register file accesses are ~1x a MAC, a multi-KB
+ * scratchpad ~6x, a multi-hundred-KB SRAM ~50x, and DRAM ~200x a 16-bit
+ * MAC. Since every mapper in this repository is evaluated with the same
+ * model (as in the paper, where all tools share Timeloop's cost model),
+ * relative EDP ordering is what matters.
+ */
+
+#ifndef SUNSTONE_ARCH_ENERGY_MODEL_HH
+#define SUNSTONE_ARCH_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace sunstone {
+namespace energy {
+
+/**
+ * SRAM read energy per bit (pJ) as a function of macro capacity, using a
+ * Cacti-like sqrt(capacity) wordline/bitline scaling term plus a fixed
+ * sense/decode floor.
+ */
+double sramReadPjPerBit(std::int64_t capacity_bits);
+
+/** SRAM write energy per bit (pJ); ~10% above read. */
+double sramWritePjPerBit(std::int64_t capacity_bits);
+
+/** Off-chip DRAM access energy per bit (pJ); 200 pJ per 16-bit word. */
+double dramPjPerBit();
+
+/** MAC energy (pJ) for the given operand width; ~quadratic in width. */
+double macPj(int operand_bits);
+
+/** Per-bit, per-hop on-chip wire energy (pJ). */
+double nocHopPjPerBit();
+
+/**
+ * Eyeriss-style destination-tag check energy per delivered word (pJ):
+ * every potential receiver compares the X/Y tag (Section V-A).
+ */
+double tagCheckPjPerWord();
+
+} // namespace energy
+} // namespace sunstone
+
+#endif // SUNSTONE_ARCH_ENERGY_MODEL_HH

@@ -1,0 +1,186 @@
+#include "arch/presets.hh"
+
+namespace sunstone {
+
+namespace {
+
+constexpr std::int64_t kB = 8 * 1024; // bits per kilobyte
+
+} // anonymous namespace
+
+ArchSpec
+makeConventional()
+{
+    ArchSpec a;
+    a.name = "conventional";
+    a.macBits = 16;
+    a.clockGhz = 1.0;
+
+    LevelSpec l1;
+    l1.name = "L1";
+    l1.capacityBits = 512 * 8; // 512 B unified per PE
+    l1.fanout = 1;             // a single MAC below each L1
+    l1.readBwWordsPerCycle = 2;
+    l1.writeBwWordsPerCycle = 2;
+
+    LevelSpec l2;
+    l2.name = "L2";
+    l2.capacityBits = static_cast<std::int64_t>(3.1 * 1024) * kB; // 3.1 MB
+    l2.fanout = 32 * 32; // PE grid
+    l2.readBwWordsPerCycle = 32;
+    l2.writeBwWordsPerCycle = 32;
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    dram.fanout = 1;
+    dram.readBwWordsPerCycle = 16;
+    dram.writeBwWordsPerCycle = 16;
+
+    a.levels = {l1, l2, dram};
+    return a;
+}
+
+ArchSpec
+makeSimbaLike()
+{
+    ArchSpec a;
+    a.name = "simba-like";
+    a.macBits = 8;
+    a.clockGhz = 1.0;
+
+    // Per-lane weight register: 8 words of 8 bits, feeding an 8-wide
+    // vector MAC (the innermost spatial level).
+    LevelSpec reg;
+    reg.name = "WeightReg";
+    reg.partitions = {{"weight", 8 * 8}};
+    reg.bypass = {"ifmap", "ofmap"};
+    reg.fanout = 8; // vector width
+    reg.readBwWordsPerCycle = 64;
+    reg.writeBwWordsPerCycle = 8;
+
+    // Per-PE buffers: distributed weight buffer, broadcast ifmap buffer,
+    // ofmap accumulation buffer (Table IV capacities).
+    LevelSpec pe;
+    pe.name = "PEBuf";
+    pe.partitions = {
+        {"weight", 32 * kB}, {"ifmap", 8 * kB}, {"ofmap", 3 * kB}};
+    pe.fanout = 8; // 8 vector-MAC lanes per PE
+    pe.readBwWordsPerCycle = 64;
+    pe.writeBwWordsPerCycle = 8;
+
+    // Shared global buffer: ifmap + ofmap only; weights bypass to DRAM.
+    LevelSpec l2;
+    l2.name = "L2";
+    l2.partitions = {{"ifmap", 256 * kB}, {"ofmap", 256 * kB}};
+    l2.bypass = {"weight"};
+    l2.fanout = 4 * 4; // PE grid
+    l2.readBwWordsPerCycle = 32;
+    l2.writeBwWordsPerCycle = 32;
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    dram.fanout = 1;
+    dram.readBwWordsPerCycle = 16;
+    dram.writeBwWordsPerCycle = 16;
+
+    a.levels = {reg, pe, l2, dram};
+    return a;
+}
+
+void
+applySimbaPrecisions(Workload &wl)
+{
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        wl.setWordBits(t, wl.tensor(t).isOutput ? 24 : 8);
+}
+
+ArchSpec
+makeDianNaoLike()
+{
+    ArchSpec a;
+    a.name = "diannao-like";
+    a.macBits = 16;
+    a.clockGhz = 1.0;
+
+    LevelSpec buf;
+    buf.name = "Buffers";
+    buf.partitions = {
+        {"nbin", 2 * kB}, {"nbout", 2 * kB}, {"sb", 32 * kB}};
+    buf.fanout = 16 * 16; // the NFU multiplier array
+    buf.readBwWordsPerCycle = 512;
+    buf.writeBwWordsPerCycle = 64;
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    dram.fanout = 1;
+    dram.readBwWordsPerCycle = 16;
+    dram.writeBwWordsPerCycle = 16;
+
+    a.levels = {buf, dram};
+    return a;
+}
+
+ArchSpec
+makeEyerissLike()
+{
+    ArchSpec a;
+    a.name = "eyeriss-like";
+    a.macBits = 16;
+    a.clockGhz = 1.0;
+
+    LevelSpec spad;
+    spad.name = "Spad";
+    spad.capacityBits = 512 * 8; // ~0.5 KB per-PE scratchpad
+    spad.fanout = 1;
+    spad.readBwWordsPerCycle = 2;
+    spad.writeBwWordsPerCycle = 2;
+
+    LevelSpec glb;
+    glb.name = "GLB";
+    glb.capacityBits = 108 * kB; // Eyeriss global buffer
+    glb.fanout = 14 * 12;        // the 14x12 PE array
+    glb.readBwWordsPerCycle = 16;
+    glb.writeBwWordsPerCycle = 16;
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    dram.fanout = 1;
+    dram.readBwWordsPerCycle = 16;
+    dram.writeBwWordsPerCycle = 16;
+
+    a.levels = {spad, glb, dram};
+    return a;
+}
+
+ArchSpec
+makeToyArch(std::int64_t l1_words, int pes)
+{
+    ArchSpec a;
+    a.name = "toy";
+    a.macBits = 16;
+    a.clockGhz = 1.0;
+
+    LevelSpec l1;
+    l1.name = "L1";
+    l1.capacityBits = l1_words * 16;
+    l1.fanout = 1;
+
+    LevelSpec l2;
+    l2.name = "L2";
+    l2.capacityBits = 1024 * kB;
+    l2.fanout = pes;
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    dram.fanout = 1;
+
+    a.levels = {l1, l2, dram};
+    return a;
+}
+
+} // namespace sunstone

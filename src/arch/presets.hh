@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The evaluated accelerator configurations of Table IV plus the
+ * DianNao-like machine of Section V-D, expressed as ArchSpecs.
+ */
+
+#ifndef SUNSTONE_ARCH_PRESETS_HH
+#define SUNSTONE_ARCH_PRESETS_HH
+
+#include "arch/arch.hh"
+
+namespace sunstone {
+
+/**
+ * Conventional accelerator (Table IV, right column): 32x32 grid of PEs,
+ * one 16-bit MAC each, 512 B unified L1 per PE, 3.1 MB unified L2, DRAM.
+ * Two spatial levels in the sense of Fig. 1a (PE grid only).
+ */
+ArchSpec makeConventional();
+
+/**
+ * Simba-like accelerator (Table IV, left column): 4x4 PEs; each PE has
+ * 8 lanes of 8-wide 8-bit vector MACs with per-lane weight registers;
+ * per-PE weight (32 KB) / ifmap (8 KB) / ofmap (3 KB) buffers; a shared
+ * 512 KB L2 holding ifmap+ofmap only (weights bypass it); DRAM.
+ * Three spatial levels: vector width, lanes per PE, PE grid.
+ */
+ArchSpec makeSimbaLike();
+
+/**
+ * DianNao-like accelerator (Section V-D): 16x16 multiplier NFU, NBin /
+ * NBout / SB scratchpads, DRAM. Used by the overhead study and by the
+ * Fig. 9 energy-breakdown bench.
+ */
+ArchSpec makeDianNaoLike();
+
+/**
+ * Eyeriss-like accelerator used in the Table VI optimization-order study:
+ * a 14x12 PE grid with per-PE scratchpads and a 108 KB global buffer.
+ */
+ArchSpec makeEyerissLike();
+
+/** Tiny two-level machine for unit tests and the quickstart example. */
+ArchSpec makeToyArch(std::int64_t l1_words = 8, int pes = 4);
+
+/**
+ * Applies Table IV per-datatype precisions to a workload bound to the
+ * Simba-like architecture (weights/ifmap 8-bit, ofmap 24-bit).
+ */
+void applySimbaPrecisions(Workload &wl);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_ARCH_PRESETS_HH

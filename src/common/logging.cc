@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace sunstone {
+
+namespace {
+
+std::atomic<bool> gQuiet{false};
+
+} // anonymous namespace
+
+void
+setQuiet(bool quiet)
+{
+    gQuiet.store(quiet);
+}
+
+bool
+quiet()
+{
+    return gQuiet.load();
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace sunstone

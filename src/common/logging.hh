@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 style.
+ *
+ * panic()  - internal invariant violated; this is a bug in the library.
+ *            Aborts (so a debugger or core dump can capture state).
+ * fatal()  - the *user* asked for something impossible (bad workload
+ *            description, invalid architecture, ...). Exits with code 1.
+ * warn()   - something questionable happened but execution continues.
+ * inform() - status messages.
+ */
+
+#ifndef SUNSTONE_COMMON_LOGGING_HH
+#define SUNSTONE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sunstone {
+
+namespace detail {
+
+/** Terminates the process after printing a panic banner. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminates the process after printing a fatal banner. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Prints a warning banner. */
+void warnImpl(const std::string &msg);
+
+/** Prints an informational message. */
+void informImpl(const std::string &msg);
+
+/** Folds a parameter pack into a string via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Global knob: suppress warn()/inform() output (used by benchmarks). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() output is suppressed. */
+bool quiet();
+
+} // namespace sunstone
+
+#define SUNSTONE_PANIC(...)                                                 \
+    ::sunstone::detail::panicImpl(__FILE__, __LINE__,                       \
+                                  ::sunstone::detail::concat(__VA_ARGS__))
+
+#define SUNSTONE_FATAL(...)                                                 \
+    ::sunstone::detail::fatalImpl(__FILE__, __LINE__,                       \
+                                  ::sunstone::detail::concat(__VA_ARGS__))
+
+#define SUNSTONE_WARN(...)                                                  \
+    ::sunstone::detail::warnImpl(::sunstone::detail::concat(__VA_ARGS__))
+
+#define SUNSTONE_INFORM(...)                                                \
+    ::sunstone::detail::informImpl(::sunstone::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define SUNSTONE_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SUNSTONE_PANIC("assertion failed: " #cond " ", __VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#endif // SUNSTONE_COMMON_LOGGING_HH

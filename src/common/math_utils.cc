@@ -1,0 +1,136 @@
+#include "common/math_utils.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+
+std::vector<std::int64_t>
+divisors(std::int64_t n)
+{
+    SUNSTONE_ASSERT(n >= 1, "divisors() needs n >= 1, got ", n);
+    std::vector<std::int64_t> low, high;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            low.push_back(d);
+            if (d != n / d)
+                high.push_back(n / d);
+        }
+    }
+    low.insert(low.end(), high.rbegin(), high.rend());
+    return low;
+}
+
+std::vector<std::pair<std::int64_t, int>>
+primeFactors(std::int64_t n)
+{
+    SUNSTONE_ASSERT(n >= 1, "primeFactors() needs n >= 1, got ", n);
+    std::vector<std::pair<std::int64_t, int>> out;
+    for (std::int64_t p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            int e = 0;
+            while (n % p == 0) {
+                n /= p;
+                ++e;
+            }
+            out.emplace_back(p, e);
+        }
+    }
+    if (n > 1)
+        out.emplace_back(n, 1);
+    return out;
+}
+
+namespace {
+
+void
+splitRec(std::int64_t rem, int k, std::vector<std::int64_t> &cur,
+         std::vector<std::vector<std::int64_t>> &out)
+{
+    if (k == 1) {
+        cur.push_back(rem);
+        out.push_back(cur);
+        cur.pop_back();
+        return;
+    }
+    for (std::int64_t d : divisors(rem)) {
+        cur.push_back(d);
+        splitRec(rem / d, k - 1, cur, out);
+        cur.pop_back();
+    }
+}
+
+} // anonymous namespace
+
+std::vector<std::vector<std::int64_t>>
+factorSplits(std::int64_t n, int k)
+{
+    SUNSTONE_ASSERT(k >= 1, "factorSplits() needs k >= 1, got ", k);
+    std::vector<std::vector<std::int64_t>> out;
+    std::vector<std::int64_t> cur;
+    splitRec(n, k, cur, out);
+    return out;
+}
+
+std::int64_t
+countFactorSplits(std::int64_t n, int k)
+{
+    // The number of ordered k-splits is multiplicative over prime powers:
+    // distributing exponent e over k slots gives C(e + k - 1, k - 1).
+    std::int64_t total = 1;
+    for (auto [p, e] : primeFactors(n)) {
+        (void)p;
+        // Compute C(e + k - 1, k - 1) iteratively.
+        std::int64_t c = 1;
+        for (int i = 1; i <= e; ++i)
+            c = c * (k - 1 + i) / i;
+        total = satMul(total, c);
+    }
+    return total;
+}
+
+std::int64_t
+smallestDivisorAtLeast(std::int64_t n, std::int64_t lo)
+{
+    for (std::int64_t d : divisors(n))
+        if (d >= lo)
+            return d;
+    return n;
+}
+
+std::int64_t
+largestDivisorAtMost(std::int64_t n, std::int64_t hi)
+{
+    std::int64_t best = 1;
+    for (std::int64_t d : divisors(n)) {
+        if (d <= hi)
+            best = d;
+        else
+            break;
+    }
+    return best;
+}
+
+std::int64_t
+nextDivisor(std::int64_t n, std::int64_t d)
+{
+    auto divs = divisors(n);
+    auto it = std::upper_bound(divs.begin(), divs.end(), d);
+    return it == divs.end() ? 0 : *it;
+}
+
+std::int64_t
+satMul(std::int64_t a, std::int64_t b)
+{
+    SUNSTONE_ASSERT(a >= 0 && b >= 0, "satMul() expects non-negative args");
+    if (a == 0 || b == 0)
+        return 0;
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    if (a > max / b)
+        return max;
+    return a * b;
+}
+
+} // namespace sunstone

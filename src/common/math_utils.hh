@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the scheduler: divisor
+ * enumeration, factor splits across hierarchy levels, and safe arithmetic
+ * on access counts.
+ */
+
+#ifndef SUNSTONE_COMMON_MATH_UTILS_HH
+#define SUNSTONE_COMMON_MATH_UTILS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sunstone {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return all positive divisors of n in ascending order. */
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/**
+ * @return the prime factorization of n as (prime, exponent) pairs in
+ *         ascending prime order.
+ */
+std::vector<std::pair<std::int64_t, int>> primeFactors(std::int64_t n);
+
+/**
+ * Enumerates every ordered way of writing n as a product of k positive
+ * factors (each factor a divisor of n). The count grows quickly; intended
+ * for small k (hierarchy depth) and modest n (problem dimensions).
+ *
+ * @param n value to split
+ * @param k number of factors
+ * @return list of k-element factor vectors whose product is n
+ */
+std::vector<std::vector<std::int64_t>> factorSplits(std::int64_t n, int k);
+
+/** @return the number of ordered k-factor splits of n (no enumeration). */
+std::int64_t countFactorSplits(std::int64_t n, int k);
+
+/** @return the smallest divisor of n that is >= lo (n if none smaller). */
+std::int64_t smallestDivisorAtLeast(std::int64_t n, std::int64_t lo);
+
+/** @return the largest divisor of n that is <= hi (1 if none). */
+std::int64_t largestDivisorAtMost(std::int64_t n, std::int64_t hi);
+
+/**
+ * @return the next divisor of n strictly greater than d, or 0 when d is
+ *         already the largest divisor (i.e., n itself).
+ */
+std::int64_t nextDivisor(std::int64_t n, std::int64_t d);
+
+/** Saturating multiply guarding against int64 overflow. */
+std::int64_t satMul(std::int64_t a, std::int64_t b);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_MATH_UTILS_HH

@@ -1,0 +1,95 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+
+namespace sunstone {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        queue.push_back(std::move(task));
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    cvIdle.wait(lk, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvTask.wait(lk, [this] { return stopping || !queue.empty(); });
+            if (stopping && queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            --active;
+            if (queue.empty() && active == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (pool.size() <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    const unsigned workers = pool.size();
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([&next, n, &fn] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.waitIdle();
+}
+
+} // namespace sunstone

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool used to parallelize independent mapper
+ * evaluations (the paper runs every tool with 8 threads).
+ */
+
+#ifndef SUNSTONE_COMMON_THREAD_POOL_HH
+#define SUNSTONE_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sunstone {
+
+/**
+ * Fixed-size worker pool. Tasks are void() callables; waitIdle() blocks
+ * until every submitted task has finished. The pool joins its workers on
+ * destruction.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 means hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues a task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    /** @return the number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cvTask;
+    std::condition_variable cvIdle;
+    unsigned active = 0;
+    bool stopping = false;
+};
+
+/**
+ * Runs fn(i) for i in [0, n) across the pool and waits for completion.
+ * Falls back to a serial loop when the pool has a single worker.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_THREAD_POOL_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to report time-to-solution for every mapper.
+ */
+
+#ifndef SUNSTONE_COMMON_TIMER_HH
+#define SUNSTONE_COMMON_TIMER_HH
+
+#include <chrono>
+
+namespace sunstone {
+
+/** Simple monotonic stopwatch started at construction. */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Resets the stopwatch to now. */
+    void reset() { start = Clock::now(); }
+
+    /** @return elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** @return elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_TIMER_HH

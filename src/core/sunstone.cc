@@ -1,0 +1,671 @@
+#include "core/sunstone.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/thread_pool.hh"
+#include "common/timer.hh"
+#include "core/ordering_trie.hh"
+#include "core/refine.hh"
+#include "core/tiling_tree.hh"
+#include "core/unrolling.hh"
+
+namespace sunstone {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** A partially decided mapping plus its search bookkeeping. */
+struct Partial
+{
+    Mapping m;
+    std::vector<std::int64_t> remaining;
+    /** Reuse suffix chosen for the next level's loops (innermost first). */
+    std::vector<DimId> pendingSuffix;
+    double score = kInf;
+};
+
+/** Capacity check of a shape against one storage level. */
+bool
+shapeFits(const BoundArch &ba, int level,
+          const std::vector<std::int64_t> &shape)
+{
+    if (ba.arch().levels[level].isDram)
+        return true;
+    const Workload &wl = ba.workload();
+    std::vector<std::int64_t> fp(wl.numTensors(), 0);
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        if (ba.stores(level, t))
+            fp[t] = wl.tensor(t).footprint(shape);
+    return ba.fits(level, fp);
+}
+
+class Driver
+{
+  public:
+    Driver(const BoundArch &ba, const SunstoneOptions &opts)
+        : ba(ba), opts(opts), wl(ba.workload()),
+          nLevels(ba.numLevels()), nDims(wl.numDims()),
+          pool(opts.threads)
+    {
+    }
+
+    SunstoneResult
+    run()
+    {
+        Timer timer;
+        SunstoneResult result;
+        std::vector<Partial> beam = initialBeam();
+        if (opts.levelOrder == SunstoneOptions::LevelOrder::BottomUp) {
+            for (int k = 0; k < nLevels - 1; ++k)
+                beam = expandBeam(beam, k, /*bottom_up=*/true);
+            finalizeBottomUp(beam);
+        } else {
+            for (int k = nLevels - 1; k >= 1; --k)
+                beam = expandBeam(beam, k, /*bottom_up=*/false);
+            finalizeTopDown(beam);
+        }
+
+        // Full evaluation (with validity check) of the surviving beam.
+        std::vector<std::pair<double, const Partial *>> ranked;
+        for (const auto &p : beam) {
+            CostResult cr = evaluateMapping(ba, p.m);
+            if (!cr.valid)
+                continue;
+            ranked.emplace_back(
+                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj, &p);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+
+        // Polish the few best survivors: the level-by-level search
+        // decides each level under an approximation of the levels
+        // above, and a short hill climb repairs the leftovers.
+        const std::size_t polish_count =
+            opts.polish ? std::min<std::size_t>(4, ranked.size())
+                        : std::min<std::size_t>(1, ranked.size());
+        double best_metric = kInf;
+        for (std::size_t i = 0; i < polish_count; ++i) {
+            Mapping m = ranked[i].second->m;
+            if (opts.polish) {
+                RefineStats rs;
+                m = polishMapping(ba, m, opts.optimizeEdp, 64, &rs);
+                examined.fetch_add(rs.evaluated);
+            }
+            CostResult cr = evaluateMapping(ba, m);
+            if (!cr.valid)
+                continue;
+            const double metric =
+                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+            if (metric < best_metric) {
+                best_metric = metric;
+                result.found = true;
+                result.mapping = std::move(m);
+                result.cost = std::move(cr);
+            }
+        }
+        result.candidatesExamined = examined.load();
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+  private:
+    std::vector<Partial>
+    initialBeam()
+    {
+        Partial p;
+        p.m = Mapping(nLevels, nDims);
+        p.remaining = wl.shape();
+        return {p};
+    }
+
+    DimSet
+    activeDims(const std::vector<std::int64_t> &remaining) const
+    {
+        DimSet s;
+        for (DimId d = 0; d < nDims; ++d)
+            if (remaining[d] > 1)
+                s.add(d);
+        return s;
+    }
+
+    /**
+     * Grow dims per the Tiling Principle for one ordering candidate at
+     * one level. Dims that index no tensor stored at the level are
+     * excluded: growing them is capacity-free there (the data lives
+     * higher up), adds no reuse at this level, and would silently
+     * consume quotient that upper spatial levels need.
+     */
+    DimSet
+    growDimsFor(const OrderingCandidate &ord, DimSet active, int level)
+        const
+    {
+        DimSet stored;
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            if (ba.stores(level, t))
+                stored = stored.unionWith(wl.reuse(t).indexing);
+        DimSet g;
+        for (TensorId t : ord.fullyReusedTensors())
+            g = g.unionWith(wl.reuse(t).indexing);
+        if (g.empty())
+            g = DimSet::all(nDims);
+        return g.intersect(stored).intersect(active);
+    }
+
+    /** Allowed unroll dims per the Spatial Unrolling Principle. */
+    DimSet
+    allowedUnrollDimsFor(const OrderingCandidate &ord) const
+    {
+        auto reused = ord.fullyReusedTensors();
+        if (reused.empty())
+            return DimSet::all(nDims);
+        DimSet allowed = DimSet::all(nDims);
+        for (TensorId t : reused)
+            allowed = allowed.intersect(wl.reuse(t).indexing);
+        return allowed;
+    }
+
+    /**
+     * Greedily absorbs the pending reuse-suffix loops into level k's
+     * temporal factors (largest fitting divisors, innermost first) and
+     * fixes level k's loop order with the suffix innermost.
+     */
+    void
+    absorb(Partial &p, int k) const
+    {
+        auto &lm = p.m.level(k);
+        for (DimId d : p.pendingSuffix) {
+            auto shape = p.m.tileShape(k);
+            const auto divs = divisors(p.remaining[d]);
+            for (auto it = divs.rbegin(); it != divs.rend(); ++it) {
+                auto candidate = shape;
+                candidate[d] = satMul(candidate[d], *it);
+                if (shapeFits(ba, k, candidate)) {
+                    lm.temporal[d] = satMul(lm.temporal[d], *it);
+                    p.remaining[d] /= *it;
+                    break;
+                }
+            }
+        }
+        // Suffix dims innermost, the rest outermost in canonical order.
+        OrderingCandidate oc;
+        oc.suffix = p.pendingSuffix;
+        lm.order = oc.fullOrder(nDims);
+    }
+
+    /**
+     * Scores a partial by completing it (all residual loops to the DRAM
+     * level for bottom-up, to level 0 for top-down) and evaluating its
+     * energy — the paper's approximated-energy alpha-beta surrogate.
+     */
+    double
+    scoreCompletion(const Partial &p, const std::vector<DimId> &suffix,
+                    bool bottom_up) const
+    {
+        Mapping m = p.m;
+        const int fill = bottom_up ? nLevels - 1 : 0;
+        auto &lm = m.level(fill);
+        for (DimId d = 0; d < nDims; ++d)
+            lm.temporal[d] = satMul(lm.temporal[d], p.remaining[d]);
+        if (bottom_up) {
+            OrderingCandidate oc;
+            oc.suffix = suffix;
+            lm.order = oc.fullOrder(nDims);
+        }
+        CostModelOptions cmo;
+        cmo.assumeValid = true;
+        cmo.modelNoc = false;
+        // Partials are ranked by approximated energy (access counts), as
+        // in the paper; the delay of a residual-at-DRAM completion is
+        // too noisy to rank by EDP. Parallelism diversity is preserved
+        // by the stratified beam (see expandBeam), and the final pick
+        // over the surviving beam uses the real objective.
+        return evaluateMapping(ba, m, cmo).totalEnergyPj;
+    }
+
+    /** Pushes a finished step candidate through alpha-beta + collection. */
+    void
+    emit(std::vector<Partial> &out, std::mutex &mtx, Partial &&cand,
+         bool bottom_up)
+    {
+        cand.score = scoreCompletion(cand, cand.pendingSuffix, bottom_up);
+        examined.fetch_add(1, std::memory_order_relaxed);
+        if (opts.alphaBeta) {
+            double inc = incumbent.load();
+            while (cand.score < inc &&
+                   !incumbent.compare_exchange_weak(inc, cand.score)) {
+            }
+            if (cand.score > incumbent.load() * opts.alphaSlack)
+                return;
+        }
+        std::lock_guard<std::mutex> lk(mtx);
+        out.push_back(std::move(cand));
+    }
+
+    /** Expands every beam entry at step k, then trims to the beam. */
+    std::vector<Partial>
+    expandBeam(const std::vector<Partial> &beam, int k, bool bottom_up)
+    {
+        std::vector<Partial> out;
+        std::mutex mtx;
+        parallelFor(pool, beam.size(), [&](std::size_t i) {
+            if (bottom_up)
+                expandBottomUp(beam[i], k, out, mtx);
+            else
+                expandTopDown(beam[i], k, out, mtx);
+        });
+        std::sort(out.begin(), out.end(),
+                  [](const Partial &a, const Partial &b) {
+                      return a.score < b.score;
+                  });
+        if ((int)out.size() <= opts.beamWidth)
+            return out;
+
+        // Stratified beam: candidates are bucketed by (chosen ordering
+        // suffix, log2 of the spatial product) and drained round-robin,
+        // best first. An energy-only score would otherwise evict every
+        // high-utilization candidate before its latency advantage
+        // becomes visible, and would collapse the ordering diversity the
+        // next level's decisions depend on.
+        std::map<std::pair<std::uint64_t, int>, std::deque<Partial>>
+            buckets;
+        for (auto &p : out) {
+            const std::int64_t sp =
+                std::max<std::int64_t>(1, p.m.totalSpatial());
+            int log_sp = 0;
+            while ((std::int64_t(1) << (log_sp + 1)) <= sp)
+                ++log_sp;
+            std::uint64_t suffix_key = 1;
+            for (DimId d : p.pendingSuffix)
+                suffix_key = suffix_key * 131 + std::uint64_t(d + 1);
+            buckets[{suffix_key, log_sp}].push_back(std::move(p));
+        }
+        std::vector<Partial> kept;
+        kept.reserve(opts.beamWidth);
+        while ((int)kept.size() < opts.beamWidth) {
+            bool any = false;
+            for (auto &[key, q] : buckets) {
+                if (q.empty())
+                    continue;
+                kept.push_back(std::move(q.front()));
+                q.pop_front();
+                any = true;
+                if ((int)kept.size() >= opts.beamWidth)
+                    break;
+            }
+            if (!any)
+                break;
+        }
+        return kept;
+    }
+
+    /**
+     * Bottom-up step k: absorb the pending suffix into t[k], then pick
+     * (order above k, t[k] growth, s[k+1]) in the configured intra-level
+     * order.
+     */
+    void
+    expandBottomUp(Partial base, int k, std::vector<Partial> &out,
+                   std::mutex &mtx)
+    {
+        // The innermost fanout (vector lanes below level 0) has no step
+        // of its own: enumerate s[0] variants first.
+        if (k == 0 && ba.arch().levels[0].fanout > 1) {
+            UnrollResult ur =
+                unrollCandidates(wl, DimSet::all(nDims), base.remaining,
+                                 ba.arch().levels[0].fanout,
+                                 opts.utilizationThreshold);
+            for (const auto &u : ur.candidates) {
+                Partial v = base;
+                for (DimId d = 0; d < nDims; ++d) {
+                    v.m.level(0).spatial[d] = u[d];
+                    v.remaining[d] /= u[d];
+                }
+                if (!shapeFits(ba, 0, v.m.tileShape(0)))
+                    continue;
+                expandBottomUpInner(std::move(v), k, out, mtx);
+            }
+            return;
+        }
+        expandBottomUpInner(std::move(base), k, out, mtx);
+    }
+
+    void
+    expandBottomUpInner(Partial base, int k, std::vector<Partial> &out,
+                        std::mutex &mtx)
+    {
+        absorb(base, k);
+        const DimSet active = activeDims(base.remaining);
+        auto orderings = orderingCandidates(wl, active);
+        if (opts.generalistOrdering) {
+            // One unconstrained candidate (empty suffix, no assumed
+            // reuse): its grow/unroll sets are unrestricted, covering
+            // the mixed reduction/output unrollings the principles
+            // exclude. Cheap insurance on reduction-heavy workloads
+            // such as weight-update convolutions.
+            OrderingCandidate generalist;
+            generalist.fullReuse.assign(wl.numTensors(), DimSet());
+            generalist.partialReuse.assign(wl.numTensors(), DimSet());
+            orderings.push_back(std::move(generalist));
+        }
+        const std::int64_t fanout_above =
+            (k + 1 < nLevels) ? ba.arch().levels[k + 1].fanout : 1;
+
+        // The generalist candidate is throttled: principled-union grow
+        // set and near-full-utilization unrolls only. Its sole job is
+        // reaching the mixed reduction/output unrollings the principles
+        // exclude, not re-opening the whole space.
+        DimSet principled_grow;
+        for (const auto &ord : orderings)
+            if (!ord.suffix.empty() || !ord.fullyReusedTensors().empty())
+                principled_grow = principled_grow.unionWith(
+                    growDimsFor(ord, active, k));
+        auto isGeneralist = [](const OrderingCandidate &ord) {
+            return ord.suffix.empty() &&
+                   ord.fullyReusedTensors().empty();
+        };
+        auto growFor = [&](const OrderingCandidate &ord) {
+            return isGeneralist(ord) ? principled_grow
+                                     : growDimsFor(ord, active, k);
+        };
+        auto utilFor = [&](const OrderingCandidate &ord) {
+            return isGeneralist(ord)
+                       ? std::max(0.95, opts.utilizationThreshold)
+                       : opts.utilizationThreshold;
+        };
+
+        using IO = SunstoneOptions::IntraOrder;
+        if (opts.intraOrder == IO::UnrollTileOrder) {
+            // The paper's default: per ordering, spatial unrolling first
+            // (from the full quotient), then the temporal tile from what
+            // remains. This keeps tiling from starving parallelism.
+            for (const auto &ord : orderings) {
+                std::vector<std::vector<std::int64_t>> unrolls;
+                if (fanout_above > 1) {
+                    UnrollResult ur = unrollCandidates(
+                        wl, allowedUnrollDimsFor(ord), base.remaining,
+                        fanout_above, utilFor(ord));
+                    examined.fetch_add(ur.combosVisited,
+                                       std::memory_order_relaxed);
+                    unrolls = std::move(ur.candidates);
+                    if (isGeneralist(ord) && unrolls.size() > 24) {
+                        auto product = [&](const auto &v) {
+                            std::int64_t p = 1;
+                            for (auto f : v)
+                                p = satMul(p, f);
+                            return p;
+                        };
+                        std::sort(unrolls.begin(), unrolls.end(),
+                                  [&](const auto &a, const auto &b) {
+                                      return product(a) > product(b);
+                                  });
+                        unrolls.resize(24);
+                    }
+                } else {
+                    unrolls.emplace_back(nDims, 1);
+                }
+                for (const auto &u : unrolls) {
+                    std::vector<std::int64_t> rem = base.remaining;
+                    for (DimId d = 0; d < nDims; ++d)
+                        rem[d] /= u[d];
+                    const auto tiles =
+                        growTiles(ba, k, baseShapeFor(base, k), rem,
+                                  growFor(ord));
+                    examined.fetch_add(tiles.nodesVisited,
+                                       std::memory_order_relaxed);
+                    for (const auto &tile : tiles.maximal)
+                        emitCandidate(base, k, ord, tile, u, out, mtx);
+                }
+            }
+            return;
+        }
+
+        if (opts.intraOrder == IO::TileUnrollOrder) {
+            // Per ordering, temporal tile first, then unrolling from the
+            // leftover quotient.
+            for (const auto &ord : orderings) {
+                const auto tiles =
+                    growTiles(ba, k, baseShapeFor(base, k), base.remaining,
+                              growFor(ord));
+                examined.fetch_add(tiles.nodesVisited,
+                                   std::memory_order_relaxed);
+                for (const auto &tile : tiles.maximal)
+                    emitTileUnrolls(base, k, ord, tile, fanout_above,
+                                    allowedUnrollDimsFor(ord), out, mtx);
+            }
+            return;
+        }
+
+        // OrderTileUnroll: the ordering is bound last, so tile and
+        // unroll enumerate over the union of every ordering's
+        // principle-allowed dims (a strictly larger space).
+        DimSet grow_union, allow_union;
+        for (const auto &ord : orderings) {
+            grow_union = grow_union.unionWith(growDimsFor(ord, active, k));
+            allow_union =
+                allow_union.unionWith(allowedUnrollDimsFor(ord));
+        }
+        const auto tiles = growTiles(ba, k, baseShapeFor(base, k),
+                                     base.remaining, grow_union);
+        examined.fetch_add(tiles.nodesVisited, std::memory_order_relaxed);
+        for (const auto &tile : tiles.maximal)
+            for (const auto &ord : orderings)
+                emitTileUnrolls(base, k, ord, tile, fanout_above,
+                                allow_union, out, mtx);
+    }
+
+    std::vector<std::int64_t>
+    baseShapeFor(const Partial &p, int k) const
+    {
+        return p.m.tileShape(k);
+    }
+
+    void
+    emitTileUnrolls(const Partial &base, int k,
+                    const OrderingCandidate &ord,
+                    const std::vector<std::int64_t> &tile,
+                    std::int64_t fanout_above, DimSet allowed,
+                    std::vector<Partial> &out, std::mutex &mtx)
+    {
+        std::vector<std::int64_t> rem = base.remaining;
+        for (DimId d = 0; d < nDims; ++d)
+            rem[d] /= tile[d];
+        if (fanout_above > 1) {
+            UnrollResult ur = unrollCandidates(
+                wl, allowed, rem, fanout_above, opts.utilizationThreshold);
+            examined.fetch_add(ur.combosVisited,
+                               std::memory_order_relaxed);
+            for (const auto &u : ur.candidates)
+                emitCandidate(base, k, ord, tile, u, out, mtx);
+        } else {
+            emitCandidate(base, k, ord, tile,
+                          std::vector<std::int64_t>(nDims, 1), out, mtx);
+        }
+    }
+
+    /** Builds the new partial for a (order, tile, unroll) triple. */
+    void
+    emitCandidate(const Partial &base, int k, const OrderingCandidate &ord,
+                  const std::vector<std::int64_t> &tile,
+                  const std::vector<std::int64_t> &unroll,
+                  std::vector<Partial> &out, std::mutex &mtx)
+    {
+        Partial cand = base;
+        auto &lm = cand.m.level(k);
+        for (DimId d = 0; d < nDims; ++d) {
+            lm.temporal[d] = satMul(lm.temporal[d], tile[d]);
+            cand.remaining[d] /= tile[d];
+        }
+        if (k + 1 < nLevels) {
+            auto &up = cand.m.level(k + 1);
+            for (DimId d = 0; d < nDims; ++d) {
+                up.spatial[d] = unroll[d];
+                cand.remaining[d] /= unroll[d];
+            }
+            up.order = ord.fullOrder(nDims);
+            // The spatially enlarged tile must fit the level above even
+            // before its own temporal loops are chosen.
+            if (!ba.arch().levels[k + 1].isDram &&
+                !shapeFits(ba, k + 1, cand.m.tileShape(k + 1)))
+                return;
+        }
+        cand.pendingSuffix = ord.suffix;
+        emit(out, mtx, std::move(cand), /*bottom_up=*/true);
+    }
+
+    /**
+     * Top-down step k: choose t[k] via the first-fit frontier (minimal
+     * factor vectors whose residual fits the level below), then the
+     * ordering of level k's loops, then s[k].
+     */
+    void
+    expandTopDown(const Partial &base, int k, std::vector<Partial> &out,
+                  std::mutex &mtx)
+    {
+        const auto tiles = firstFitTiles(base.remaining, k);
+        for (const auto &tile : tiles) {
+            std::vector<std::int64_t> rem = base.remaining;
+            DimSet tiled;
+            for (DimId d = 0; d < nDims; ++d) {
+                rem[d] /= tile[d];
+                if (tile[d] > 1)
+                    tiled.add(d);
+            }
+            auto orderings = orderingCandidates(wl, tiled);
+            for (const auto &ord : orderings) {
+                const std::int64_t fanout = ba.arch().levels[k].fanout;
+                std::vector<std::vector<std::int64_t>> unrolls;
+                if (fanout > 1) {
+                    UnrollResult ur = unrollCandidates(
+                        wl, allowedUnrollDimsFor(ord), rem, fanout,
+                        opts.utilizationThreshold);
+                    examined.fetch_add(ur.combosVisited,
+                                       std::memory_order_relaxed);
+                    unrolls = std::move(ur.candidates);
+                } else {
+                    unrolls.emplace_back(nDims, 1);
+                }
+                for (const auto &u : unrolls) {
+                    Partial cand = base;
+                    auto &lm = cand.m.level(k);
+                    for (DimId d = 0; d < nDims; ++d) {
+                        lm.temporal[d] = tile[d];
+                        lm.spatial[d] = u[d];
+                        cand.remaining[d] = rem[d] / u[d];
+                    }
+                    lm.order = ord.fullOrder(nDims);
+                    cand.pendingSuffix = ord.suffix;
+                    emit(out, mtx, std::move(cand), /*bottom_up=*/false);
+                }
+            }
+        }
+    }
+
+    /**
+     * Minimal t[k] factor vectors such that the residual problem fits
+     * the storage level below (top-down tiling frontier). Growth is
+     * unguided (all dims) — the Tiling Principle has nothing to bind to
+     * yet, which is a key reason top-down explores more (Section V-C).
+     */
+    std::vector<std::vector<std::int64_t>>
+    firstFitTiles(const std::vector<std::int64_t> &remaining, int k)
+    {
+        std::vector<std::vector<std::int64_t>> result;
+        std::vector<std::int64_t> unit(nDims, 1);
+        auto residualFits = [&](const std::vector<std::int64_t> &t) {
+            std::vector<std::int64_t> shape(nDims);
+            for (DimId d = 0; d < nDims; ++d)
+                shape[d] = remaining[d] / t[d];
+            return shapeFits(ba, k - 1, shape);
+        };
+        std::map<std::vector<std::int64_t>, bool> visited;
+        std::vector<std::vector<std::int64_t>> frontier{unit};
+        visited[unit] = true;
+        constexpr std::int64_t node_cap = 2'000'000;
+        std::int64_t visited_nodes = 0;
+        while (!frontier.empty()) {
+            std::vector<std::vector<std::int64_t>> next;
+            for (auto &node : frontier) {
+                examined.fetch_add(1, std::memory_order_relaxed);
+                if (++visited_nodes > node_cap) {
+                    SUNSTONE_WARN("top-down tiling frontier capped at ",
+                                  node_cap, " nodes");
+                    return result;
+                }
+                if (residualFits(node)) {
+                    result.push_back(node);
+                    continue;
+                }
+                for (DimId d = 0; d < nDims; ++d) {
+                    std::int64_t nf = nextDivisor(remaining[d], node[d]);
+                    if (nf == 0)
+                        continue;
+                    auto child = node;
+                    child[d] = nf;
+                    if (!visited[child]) {
+                        visited[child] = true;
+                        next.push_back(std::move(child));
+                    }
+                }
+            }
+            frontier = std::move(next);
+        }
+        return result;
+    }
+
+    void
+    finalizeBottomUp(std::vector<Partial> &beam)
+    {
+        for (auto &p : beam) {
+            auto &lm = p.m.level(nLevels - 1);
+            for (DimId d = 0; d < nDims; ++d) {
+                lm.temporal[d] = satMul(lm.temporal[d], p.remaining[d]);
+                p.remaining[d] = 1;
+            }
+            OrderingCandidate oc;
+            oc.suffix = p.pendingSuffix;
+            lm.order = oc.fullOrder(nDims);
+        }
+    }
+
+    void
+    finalizeTopDown(std::vector<Partial> &beam)
+    {
+        for (auto &p : beam) {
+            auto &lm = p.m.level(0);
+            for (DimId d = 0; d < nDims; ++d) {
+                lm.temporal[d] = satMul(lm.temporal[d], p.remaining[d]);
+                p.remaining[d] = 1;
+            }
+        }
+    }
+
+    const BoundArch &ba;
+    SunstoneOptions opts;
+    const Workload &wl;
+    const int nLevels;
+    const int nDims;
+    ThreadPool pool;
+    std::atomic<std::int64_t> examined{0};
+    std::atomic<double> incumbent{kInf};
+};
+
+} // anonymous namespace
+
+SunstoneResult
+sunstoneOptimize(const BoundArch &ba, const SunstoneOptions &opts)
+{
+    Driver driver(ba, opts);
+    return driver.run();
+}
+
+} // namespace sunstone

@@ -1,0 +1,88 @@
+#include "core/tiling_tree.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Capacity check for a factor vector on top of the base shape. */
+bool
+fits(const BoundArch &ba, int level,
+     const std::vector<std::int64_t> &base_shape,
+     const std::vector<std::int64_t> &factors)
+{
+    const Workload &wl = ba.workload();
+    std::vector<std::int64_t> shape(base_shape);
+    for (std::size_t d = 0; d < shape.size(); ++d)
+        shape[d] = satMul(shape[d], factors[d]);
+    std::vector<std::int64_t> fp(wl.numTensors());
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        fp[t] = ba.stores(level, t) ? wl.tensor(t).footprint(shape) : 0;
+    return ba.fits(level, fp);
+}
+
+} // anonymous namespace
+
+TilingTreeResult
+growTiles(const BoundArch &ba, int level,
+          const std::vector<std::int64_t> &base_shape,
+          const std::vector<std::int64_t> &remaining, DimSet grow_dims)
+{
+    const int nd = static_cast<int>(remaining.size());
+    TilingTreeResult res;
+
+    std::vector<std::int64_t> unit(nd, 1);
+    if (!fits(ba, level, base_shape, unit)) {
+        // Even the unit tile overflows (the base shape is too large);
+        // no candidates at this level.
+        return res;
+    }
+
+    // Count the unpruned grow-dim space for reporting: every combination
+    // of divisors along the grow dims.
+    res.unprunedSpace = 1;
+    for (DimId d : grow_dims)
+        res.unprunedSpace = satMul(
+            res.unprunedSpace,
+            static_cast<std::int64_t>(divisors(remaining[d]).size()));
+
+    // BFS over factor vectors with memoization; a node is pruned when it
+    // has at least one fitting child (Tiling Principle).
+    std::map<std::vector<std::int64_t>, bool> visited;
+    std::vector<std::vector<std::int64_t>> frontier{unit};
+    visited[unit] = true;
+
+    while (!frontier.empty()) {
+        std::vector<std::vector<std::int64_t>> next;
+        for (auto &node : frontier) {
+            ++res.nodesVisited;
+            bool any_fitting_child = false;
+            for (DimId d : grow_dims) {
+                std::int64_t nf = nextDivisor(remaining[d], node[d]);
+                if (nf == 0)
+                    continue; // dim exhausted
+                auto child = node;
+                child[d] = nf;
+                if (!fits(ba, level, base_shape, child)) {
+                    ++res.nodesVisited; // examined and rejected
+                    continue;
+                }
+                any_fitting_child = true;
+                if (!visited[child]) {
+                    visited[child] = true;
+                    next.push_back(std::move(child));
+                }
+            }
+            if (!any_fitting_child)
+                res.maximal.push_back(node);
+        }
+        frontier = std::move(next);
+    }
+    return res;
+}
+
+} // namespace sunstone

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tile-growth search tree of Section IV-B. Starting from a base tile, the
+ * tree grows one dimension at a time to the next-larger divisor of that
+ * dimension's remaining quotient, but only along the *grow dimensions*
+ * selected by the Tiling Principle (the indexing dims of the tensor(s)
+ * the upper-level ordering reuses). A node with any fitting child is
+ * strictly dominated (the child reuses more) and is pruned; the surviving
+ * candidates are the maximal fitting tiles (Fig. 5).
+ */
+
+#ifndef SUNSTONE_CORE_TILING_TREE_HH
+#define SUNSTONE_CORE_TILING_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hh"
+#include "workload/dim_set.hh"
+
+namespace sunstone {
+
+/** Result of one tiling-tree search. */
+struct TilingTreeResult
+{
+    /** Maximal fitting factor vectors (per dim, this level only). */
+    std::vector<std::vector<std::int64_t>> maximal;
+    /** Number of tree nodes visited (the "space size" contribution). */
+    std::int64_t nodesVisited = 0;
+    /** Total number of fitting tiles in the unpruned grow-dim space. */
+    std::int64_t unprunedSpace = 0;
+};
+
+/**
+ * Enumerates maximal fitting temporal-factor vectors for one level.
+ *
+ * @param ba bound architecture
+ * @param level storage level whose capacity constrains the tile
+ * @param base_shape cumulative tile shape from the levels below,
+ *        including this level's spatial factors and any pre-absorbed
+ *        temporal factors
+ * @param remaining per-dim quotients still available for this level
+ * @param grow_dims dims the Tiling Principle allows to grow
+ */
+TilingTreeResult
+growTiles(const BoundArch &ba, int level,
+          const std::vector<std::int64_t> &base_shape,
+          const std::vector<std::int64_t> &remaining, DimSet grow_dims);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_CORE_TILING_TREE_HH

@@ -1,0 +1,83 @@
+#include "core/unrolling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+
+namespace {
+
+void
+enumerate(const std::vector<DimId> &dims,
+          const std::vector<std::int64_t> &remaining, std::int64_t fanout,
+          std::size_t pos, std::vector<std::int64_t> &current,
+          std::int64_t product, UnrollResult &res)
+{
+    if (pos == dims.size()) {
+        ++res.combosVisited;
+        res.candidates.push_back(current);
+        return;
+    }
+    const DimId d = dims[pos];
+    for (std::int64_t f : divisors(remaining[d])) {
+        if (satMul(product, f) > fanout)
+            break;
+        current[d] = f;
+        enumerate(dims, remaining, fanout, pos + 1, current,
+                  product * f, res);
+    }
+    current[d] = 1;
+}
+
+} // anonymous namespace
+
+UnrollResult
+unrollCandidates(const Workload &wl, DimSet allowed,
+                 const std::vector<std::int64_t> &remaining,
+                 std::int64_t fanout, double util_threshold)
+{
+    const int nd = wl.numDims();
+    UnrollResult res;
+
+    res.unprunedSpace = 1;
+    for (DimId d = 0; d < nd; ++d)
+        res.unprunedSpace = satMul(
+            res.unprunedSpace,
+            static_cast<std::int64_t>(divisors(remaining[d]).size()));
+
+    std::vector<DimId> dims;
+    for (DimId d : allowed)
+        if (remaining[d] > 1)
+            dims.push_back(d);
+
+    std::vector<std::int64_t> current(nd, 1);
+    if (dims.empty()) {
+        res.candidates.push_back(current);
+        res.combosVisited = 1;
+        return res;
+    }
+    enumerate(dims, remaining, fanout, 0, current, 1, res);
+
+    // High-throughput filter: keep the combos closest to filling the
+    // fanout. At least the best combination always survives.
+    std::int64_t best = 1;
+    auto product = [nd](const std::vector<std::int64_t> &v) {
+        std::int64_t p = 1;
+        for (int d = 0; d < nd; ++d)
+            p = satMul(p, v[d]);
+        return p;
+    };
+    for (const auto &c : res.candidates)
+        best = std::max(best, product(c));
+    const double cutoff = util_threshold * static_cast<double>(best);
+    std::vector<std::vector<std::int64_t>> kept;
+    for (auto &c : res.candidates)
+        if (static_cast<double>(product(c)) >= cutoff)
+            kept.push_back(std::move(c));
+    res.candidates = std::move(kept);
+    return res;
+}
+
+} // namespace sunstone

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Spatial-unrolling enumeration with the Spatial Unrolling Principle of
+ * Section III-B: dimensions whose unrolling would spatially reuse the
+ * already-temporally-reused operand are rejected, and the remaining
+ * combinations are filtered by a throughput (utilization) threshold —
+ * the "high throughput" pruning of Table I.
+ */
+
+#ifndef SUNSTONE_CORE_UNROLLING_HH
+#define SUNSTONE_CORE_UNROLLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/dim_set.hh"
+#include "workload/workload.hh"
+
+namespace sunstone {
+
+/** Result of one unrolling enumeration. */
+struct UnrollResult
+{
+    /** Surviving spatial factor vectors (per dim). */
+    std::vector<std::vector<std::int64_t>> candidates;
+    /** Combinations examined (after the principle's dim filter). */
+    std::int64_t combosVisited = 0;
+    /** Size of the unfiltered space over all dims (for reporting). */
+    std::int64_t unprunedSpace = 0;
+};
+
+/**
+ * Enumerates spatial factor vectors for one fanout.
+ *
+ * @param wl the workload
+ * @param allowed dims the Spatial Unrolling Principle permits
+ * @param remaining per-dim quotient available
+ * @param fanout number of parallel instances to fill
+ * @param util_threshold keep combos whose product >= threshold * best
+ *        achievable product (>= 1 combo always survives)
+ */
+UnrollResult
+unrollCandidates(const Workload &wl, DimSet allowed,
+                 const std::vector<std::int64_t> &remaining,
+                 std::int64_t fanout, double util_threshold);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_CORE_UNROLLING_HH

@@ -1,0 +1,214 @@
+#include "diannao/compiler.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+namespace diannao {
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case Op::Load:
+        os << "LOAD  buf=" << static_cast<int>(buf) << " addr=" << dramAddr
+           << " words=" << sizeWords;
+        break;
+      case Op::Store:
+        os << "STORE buf=" << static_cast<int>(buf) << " addr=" << dramAddr
+           << " words=" << sizeWords;
+        break;
+      case Op::Compute:
+        os << "COMP  macs=" << macs << " nbout=" << nboutWords;
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Maps a tensor to its scratchpad via the partition binding. */
+Buffer
+bufferOf(const BoundArch &ba, TensorId t)
+{
+    const std::string &p = ba.partitionOf(t);
+    if (p == "nbin")
+        return Buffer::NBin;
+    if (p == "nbout")
+        return Buffer::NBout;
+    if (p == "sb")
+        return Buffer::SB;
+    SUNSTONE_FATAL("tensor '", ba.workload().tensor(t).name,
+                   "' bound to unknown DianNao partition '", p, "'");
+}
+
+/** Outer (DRAM-level) loop in nest order. */
+struct Loop
+{
+    DimId dim;
+    std::int64_t factor;
+};
+
+} // anonymous namespace
+
+CompiledProgram
+compileMapping(const BoundArch &ba, const Mapping &m)
+{
+    const Workload &wl = ba.workload();
+    if (ba.numLevels() != 2)
+        SUNSTONE_FATAL("DianNao compiler needs a two-level architecture, "
+                       "got ", ba.numLevels(), " levels");
+    std::string why;
+    if (!m.valid(ba, &why))
+        SUNSTONE_FATAL("cannot compile invalid mapping: ", why);
+
+    CompiledProgram out;
+    const int nd = wl.numDims();
+    const auto tile_shape = m.tileShape(0);
+
+    // MACs per processing pass: the volume of the on-chip tile.
+    std::int64_t pass_macs = 1;
+    for (DimId d = 0; d < nd; ++d)
+        pass_macs = satMul(pass_macs, tile_shape[d]);
+
+    // Per-tensor tile footprints and DRAM base addresses (tensors laid
+    // out back to back after the reordering pass).
+    std::vector<std::int64_t> tile_fp(wl.numTensors());
+    std::vector<std::int64_t> base_addr(wl.numTensors());
+    std::int64_t addr = 0;
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        tile_fp[t] = wl.tensor(t).footprint(tile_shape);
+        base_addr[t] = addr;
+        addr += wl.tensor(t).footprint(wl.shape());
+    }
+
+    // One-time reordering pass. The DMA fetches a tile as bursts of its
+    // innermost contiguous run, so a tensor only needs rewriting when
+    // that run is shorter than a DRAM burst. Weights are excluded: their
+    // layout is fixed offline by the compiler at no runtime cost.
+    constexpr std::int64_t burst_words = 8;
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        const auto &ts = wl.tensor(t);
+        if (ts.name == "weight" || ts.name == "dweight" ||
+            ts.name == "w")
+            continue; // laid out offline by the compiler
+        if (ts.isOutput)
+            continue; // the consumer layer's input reorder covers this
+                      // producer-consumer boundary once
+        const std::int64_t run = ts.ranks.back().extent(tile_shape);
+        const std::int64_t full = ts.ranks.back().extent(wl.shape());
+        if (run < std::min(full, burst_words))
+            out.reorderWords += ts.footprint(wl.shape());
+    }
+
+    // Walk the DRAM-level temporal nest.
+    std::vector<Loop> loops;
+    const auto &lm = m.level(1);
+    for (DimId d : lm.order)
+        if (lm.temporal[d] > 1)
+            loops.push_back({d, lm.temporal[d]});
+
+    std::int64_t total_steps = 1;
+    for (const auto &l : loops)
+        total_steps = satMul(total_steps, l.factor);
+    SUNSTONE_ASSERT(total_steps <= 8'000'000,
+                    "DianNao compilation walk too large: ", total_steps);
+
+    const int n_loops = static_cast<int>(loops.size());
+    std::vector<std::int64_t> index(n_loops, 0);
+
+    // Tile identity per tensor: the loop indices over its indexing dims,
+    // folded into a single mixed-radix id.
+    auto tile_id = [&](TensorId t) {
+        const DimSet idx = wl.reuse(t).indexing;
+        std::int64_t id = 0;
+        for (int i = 0; i < n_loops; ++i) {
+            if (!idx.contains(loops[i].dim))
+                continue;
+            id = id * loops[i].factor + index[i];
+        }
+        return id;
+    };
+
+    std::vector<std::int64_t> cur_id(wl.numTensors(), -1);
+    std::vector<std::unordered_set<std::int64_t>> seen(wl.numTensors());
+
+    for (std::int64_t step = 0; step < total_steps; ++step) {
+        for (TensorId t = 0; t < wl.numTensors(); ++t) {
+            const std::int64_t id = tile_id(t);
+            if (id == cur_id[t])
+                continue;
+            const auto &ts = wl.tensor(t);
+            const Buffer buf = bufferOf(ba, t);
+            if (ts.isOutput) {
+                // Drain the finished tile, then (re)load on revisit.
+                if (cur_id[t] >= 0)
+                    out.program.push_back(
+                        {Instruction::Op::Store, buf,
+                         base_addr[t] + cur_id[t] * tile_fp[t],
+                         tile_fp[t], 0, 0, t});
+                if (seen[t].count(id))
+                    out.program.push_back(
+                        {Instruction::Op::Load, buf,
+                         base_addr[t] + id * tile_fp[t], tile_fp[t], 0,
+                         0, t});
+                seen[t].insert(id);
+            } else {
+                out.program.push_back(
+                    {Instruction::Op::Load, buf,
+                     base_addr[t] + id * tile_fp[t], tile_fp[t], 0, 0,
+                     t});
+            }
+            cur_id[t] = id;
+        }
+        std::int64_t out_words = 0;
+        for (TensorId t : wl.outputs())
+            out_words += tile_fp[t];
+        out.program.push_back({Instruction::Op::Compute, Buffer::NBin, 0,
+                               0, pass_macs, out_words, -1});
+        out.totalMacs += pass_macs;
+
+        for (int i = n_loops - 1; i >= 0; --i) {
+            if (++index[i] < loops[i].factor)
+                break;
+            index[i] = 0;
+        }
+    }
+    // Final drain of the resident output tiles.
+    for (TensorId t : wl.outputs()) {
+        if (cur_id[t] >= 0)
+            out.program.push_back({Instruction::Op::Store, bufferOf(ba, t),
+                                   base_addr[t] + cur_id[t] * tile_fp[t],
+                                   tile_fp[t], 0, 0, t});
+    }
+    return out;
+}
+
+CompiledProgram
+compileNaive(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    CompiledProgram out;
+    const std::int64_t ops = wl.totalOps();
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        const auto &ts = wl.tensor(t);
+        if (ts.isOutput)
+            out.program.push_back({Instruction::Op::Store,
+                                   bufferOf(ba, t), 0,
+                                   ts.footprint(wl.shape()), 0, 0, t});
+        else
+            out.program.push_back({Instruction::Op::Load, bufferOf(ba, t),
+                                   0, ops, 0, 0, t});
+    }
+    out.program.push_back(
+        {Instruction::Op::Compute, Buffer::NBin, 0, 0, ops, 0, -1});
+    out.totalMacs = ops;
+    return out;
+}
+
+} // namespace diannao
+} // namespace sunstone

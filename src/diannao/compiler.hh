@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Compiler from a (workload, mapping) pair to a DianNao instruction
+ * stream (Section V-D). The mapping must target a two-level DianNao-like
+ * architecture (on-chip buffers + DRAM). The compiler walks the DRAM
+ * level's temporal loop nest; whenever a tensor's resident tile changes
+ * it emits the corresponding Load (and Store/reload for output tiles),
+ * and it emits one Compute per processing pass.
+ *
+ * It also reports the data-reordering cost: tensors whose tiles are not
+ * contiguous in DRAM must be laid out once before execution so that each
+ * pass's operands can be fetched as a single burst (Section V-D).
+ */
+
+#ifndef SUNSTONE_DIANNAO_COMPILER_HH
+#define SUNSTONE_DIANNAO_COMPILER_HH
+
+#include "diannao/isa.hh"
+#include "mapping/mapping.hh"
+
+namespace sunstone {
+namespace diannao {
+
+/** Compilation result. */
+struct CompiledProgram
+{
+    Program program;
+
+    /** Words rewritten by the one-time DRAM data reordering pass. */
+    std::int64_t reorderWords = 0;
+
+    /** Total MACs sequenced (sanity: equals workload ops). */
+    std::int64_t totalMacs = 0;
+};
+
+/**
+ * Compiles a mapping for a two-level DianNao-like architecture.
+ * fatal() if the architecture does not have exactly two levels.
+ */
+CompiledProgram compileMapping(const BoundArch &ba, const Mapping &m);
+
+/**
+ * Compiles the naive streaming schedule of Fig. 9a (left): every operand
+ * is fetched from DRAM for every operation and every partial result is
+ * spilled — the workload's inherent reuse is not captured.
+ */
+CompiledProgram compileNaive(const BoundArch &ba);
+
+} // namespace diannao
+} // namespace sunstone
+
+#endif // SUNSTONE_DIANNAO_COMPILER_HH

@@ -1,0 +1,91 @@
+#include "diannao/isa.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+namespace diannao {
+
+namespace {
+
+/** One letter per opcode in the on-disk form. */
+char
+opChar(Instruction::Op op)
+{
+    switch (op) {
+      case Instruction::Op::Load:
+        return 'L';
+      case Instruction::Op::Store:
+        return 'S';
+      case Instruction::Op::Compute:
+        return 'C';
+    }
+    SUNSTONE_PANIC("bad opcode");
+}
+
+} // anonymous namespace
+
+void
+saveProgram(const Program &program, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot write program file '", path, "'");
+    f << "# diannao program v1: op buf addr words macs nbout tensor\n";
+    for (const auto &ins : program) {
+        f << opChar(ins.op) << " " << static_cast<int>(ins.buf) << " "
+          << ins.dramAddr << " " << ins.sizeWords << " " << ins.macs
+          << " " << ins.nboutWords << " " << ins.tensor << "\n";
+    }
+    if (!f)
+        SUNSTONE_FATAL("error writing program file '", path, "'");
+}
+
+Program
+loadProgram(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot open program file '", path, "'");
+    Program program;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(f, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char op;
+        int buf;
+        Instruction ins;
+        if (!(ls >> op >> buf >> ins.dramAddr >> ins.sizeWords >>
+              ins.macs >> ins.nboutWords >> ins.tensor))
+            SUNSTONE_FATAL("program file '", path, "' line ", lineno,
+                           ": malformed instruction");
+        switch (op) {
+          case 'L':
+            ins.op = Instruction::Op::Load;
+            break;
+          case 'S':
+            ins.op = Instruction::Op::Store;
+            break;
+          case 'C':
+            ins.op = Instruction::Op::Compute;
+            break;
+          default:
+            SUNSTONE_FATAL("program file '", path, "' line ", lineno,
+                           ": unknown opcode '", op, "'");
+        }
+        if (buf < 0 || buf > 2)
+            SUNSTONE_FATAL("program file '", path, "' line ", lineno,
+                           ": bad buffer id ", buf);
+        ins.buf = static_cast<Buffer>(buf);
+        program.push_back(ins);
+    }
+    return program;
+}
+
+} // namespace diannao
+} // namespace sunstone

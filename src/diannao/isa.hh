@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DianNao-style instruction set (Section V-D): wide control instructions
+ * drive DMA transfers between DRAM and the three on-chip scratchpads
+ * (NBin for inputs, SB for synapses/weights, NBout for outputs) and kick
+ * off FSM-sequenced NFU computation over on-chip data. As in DianNao, no
+ * instructions are needed while data stays on chip — instructions are
+ * only issued at off-chip transfer boundaries.
+ */
+
+#ifndef SUNSTONE_DIANNAO_ISA_HH
+#define SUNSTONE_DIANNAO_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sunstone {
+namespace diannao {
+
+/** On-chip scratchpads of the DianNao-like accelerator. */
+enum class Buffer { NBin, NBout, SB };
+
+/** One 256-bit control instruction. */
+struct Instruction
+{
+    enum class Op {
+        /** DMA DRAM -> buffer. */
+        Load,
+        /** DMA buffer -> DRAM. */
+        Store,
+        /** Run the NFU over the resident tiles. */
+        Compute,
+    };
+
+    Op op = Op::Compute;
+    Buffer buf = Buffer::NBin;
+    /** DRAM word address for Load/Store. */
+    std::int64_t dramAddr = 0;
+    /** Transfer size in words for Load/Store. */
+    std::int64_t sizeWords = 0;
+    /** MAC operations sequenced by a Compute. */
+    std::int64_t macs = 0;
+    /** Output words the NFU touches in NBout during a Compute. */
+    std::int64_t nboutWords = 0;
+    /** Tensor moved by a Load/Store (index into the workload). */
+    int tensor = -1;
+
+    std::string toString() const;
+};
+
+/** Width of one control instruction in bits (as in the paper). */
+constexpr int instructionBits = 256;
+
+/** A compiled instruction stream. */
+using Program = std::vector<Instruction>;
+
+/**
+ * Writes a program as one instruction per line (the textual form of the
+ * 256-bit control words); fatal() on I/O errors.
+ */
+void saveProgram(const Program &program, const std::string &path);
+
+/** Reads a program written by saveProgram(); fatal() on parse errors. */
+Program loadProgram(const std::string &path);
+
+} // namespace diannao
+} // namespace sunstone
+
+#endif // SUNSTONE_DIANNAO_ISA_HH

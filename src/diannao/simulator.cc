@@ -1,0 +1,210 @@
+#include "diannao/simulator.hh"
+
+#include <algorithm>
+
+#include "arch/energy_model.hh"
+#include "common/logging.hh"
+
+namespace sunstone {
+namespace diannao {
+
+namespace {
+
+/** Finds the tensor bound to a given partition name, or -1. */
+TensorId
+tensorOfPartition(const BoundArch &ba, const std::string &name)
+{
+    for (TensorId t = 0; t < ba.numTensors(); ++t)
+        if (ba.partitionOf(t) == name)
+            return t;
+    return -1;
+}
+
+/** Per-word read/write energy of one scratchpad (level 0). */
+struct BufEnergy
+{
+    double readPj = 0;
+    double writePj = 0;
+    int wordBits = 16;
+};
+
+BufEnergy
+bufEnergy(const BoundArch &ba, const std::string &partition)
+{
+    BufEnergy e;
+    const TensorId t = tensorOfPartition(ba, partition);
+    if (t < 0)
+        return e;
+    e.readPj = ba.readEnergyPj(0, t);
+    e.writePj = ba.writeEnergyPj(0, t);
+    e.wordBits = ba.workload().tensor(t).wordBits;
+    return e;
+}
+
+} // anonymous namespace
+
+SimResult
+simulate(const BoundArch &ba, const CompiledProgram &prog)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    SUNSTONE_ASSERT(ba.numLevels() == 2,
+                    "DianNao simulator needs a two-level architecture");
+
+    SimResult r;
+    r.reorderWords = prog.reorderWords;
+
+    const BufEnergy nbin = bufEnergy(ba, "nbin");
+    const BufEnergy sb = bufEnergy(ba, "sb");
+    const BufEnergy nbout = bufEnergy(ba, "nbout");
+    const double dram_pj_per_bit = energy::dramPjPerBit();
+
+    // Scratchpad capacities for the fit check.
+    auto capacityOf = [&](Buffer b) {
+        const char *name = b == Buffer::NBin   ? "nbin"
+                           : b == Buffer::NBout ? "nbout"
+                                                : "sb";
+        for (const auto &p : arch.levels[0].partitions)
+            if (p.name == name)
+                return p.capacityBits;
+        return std::int64_t(0);
+    };
+    auto wordBitsOf = [&](int tensor) {
+        return tensor >= 0 ? wl.tensor(tensor).wordBits : 16;
+    };
+
+    double dma_words_cycles = 0;
+    for (const auto &ins : prog.program) {
+        ++r.instructions;
+        switch (ins.op) {
+          case Instruction::Op::Load: {
+            const int bits = wordBitsOf(ins.tensor);
+            if (capacityOf(ins.buf) > 0)
+                SUNSTONE_ASSERT(ins.sizeWords * bits <=
+                                        capacityOf(ins.buf) ||
+                                    ins.sizeWords == wl.totalOps(),
+                                "tile overflows scratchpad");
+            r.dramDataWords += ins.sizeWords;
+            r.dramPj += (double)ins.sizeWords * bits * dram_pj_per_bit;
+            // The DMA writes the tile into the scratchpad.
+            switch (ins.buf) {
+              case Buffer::NBin:
+                r.nbinWrites += ins.sizeWords;
+                r.nbinPj += (double)ins.sizeWords * nbin.writePj;
+                break;
+              case Buffer::SB:
+                r.sbWrites += ins.sizeWords;
+                r.sbPj += (double)ins.sizeWords * sb.writePj;
+                break;
+              case Buffer::NBout:
+                r.nboutWrites += ins.sizeWords;
+                r.nboutPj += (double)ins.sizeWords * nbout.writePj;
+                break;
+            }
+            dma_words_cycles +=
+                (double)ins.sizeWords /
+                arch.levels[1].readBwWordsPerCycle;
+            break;
+          }
+          case Instruction::Op::Store: {
+            const int bits = wordBitsOf(ins.tensor);
+            r.dramDataWords += ins.sizeWords;
+            r.dramPj += (double)ins.sizeWords * bits * dram_pj_per_bit;
+            r.nboutReads += ins.sizeWords;
+            r.nboutPj += (double)ins.sizeWords * nbout.readPj;
+            dma_words_cycles +=
+                (double)ins.sizeWords /
+                arch.levels[1].writeBwWordsPerCycle;
+            break;
+          }
+          case Instruction::Op::Compute: {
+            r.macs += ins.macs;
+            // Every MAC pulls one word from NBin and one from SB; the
+            // NFU accumulates internally and touches NBout once per
+            // output word of the pass.
+            r.nbinReads += ins.macs;
+            r.nbinPj += (double)ins.macs * nbin.readPj;
+            r.sbReads += ins.macs;
+            r.sbPj += (double)ins.macs * sb.readPj;
+            r.nboutWrites += ins.nboutWords;
+            r.nboutPj += (double)ins.nboutWords * nbout.writePj;
+            break;
+          }
+        }
+    }
+
+    r.macPj = (double)r.macs * ba.macEnergyPj() * wl.multipliesPerOp();
+    r.instrPj = (double)r.instructions * instructionBits * dram_pj_per_bit;
+    // The reordering pass reads and rewrites each word once.
+    r.reorderPj = (double)r.reorderWords * 16 * dram_pj_per_bit * 2;
+
+    r.totalPj = r.macPj + r.dramPj + r.nbinPj + r.sbPj + r.nboutPj +
+                r.instrPj + r.reorderPj;
+
+    const double lanes = (double)arch.levels[0].fanout;
+    r.cycles = std::max((double)r.macs / lanes, dma_words_cycles);
+    return r;
+}
+
+SimResult
+simulateNaiveStreaming(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    SimResult r;
+    const std::int64_t ops = wl.totalOps();
+    const double dram_pj_per_bit = energy::dramPjPerBit();
+
+    // The NFU's fixed datapath unrolls Tn=16 output lanes along one
+    // output dimension; each streamed word of an operand not indexed by
+    // that dimension is broadcast to all 16 lanes, so even the naive
+    // schedule fetches it once per 16 operations. Lane-private operands
+    // (weights) stream one word per operation; outputs accumulate inside
+    // the NFU and are written once.
+    const std::int64_t lane_width = 16;
+    const TensorId out_t = wl.outputs().front();
+    DimId lane_dim = -1;
+    std::int64_t lane_dim_size = 0;
+    for (DimId d : wl.reuse(out_t).indexing) {
+        // Prefer the largest output dim that lets some input broadcast.
+        bool helps = false;
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            if (!wl.tensor(t).isOutput &&
+                !wl.reuse(t).indexing.contains(d))
+                helps = true;
+        if (helps && wl.dimSize(d) > lane_dim_size) {
+            lane_dim = d;
+            lane_dim_size = wl.dimSize(d);
+        }
+    }
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        const auto &ts = wl.tensor(t);
+        std::int64_t words;
+        if (ts.isOutput) {
+            words = ts.footprint(wl.shape());
+        } else {
+            const bool broadcast =
+                lane_dim >= 0 && !wl.reuse(t).indexing.contains(lane_dim);
+            words = broadcast
+                        ? ops / std::min(lane_width,
+                                         std::max<std::int64_t>(
+                                             1, lane_dim_size))
+                        : ops;
+        }
+        r.dramDataWords += words;
+        r.dramPj += (double)words * ts.wordBits * dram_pj_per_bit;
+    }
+    r.macs = ops;
+    r.macPj = (double)ops * ba.macEnergyPj() * wl.multipliesPerOp();
+    r.instructions = 1 + wl.numTensors();
+    r.instrPj =
+        (double)r.instructions * instructionBits * dram_pj_per_bit;
+    r.totalPj = r.macPj + r.dramPj + r.instrPj;
+    const double lanes = (double)ba.arch().levels[0].fanout;
+    r.cycles = std::max((double)ops / lanes,
+                        (double)r.dramDataWords /
+                            ba.arch().levels[1].readBwWordsPerCycle);
+    return r;
+}
+
+} // namespace diannao
+} // namespace sunstone

@@ -1,0 +1,191 @@
+#include "mappers/cosa_mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hh"
+#include "common/timer.hh"
+#include "mappers/space_size.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Real-valued tensor footprint for a fractional tile shape. */
+double
+realFootprint(const TensorSpec &ts, const std::vector<double> &shape)
+{
+    double fp = 1;
+    for (const auto &r : ts.ranks) {
+        double e = 1;
+        for (const auto &term : r.terms)
+            e += term.coeff * (shape[term.dim] - 1.0);
+        fp *= e;
+    }
+    return fp;
+}
+
+/**
+ * Fill fraction of one level for a fractional shape: the maximum over
+ * partitions of used/capacity (unified levels have one "partition").
+ */
+double
+fillFraction(const BoundArch &ba, int level,
+             const std::vector<double> &shape)
+{
+    const Workload &wl = ba.workload();
+    const auto &lv = ba.arch().levels[level];
+    if (lv.partitions.empty()) {
+        double bits = 0;
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            if (ba.stores(level, t))
+                bits += realFootprint(wl.tensor(t), shape) *
+                        wl.tensor(t).wordBits;
+        return bits / static_cast<double>(lv.capacityBits);
+    }
+    double worst = 0;
+    for (const auto &p : lv.partitions) {
+        double bits = 0;
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            if (ba.stores(level, t) && ba.partitionOf(t) == p.name)
+                bits += realFootprint(wl.tensor(t), shape) *
+                        wl.tensor(t).wordBits;
+        worst = std::max(worst,
+                         bits / static_cast<double>(p.capacityBits));
+    }
+    return worst;
+}
+
+/** Nearest divisor of n to the real target, in log space. */
+std::int64_t
+nearestDivisor(std::int64_t n, double target)
+{
+    if (target <= 1)
+        return 1;
+    std::int64_t best = 1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::int64_t d : divisors(n)) {
+        const double dist = std::abs(std::log(static_cast<double>(d)) -
+                                     std::log(target));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = d;
+        }
+    }
+    return best;
+}
+
+} // anonymous namespace
+
+CosaMapper::CosaMapper(CosaOptions o, std::string display_name)
+    : opts(o), displayName(std::move(display_name))
+{
+}
+
+MapperResult
+CosaMapper::optimize(const BoundArch &ba)
+{
+    Timer timer;
+    MapperResult result;
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    const int nl = ba.numLevels();
+    const int nd = wl.numDims();
+
+    Mapping m(nl, nd);
+    std::vector<std::int64_t> rem = wl.shape();
+
+    // Phase 1: one-shot spatial assignment — fill every fanout with the
+    // largest-divisor factors of the largest dims (CoSA's utilization
+    // objective, linearized).
+    for (int l = 0; l < nl; ++l) {
+        std::int64_t budget = arch.levels[l].fanout;
+        if (budget <= 1)
+            continue;
+        std::vector<DimId> dims(nd);
+        for (DimId d = 0; d < nd; ++d)
+            dims[d] = d;
+        std::sort(dims.begin(), dims.end(), [&](DimId a, DimId b) {
+            return rem[a] > rem[b];
+        });
+        for (DimId d : dims) {
+            if (budget <= 1)
+                break;
+            const std::int64_t f = largestDivisorAtMost(rem[d], budget);
+            m.level(l).spatial[d] = f;
+            rem[d] /= f;
+            budget /= f;
+        }
+    }
+
+    // Phase 2: relaxed temporal allocation, inner to outer. A single
+    // real-valued growth multiplier per level fills the buffer to the
+    // target utilization; the relaxation is then rounded to the nearest
+    // divisors (this is the lossy step).
+    for (int l = 0; l + 1 < nl; ++l) {
+        auto int_shape = m.tileShape(l);
+        std::vector<double> shape(int_shape.begin(), int_shape.end());
+        if (fillFraction(ba, l, shape) >= opts.targetUtilization)
+            continue; // already full from below
+
+        // Binary search the uniform growth multiplier g until the
+        // tightest partition reaches the target fill.
+        double lo = 1.0, hi = 1.0;
+        auto grown = [&](double g) {
+            std::vector<double> s(shape);
+            for (DimId d = 0; d < nd; ++d)
+                s[d] *= std::min(static_cast<double>(rem[d]), g);
+            return s;
+        };
+        while (fillFraction(ba, l, grown(hi)) < opts.targetUtilization &&
+               hi < 1e12) {
+            bool can_grow = false;
+            for (DimId d = 0; d < nd; ++d)
+                if (rem[d] > hi)
+                    can_grow = true;
+            if (!can_grow)
+                break;
+            hi *= 2;
+        }
+        for (int it = 0; it < 60; ++it) {
+            const double mid = std::sqrt(lo * hi);
+            if (fillFraction(ba, l, grown(mid)) < opts.targetUtilization)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        for (DimId d = 0; d < nd; ++d) {
+            const double target =
+                std::min(static_cast<double>(rem[d]), lo);
+            const std::int64_t f = nearestDivisor(rem[d], target);
+            m.level(l).temporal[d] = f;
+            rem[d] /= f;
+        }
+    }
+
+    // Residual loops to DRAM; canonical orders throughout.
+    for (DimId d = 0; d < nd; ++d)
+        m.level(nl - 1).temporal[d] = rem[d];
+
+    CostResult cr = evaluateMapping(ba, m);
+    result.mappingsEvaluated = 1;
+    result.seconds = timer.seconds();
+    result.mapping = m;
+    if (!cr.valid) {
+        result.invalid = true;
+        result.invalidReason = cr.invalidReason;
+        result.cost = std::move(cr);
+        return result;
+    }
+    result.found = true;
+    result.cost = std::move(cr);
+    return result;
+}
+
+double
+CosaMapper::spaceSizeEstimate(const BoundArch &ba) const
+{
+    return space::cosaSpace(ba);
+}
+
+} // namespace sunstone

@@ -1,0 +1,160 @@
+#include "mappers/exhaustive_mapper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/timer.hh"
+#include "mappers/space_size.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Enumerates factor assignments over the (level, temporal|spatial)
+ *  slots for every dim, then every loop permutation per level. */
+class Enumerator
+{
+  public:
+    Enumerator(const BoundArch &ba, bool optimize_edp)
+        : ba(ba), wl(ba.workload()), nl(ba.numLevels()),
+          nd(wl.numDims()), optimizeEdp(optimize_edp)
+    {
+        for (int l = 0; l < nl; ++l) {
+            slots.push_back({l, false});
+            if (ba.arch().levels[l].fanout > 1)
+                slots.push_back({l, true});
+        }
+    }
+
+    MapperResult
+    run()
+    {
+        m = Mapping(nl, nd);
+        assignDim(0);
+        MapperResult r;
+        r.mappingsEvaluated = evaluated;
+        if (best_metric < std::numeric_limits<double>::infinity()) {
+            r.found = true;
+            r.mapping = best;
+            r.cost = std::move(best_cost);
+        } else {
+            r.invalid = true;
+            r.invalidReason = "no valid mapping exists";
+        }
+        return r;
+    }
+
+  private:
+    struct Slot
+    {
+        int level;
+        bool spatial;
+    };
+
+    void
+    assignDim(int d)
+    {
+        if (d == nd) {
+            permuteLevel(1);
+            return;
+        }
+        splitRec(d, 0, wl.dimSize(d));
+    }
+
+    void
+    splitRec(int d, std::size_t slot, std::int64_t rem)
+    {
+        if (slot == slots.size() - 1) {
+            apply(slots[slot], d, rem);
+            assignDim(d + 1);
+            apply(slots[slot], d, 1);
+            return;
+        }
+        for (std::int64_t f : divisors(rem)) {
+            apply(slots[slot], d, f);
+            splitRec(d, slot + 1, rem / f);
+            apply(slots[slot], d, 1);
+        }
+    }
+
+    void
+    apply(const Slot &s, int d, std::int64_t f)
+    {
+        if (s.spatial)
+            m.level(s.level).spatial[d] = f;
+        else
+            m.level(s.level).temporal[d] = f;
+    }
+
+    /** Loop orders: level 0's order never affects cost; permute 1..nl-1. */
+    void
+    permuteLevel(int l)
+    {
+        if (l == nl) {
+            evaluate();
+            return;
+        }
+        std::vector<DimId> perm(nd);
+        for (int d = 0; d < nd; ++d)
+            perm[d] = d;
+        std::sort(perm.begin(), perm.end());
+        do {
+            m.level(l).order = perm;
+            permuteLevel(l + 1);
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+
+    void
+    evaluate()
+    {
+        CostResult cr = evaluateMapping(ba, m);
+        ++evaluated;
+        if (!cr.valid)
+            return;
+        const double metric = optimizeEdp ? cr.edp : cr.totalEnergyPj;
+        if (metric < best_metric) {
+            best_metric = metric;
+            best = m;
+            best_cost = std::move(cr);
+        }
+    }
+
+    const BoundArch &ba;
+    const Workload &wl;
+    const int nl;
+    const int nd;
+    const bool optimizeEdp;
+    std::vector<Slot> slots;
+    Mapping m;
+    Mapping best;
+    CostResult best_cost;
+    double best_metric = std::numeric_limits<double>::infinity();
+    std::int64_t evaluated = 0;
+};
+
+} // anonymous namespace
+
+ExhaustiveMapper::ExhaustiveMapper(ExhaustiveOptions o) : opts(o) {}
+
+MapperResult
+ExhaustiveMapper::optimize(const BoundArch &ba)
+{
+    Timer timer;
+    const double est = spaceSizeEstimate(ba);
+    if (est > opts.maxSpace)
+        SUNSTONE_FATAL("exhaustive search space too large (", est,
+                       " mappings, cap ", opts.maxSpace, ")");
+    Enumerator e(ba, opts.optimizeEdp);
+    MapperResult r = e.run();
+    r.seconds = timer.seconds();
+    return r;
+}
+
+double
+ExhaustiveMapper::spaceSizeEstimate(const BoundArch &ba) const
+{
+    return space::timeloopSpace(ba);
+}
+
+} // namespace sunstone

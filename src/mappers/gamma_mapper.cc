@@ -1,0 +1,186 @@
+#include "mappers/gamma_mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/math_utils.hh"
+#include "common/timer.hh"
+#include "mappers/space_size.hh"
+
+namespace sunstone {
+
+namespace {
+
+struct Slot
+{
+    int level;
+    bool spatial;
+};
+
+std::vector<Slot>
+slotsOf(const BoundArch &ba)
+{
+    std::vector<Slot> slots;
+    for (int l = 0; l < ba.numLevels(); ++l) {
+        slots.push_back({l, false});
+        if (ba.arch().levels[l].fanout > 1)
+            slots.push_back({l, true});
+    }
+    return slots;
+}
+
+/** Randomly distributes one dim's prime factors over the slots. */
+void
+randomizeDim(Mapping &m, const BoundArch &ba, const std::vector<Slot> &slots,
+             DimId d, std::mt19937_64 &rng)
+{
+    for (int l = 0; l < m.numLevels(); ++l) {
+        m.level(l).temporal[d] = 1;
+        m.level(l).spatial[d] = 1;
+    }
+    for (auto [p, e] : primeFactors(ba.workload().dimSize(d))) {
+        for (int i = 0; i < e; ++i) {
+            const Slot &s = slots[rng() % slots.size()];
+            auto &lm = m.level(s.level);
+            if (s.spatial)
+                lm.spatial[d] = satMul(lm.spatial[d], p);
+            else
+                lm.temporal[d] = satMul(lm.temporal[d], p);
+        }
+    }
+}
+
+Mapping
+randomIndividual(const BoundArch &ba, const std::vector<Slot> &slots,
+                 std::mt19937_64 &rng)
+{
+    const int nd = ba.workload().numDims();
+    Mapping m(ba.numLevels(), nd);
+    for (DimId d = 0; d < nd; ++d)
+        randomizeDim(m, ba, slots, d, rng);
+    for (int l = 0; l < m.numLevels(); ++l)
+        std::shuffle(m.level(l).order.begin(), m.level(l).order.end(),
+                     rng);
+    return m;
+}
+
+/** Copies dim d's factor assignment from src into dst. */
+void
+copyDim(Mapping &dst, const Mapping &src, DimId d)
+{
+    for (int l = 0; l < dst.numLevels(); ++l) {
+        dst.level(l).temporal[d] = src.level(l).temporal[d];
+        dst.level(l).spatial[d] = src.level(l).spatial[d];
+    }
+}
+
+} // anonymous namespace
+
+GammaMapper::GammaMapper(GammaOptions o, std::string display_name)
+    : opts(o), displayName(std::move(display_name))
+{
+}
+
+MapperResult
+GammaMapper::optimize(const BoundArch &ba)
+{
+    Timer timer;
+    MapperResult result;
+    const Workload &wl = ba.workload();
+    const int nd = wl.numDims();
+    const auto slots = slotsOf(ba);
+    std::mt19937_64 rng(opts.seed);
+
+    auto fitness = [&](const Mapping &m) {
+        CostResult cr = evaluateMapping(ba, m);
+        ++result.mappingsEvaluated;
+        if (!cr.valid)
+            return std::numeric_limits<double>::infinity();
+        return opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+    };
+
+    struct Individual
+    {
+        Mapping m;
+        double fit;
+    };
+    std::vector<Individual> pop;
+    pop.reserve(opts.populationSize);
+    for (int i = 0; i < opts.populationSize; ++i) {
+        Mapping m = randomIndividual(ba, slots, rng);
+        pop.push_back({m, fitness(m)});
+    }
+
+    auto tournamentPick = [&]() -> const Individual & {
+        const Individual *best = &pop[rng() % pop.size()];
+        for (int i = 1; i < opts.tournament; ++i) {
+            const Individual *c = &pop[rng() % pop.size()];
+            if (c->fit < best->fit)
+                best = c;
+        }
+        return *best;
+    };
+
+    for (int gen = 0; gen < opts.generations; ++gen) {
+        if (timer.seconds() > opts.maxSeconds)
+            break;
+        std::vector<Individual> next;
+        next.reserve(pop.size());
+        // Elitism: carry the best individual over unchanged.
+        const auto best_it = std::min_element(
+            pop.begin(), pop.end(),
+            [](const auto &a, const auto &b) { return a.fit < b.fit; });
+        next.push_back(*best_it);
+
+        while ((int)next.size() < opts.populationSize) {
+            const Individual &pa = tournamentPick();
+            const Individual &pb = tournamentPick();
+            // Uniform per-dim crossover plus per-level order choice.
+            Mapping child = pa.m;
+            for (DimId d = 0; d < nd; ++d)
+                if (rng() & 1)
+                    copyDim(child, pb.m, d);
+            for (int l = 0; l < child.numLevels(); ++l)
+                if (rng() & 1)
+                    child.level(l).order = pb.m.level(l).order;
+
+            // Mutation: rerandomize a dim or shuffle an order.
+            std::uniform_real_distribution<double> unit(0.0, 1.0);
+            if (unit(rng) < opts.mutationRate) {
+                const DimId d = static_cast<DimId>(rng() % nd);
+                randomizeDim(child, ba, slots, d, rng);
+            }
+            if (unit(rng) < opts.mutationRate) {
+                const int l =
+                    static_cast<int>(rng() % child.numLevels());
+                std::shuffle(child.level(l).order.begin(),
+                             child.level(l).order.end(), rng);
+            }
+            next.push_back({child, fitness(child)});
+        }
+        pop = std::move(next);
+    }
+
+    const auto best_it = std::min_element(
+        pop.begin(), pop.end(),
+        [](const auto &a, const auto &b) { return a.fit < b.fit; });
+    result.seconds = timer.seconds();
+    if (std::isinf(best_it->fit)) {
+        result.invalid = true;
+        result.invalidReason = "no valid individual evolved";
+        return result;
+    }
+    result.found = true;
+    result.mapping = best_it->m;
+    result.cost = evaluateMapping(ba, best_it->m);
+    return result;
+}
+
+double
+GammaMapper::spaceSizeEstimate(const BoundArch &ba) const
+{
+    return space::timeloopSpace(ba);
+}
+
+} // namespace sunstone

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Common interface for all dataflow mappers (Sunstone's baselines from
+ * Section V-B): Timeloop-like random search, dMazeRunner-like directed
+ * search, Interstellar-like preset-unrolling search, CoSA-like one-shot
+ * construction, and an exhaustive oracle for tiny problems. Every mapper
+ * is evaluated with the same cost model, as in the paper.
+ */
+
+#ifndef SUNSTONE_MAPPERS_MAPPER_HH
+#define SUNSTONE_MAPPERS_MAPPER_HH
+
+#include <memory>
+#include <string>
+
+#include "model/cost_model.hh"
+
+namespace sunstone {
+
+/** Outcome of one mapper invocation. */
+struct MapperResult
+{
+    /** A best mapping was produced (it may still be invalid). */
+    bool found = false;
+
+    /**
+     * The produced mapping violates a constraint (tile does not fit,
+     * unsupported workload/architecture, ...). The paper tracks this per
+     * tool in Figs. 7-8 and Table I.
+     */
+    bool invalid = false;
+    std::string invalidReason;
+
+    Mapping mapping;
+    CostResult cost;
+
+    /** Number of complete mappings evaluated by the search. */
+    std::int64_t mappingsEvaluated = 0;
+    /** Wall-clock time-to-solution (Figs. 6b, 7b, 8b). */
+    double seconds = 0;
+};
+
+/** Abstract mapper. */
+class Mapper
+{
+  public:
+    virtual ~Mapper() = default;
+
+    /** Runs the tool's search for the bound workload/architecture. */
+    virtual MapperResult optimize(const BoundArch &ba) = 0;
+
+    /** @return the tool's display name ("TL-fast", "dMaze-slow", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * @return an analytic estimate of the size of the optimization space
+     * the tool would construct for this problem (Table I). The default
+     * returns 0 (unknown).
+     */
+    virtual double
+    spaceSizeEstimate(const BoundArch &ba) const
+    {
+        (void)ba;
+        return 0.0;
+    }
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MAPPERS_MAPPER_HH

@@ -1,0 +1,108 @@
+#include "mappers/space_size.hh"
+
+#include <cmath>
+
+#include "common/math_utils.hh"
+
+namespace sunstone {
+namespace space {
+
+namespace {
+
+double
+factorial(int n)
+{
+    double f = 1;
+    for (int i = 2; i <= n; ++i)
+        f *= i;
+    return f;
+}
+
+/** Ordered k-splits of every problem dim, multiplied together. */
+double
+allDimSplits(const Workload &wl, int k)
+{
+    double s = 1;
+    for (DimId d = 0; d < wl.numDims(); ++d)
+        s *= static_cast<double>(countFactorSplits(wl.dimSize(d), k));
+    return s;
+}
+
+} // anonymous namespace
+
+int
+temporalSlots(const ArchSpec &arch)
+{
+    return arch.numLevels();
+}
+
+int
+spatialSlots(const ArchSpec &arch)
+{
+    int n = 0;
+    for (const auto &l : arch.levels)
+        if (l.fanout > 1)
+            ++n;
+    return n;
+}
+
+double
+timeloopSpace(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    const int slots = temporalSlots(arch) + spatialSlots(arch);
+    const double splits = allDimSplits(wl, slots);
+    const double orders =
+        std::pow(factorial(wl.numDims()), temporalSlots(arch) - 1);
+    return splits * orders;
+}
+
+double
+cosaSpace(const BoundArch &ba)
+{
+    return timeloopSpace(ba);
+}
+
+double
+marvelSpace(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    // Off-chip/on-chip decoupling: a 2-way split per dim for the DRAM
+    // boundary plus the on-chip space with one fewer temporal slot.
+    const int on_slots = temporalSlots(arch) - 1 + spatialSlots(arch);
+    const double off = allDimSplits(wl, 2);
+    const double on = allDimSplits(wl, on_slots) *
+                      std::pow(factorial(wl.numDims()),
+                               temporalSlots(arch) - 2);
+    return off + on;
+}
+
+double
+interstellarSpace(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    // Spatial unrolling preset to the channel dims: the spatial slots
+    // disappear from the per-dim splits.
+    const double splits = allDimSplits(wl, temporalSlots(arch));
+    const double orders =
+        std::pow(factorial(wl.numDims()), temporalSlots(arch) - 1);
+    return splits * orders;
+}
+
+double
+dmazeSpace(const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    // Temporal splits over the on-chip levels with analyzed (not
+    // enumerated) orders, spatial restricted to non-reduction dims.
+    const double splits = allDimSplits(wl, temporalSlots(arch));
+    const double orders = wl.numDims() * (temporalSlots(arch) - 1);
+    return splits * orders;
+}
+
+} // namespace space
+} // namespace sunstone

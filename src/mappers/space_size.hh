@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytic estimates of the optimization-space sizes different tools
+ * construct (Table I). These count the raw spaces *before* each tool's
+ * pruning, using the factorization-count identity: the number of ordered
+ * k-slot splits of n is multiplicative over prime powers.
+ */
+
+#ifndef SUNSTONE_MAPPERS_SPACE_SIZE_HH
+#define SUNSTONE_MAPPERS_SPACE_SIZE_HH
+
+#include "arch/arch.hh"
+#include "workload/workload.hh"
+
+namespace sunstone {
+namespace space {
+
+/** Number of temporal (non-DRAM-only) tiling slots = storage levels. */
+int temporalSlots(const ArchSpec &arch);
+
+/** Number of spatial slots = levels with fanout > 1. */
+int spatialSlots(const ArchSpec &arch);
+
+/**
+ * Full Timeloop-style space: every dim split over every temporal and
+ * spatial slot, times a full permutation per level.
+ */
+double timeloopSpace(const BoundArch &ba);
+
+/** CoSA constructs the same space as Timeloop before relaxation. */
+double cosaSpace(const BoundArch &ba);
+
+/**
+ * Marvel decouples off-chip from on-chip: split-into-2 (off-chip vs
+ * on-chip) times the on-chip space over the remaining slots.
+ */
+double marvelSpace(const BoundArch &ba);
+
+/**
+ * Interstellar fixes spatial unrolling to the channel dims, removing the
+ * spatial choice but keeping full temporal splits and orders.
+ */
+double interstellarSpace(const BoundArch &ba);
+
+/**
+ * dMazeRunner enumerates temporal splits with a handful of analyzed
+ * orders instead of full permutations.
+ */
+double dmazeSpace(const BoundArch &ba);
+
+} // namespace space
+} // namespace sunstone
+
+#endif // SUNSTONE_MAPPERS_SPACE_SIZE_HH

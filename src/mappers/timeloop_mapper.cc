@@ -1,0 +1,151 @@
+#include "mappers/timeloop_mapper.hh"
+
+#include <atomic>
+#include <mutex>
+#include <random>
+
+#include "common/math_utils.hh"
+#include "common/thread_pool.hh"
+#include "common/timer.hh"
+#include "mappers/space_size.hh"
+
+namespace sunstone {
+
+namespace {
+
+/**
+ * Samples a uniformly random mapping: every prime factor of every
+ * dimension lands in a random (level, temporal|spatial) slot, and each
+ * level gets a random loop permutation. This mirrors Timeloop's
+ * unpruned, undirected space (Table I: "pruning methods: nothing").
+ */
+Mapping
+randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    const int nl = ba.numLevels();
+    const int nd = wl.numDims();
+    Mapping m(nl, nd);
+
+    // Candidate slots: temporal at every level, spatial where fanout > 1.
+    struct Slot
+    {
+        int level;
+        bool spatial;
+    };
+    std::vector<Slot> slots;
+    for (int l = 0; l < nl; ++l) {
+        slots.push_back({l, false});
+        if (arch.levels[l].fanout > 1)
+            slots.push_back({l, true});
+    }
+
+    for (DimId d = 0; d < nd; ++d) {
+        for (auto [p, e] : primeFactors(wl.dimSize(d))) {
+            for (int i = 0; i < e; ++i) {
+                const Slot &s =
+                    slots[rng() % slots.size()];
+                auto &lm = m.level(s.level);
+                if (s.spatial)
+                    lm.spatial[d] = satMul(lm.spatial[d], p);
+                else
+                    lm.temporal[d] = satMul(lm.temporal[d], p);
+            }
+        }
+    }
+    for (int l = 0; l < nl; ++l) {
+        auto &ord = m.level(l).order;
+        std::shuffle(ord.begin(), ord.end(), rng);
+    }
+    return m;
+}
+
+} // anonymous namespace
+
+TimeloopMapper::TimeloopMapper(TimeloopOptions o, std::string display_name)
+    : opts(o), displayName(std::move(display_name))
+{
+}
+
+MapperResult
+TimeloopMapper::optimize(const BoundArch &ba)
+{
+    Timer timer;
+    MapperResult result;
+
+    std::atomic<std::int64_t> evaluated{0};
+    std::atomic<std::int64_t> consecutive_invalid{0};
+    std::atomic<std::int64_t> consecutive_stale{0};
+    std::atomic<bool> stop{false};
+
+    std::mutex best_mtx;
+    double best_metric = std::numeric_limits<double>::infinity();
+    Mapping best_mapping;
+    CostResult best_cost;
+    bool found = false;
+
+    auto worker = [&](unsigned tid) {
+        std::mt19937_64 rng(opts.seed + 0x9e3779b97f4a7c15ULL * tid);
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (consecutive_invalid.load(std::memory_order_relaxed) >=
+                    opts.timeout ||
+                consecutive_stale.load(std::memory_order_relaxed) >=
+                    opts.victoryCondition ||
+                timer.seconds() > opts.maxSeconds) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+            }
+            Mapping m = randomMapping(ba, rng);
+            CostResult cr = evaluateMapping(ba, m);
+            evaluated.fetch_add(1, std::memory_order_relaxed);
+            if (!cr.valid) {
+                consecutive_invalid.fetch_add(1,
+                                              std::memory_order_relaxed);
+                continue;
+            }
+            consecutive_invalid.store(0, std::memory_order_relaxed);
+            const double metric =
+                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+            std::lock_guard<std::mutex> lk(best_mtx);
+            if (metric < best_metric) {
+                best_metric = metric;
+                best_mapping = m;
+                best_cost = std::move(cr);
+                found = true;
+                consecutive_stale.store(0, std::memory_order_relaxed);
+            } else {
+                consecutive_stale.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    if (opts.threads <= 1) {
+        worker(0);
+    } else {
+        ThreadPool pool(opts.threads);
+        for (unsigned t = 0; t < opts.threads; ++t)
+            pool.submit([&, t] { worker(t); });
+        pool.waitIdle();
+    }
+
+    result.found = found;
+    if (found) {
+        result.mapping = best_mapping;
+        result.cost = std::move(best_cost);
+    } else {
+        result.invalid = true;
+        result.invalidReason = "no valid mapping sampled";
+    }
+    result.mappingsEvaluated = evaluated.load();
+    result.seconds = timer.seconds();
+    return result;
+}
+
+double
+TimeloopMapper::spaceSizeEstimate(const BoundArch &ba) const
+{
+    return space::timeloopSpace(ba);
+}
+
+} // namespace sunstone

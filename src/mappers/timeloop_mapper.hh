@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Timeloop-like mapper: undirected uniform-random sampling of the full
+ * mapping space with the two termination knobs of Table V — a timeout
+ * (consecutive invalid samples) and a victory condition (consecutive
+ * valid samples without improvement) — plus a wall-clock cap standing in
+ * for the paper's one-hour-per-layer limit. Supports multithreading.
+ */
+
+#ifndef SUNSTONE_MAPPERS_TIMELOOP_MAPPER_HH
+#define SUNSTONE_MAPPERS_TIMELOOP_MAPPER_HH
+
+#include <cstdint>
+
+#include "mappers/mapper.hh"
+
+namespace sunstone {
+
+/** Knobs mirroring Table V. */
+struct TimeloopOptions
+{
+    /** Stop after this many consecutive invalid samples. */
+    std::int64_t timeout = 20000;
+    /** Stop after this many consecutive non-improving valid samples. */
+    std::int64_t victoryCondition = 25;
+    /** Hard wall-clock cap in seconds (paper: 1 h per layer). */
+    double maxSeconds = 60.0;
+    unsigned threads = 1;
+    std::uint64_t seed = 0x5075; // fixed default for determinism
+    /** Rank mappings by EDP (default) or energy. */
+    bool optimizeEdp = true;
+
+    /** Table V fast configuration. */
+    static TimeloopOptions
+    fast()
+    {
+        TimeloopOptions o;
+        o.timeout = 20000;
+        o.victoryCondition = 25;
+        return o;
+    }
+
+    /** Table V slow/conservative configuration. */
+    static TimeloopOptions
+    slow()
+    {
+        TimeloopOptions o;
+        o.timeout = 80000;
+        o.victoryCondition = 1500;
+        return o;
+    }
+};
+
+/** The mapper. */
+class TimeloopMapper : public Mapper
+{
+  public:
+    explicit TimeloopMapper(TimeloopOptions opts = TimeloopOptions::fast(),
+                            std::string display_name = "TL");
+
+    MapperResult optimize(const BoundArch &ba) override;
+    std::string name() const override { return displayName; }
+    double spaceSizeEstimate(const BoundArch &ba) const override;
+
+  private:
+    TimeloopOptions opts;
+    std::string displayName;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MAPPERS_TIMELOOP_MAPPER_HH

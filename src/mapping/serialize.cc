@@ -1,0 +1,282 @@
+#include "mapping/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Renders "k=2,p=4" for non-unit factors ("-" when all are 1). */
+std::string
+factorsToText(const Workload &wl, const std::vector<std::int64_t> &f)
+{
+    std::ostringstream os;
+    bool any = false;
+    for (DimId d = 0; d < wl.numDims(); ++d) {
+        if (f[d] == 1)
+            continue;
+        if (any)
+            os << ",";
+        os << wl.dimName(d) << "=" << f[d];
+        any = true;
+    }
+    return any ? os.str() : "-";
+}
+
+/** Parses "k=2,p=4" or "-" into a factor vector. */
+std::vector<std::int64_t>
+factorsFromText(const Workload &wl, const std::string &text, int lineno)
+{
+    std::vector<std::int64_t> f(wl.numDims(), 1);
+    if (text == "-")
+        return f;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            SUNSTONE_FATAL("mapping line ", lineno, ": expected d=N in '",
+                           item, "'");
+        const DimId d = wl.dimByName(item.substr(0, eq));
+        f[d] = std::stoll(item.substr(eq + 1));
+    }
+    return f;
+}
+
+/** Renders one tensor access like "ifmap[c,2*p+r]". */
+std::string
+tensorAccess(const Workload &wl, const TensorSpec &t)
+{
+    std::ostringstream os;
+    os << t.name << "[";
+    for (std::size_t i = 0; i < t.ranks.size(); ++i) {
+        if (i)
+            os << ",";
+        const auto &terms = t.ranks[i].terms;
+        for (std::size_t j = 0; j < terms.size(); ++j) {
+            if (j)
+                os << "+";
+            if (terms[j].coeff != 1)
+                os << terms[j].coeff << "*";
+            os << wl.dimName(terms[j].dim);
+        }
+    }
+    os << "]";
+    return os.str();
+}
+
+} // anonymous namespace
+
+std::string
+mappingToText(const Mapping &m, const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    std::ostringstream os;
+    os << "mapping\n";
+    for (int l = 0; l < m.numLevels(); ++l) {
+        const auto &lm = m.level(l);
+        os << "level " << ba.arch().levels[l].name << " temporal "
+           << factorsToText(wl, lm.temporal) << " spatial "
+           << factorsToText(wl, lm.spatial) << " order ";
+        for (std::size_t i = 0; i < lm.order.size(); ++i) {
+            if (i)
+                os << ",";
+            os << wl.dimName(lm.order[i]);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+Mapping
+mappingFromText(const std::string &text, const BoundArch &ba)
+{
+    const Workload &wl = ba.workload();
+    Mapping m(ba.numLevels(), wl.numDims());
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    int next_level = 0;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "mapping")
+            continue;
+        if (key != "level")
+            SUNSTONE_FATAL("mapping line ", lineno,
+                           ": unknown directive '", key, "'");
+        std::string name, kw_t, temporal, kw_s, spatial, kw_o, order;
+        if (!(ls >> name >> kw_t >> temporal >> kw_s >> spatial >> kw_o >>
+              order) ||
+            kw_t != "temporal" || kw_s != "spatial" || kw_o != "order")
+            SUNSTONE_FATAL("mapping line ", lineno, ": malformed level");
+        if (next_level >= ba.numLevels())
+            SUNSTONE_FATAL("mapping line ", lineno,
+                           ": more levels than the architecture has");
+        if (ba.arch().levels[next_level].name != name)
+            SUNSTONE_FATAL("mapping line ", lineno, ": expected level '",
+                           ba.arch().levels[next_level].name, "', got '",
+                           name, "'");
+        auto &lm = m.level(next_level);
+        lm.temporal = factorsFromText(wl, temporal, lineno);
+        lm.spatial = factorsFromText(wl, spatial, lineno);
+        lm.order.clear();
+        std::istringstream osr(order);
+        std::string dim;
+        while (std::getline(osr, dim, ','))
+            lm.order.push_back(wl.dimByName(dim));
+        ++next_level;
+    }
+    if (next_level != ba.numLevels())
+        SUNSTONE_FATAL("mapping has ", next_level, " levels, expected ",
+                       ba.numLevels());
+    return m;
+}
+
+std::string
+workloadToText(const Workload &wl)
+{
+    std::ostringstream os;
+    os << "workload " << wl.name() << "\n";
+    os << "einsum ";
+    for (const auto &t : wl.tensors())
+        if (t.isOutput)
+            os << tensorAccess(wl, t) << " = ";
+    bool first = true;
+    for (const auto &t : wl.tensors()) {
+        if (t.isOutput)
+            continue;
+        if (!first)
+            os << " * ";
+        os << tensorAccess(wl, t);
+        first = false;
+    }
+    os << "\n";
+    os << "dims ";
+    for (DimId d = 0; d < wl.numDims(); ++d) {
+        if (d)
+            os << ",";
+        os << wl.dimName(d) << "=" << wl.dimSize(d);
+    }
+    os << "\n";
+    os << "bits ";
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        if (t)
+            os << ",";
+        os << wl.tensor(t).name << "=" << wl.tensor(t).wordBits;
+    }
+    os << "\n";
+    return os.str();
+}
+
+Workload
+workloadFromText(const std::string &text)
+{
+    std::string name = "workload";
+    std::string einsum;
+    std::vector<std::pair<std::string, std::int64_t>> dims;
+    std::vector<std::pair<std::string, int>> bits;
+
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "workload") {
+            ls >> name;
+        } else if (key == "einsum") {
+            std::getline(ls, einsum);
+        } else if (key == "dims" || key == "bits") {
+            std::string rest;
+            ls >> rest;
+            std::istringstream rs(rest);
+            std::string item;
+            while (std::getline(rs, item, ',')) {
+                const auto eq = item.find('=');
+                if (eq == std::string::npos)
+                    SUNSTONE_FATAL("workload line ", lineno,
+                                   ": expected name=value in '", item,
+                                   "'");
+                if (key == "dims")
+                    dims.emplace_back(item.substr(0, eq),
+                                      std::stoll(item.substr(eq + 1)));
+                else
+                    bits.emplace_back(
+                        item.substr(0, eq),
+                        static_cast<int>(
+                            std::stoi(item.substr(eq + 1))));
+            }
+        } else {
+            SUNSTONE_FATAL("workload line ", lineno,
+                           ": unknown directive '", key, "'");
+        }
+    }
+    if (einsum.empty())
+        SUNSTONE_FATAL("workload text has no einsum line");
+    if (dims.empty())
+        SUNSTONE_FATAL("workload text has no dims line");
+    Workload wl = parseEinsum(name, einsum, dims);
+    for (const auto &[tname, b] : bits)
+        wl.setWordBits(wl.tensorByName(tname), b);
+    return wl;
+}
+
+void
+saveMappingFile(const Mapping &m, const BoundArch &ba,
+                const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot write mapping file '", path, "'");
+    f << mappingToText(m, ba);
+}
+
+Mapping
+loadMappingFile(const std::string &path, const BoundArch &ba)
+{
+    std::ifstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot open mapping file '", path, "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return mappingFromText(os.str(), ba);
+}
+
+void
+saveWorkloadFile(const Workload &wl, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot write workload file '", path, "'");
+    f << workloadToText(wl);
+}
+
+Workload
+loadWorkloadFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        SUNSTONE_FATAL("cannot open workload file '", path, "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return workloadFromText(os.str());
+}
+
+} // namespace sunstone

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text serialization for mappings and workloads, so that a found
+ * dataflow can be saved next to an experiment, diffed, re-evaluated, or
+ * compiled later (e.g. by the DianNao compiler) without re-running the
+ * search.
+ *
+ * Mapping format (one line per level, innermost first):
+ *
+ *   mapping
+ *   level L1 temporal k=2,p=4 spatial - order n,k,c,p,q,r,s
+ *   level L2 temporal c=8 spatial k=16 order n,k,c,p,q,r,s
+ *   ...
+ *
+ * Workload format:
+ *
+ *   workload conv1d
+ *   einsum ofmap[k,p] = ifmap[c,p+r] * weight[k,c,r]
+ *   dims k=64,c=32,p=56,r=3
+ *   bits ofmap=24,ifmap=8,weight=8      # optional
+ */
+
+#ifndef SUNSTONE_MAPPING_SERIALIZE_HH
+#define SUNSTONE_MAPPING_SERIALIZE_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+
+namespace sunstone {
+
+/** Renders a mapping (level names come from the architecture). */
+std::string mappingToText(const Mapping &m, const BoundArch &ba);
+
+/**
+ * Parses a mapping for the given architecture/workload pair. Dims are
+ * referenced by name; omitted factors default to 1. fatal() on errors.
+ */
+Mapping mappingFromText(const std::string &text, const BoundArch &ba);
+
+/** Renders a workload (einsum + dims + word widths). */
+std::string workloadToText(const Workload &wl);
+
+/** Parses the workload format; fatal() on errors. */
+Workload workloadFromText(const std::string &text);
+
+/** File helpers; fatal() on I/O errors. */
+void saveMappingFile(const Mapping &m, const BoundArch &ba,
+                     const std::string &path);
+Mapping loadMappingFile(const std::string &path, const BoundArch &ba);
+void saveWorkloadFile(const Workload &wl, const std::string &path);
+Workload loadWorkloadFile(const std::string &path);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MAPPING_SERIALIZE_HH

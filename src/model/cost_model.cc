@@ -1,0 +1,271 @@
+#include "model/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "arch/energy_model.hh"
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** One temporal loop in the linearized (inner-to-outer) nest. */
+struct TemporalLoop
+{
+    int level;
+    DimId dim;
+    std::int64_t factor;
+};
+
+/**
+ * Linearizes the temporal loops of every level strictly above
+ * `consumer_level`, innermost first (ascending levels; within a level the
+ * mapping order is outermost-first, so it is walked in reverse).
+ */
+std::vector<TemporalLoop>
+loopsAbove(const Mapping &m, int consumer_level)
+{
+    std::vector<TemporalLoop> loops;
+    for (int l = consumer_level + 1; l < m.numLevels(); ++l) {
+        const auto &lm = m.level(l);
+        for (auto it = lm.order.rbegin(); it != lm.order.rend(); ++it) {
+            DimId d = *it;
+            if (lm.temporal[d] > 1)
+                loops.push_back({l, d, lm.temporal[d]});
+        }
+    }
+    return loops;
+}
+
+/**
+ * Tile-change events for tensor t: product of all counted temporal loop
+ * factors above the consumer, where the trailing (innermost) run of loops
+ * over non-indexing dimensions is skipped (paper Eqs. 1-3).
+ */
+std::int64_t
+tileChangeEvents(const Workload &wl, TensorId t,
+                 const std::vector<TemporalLoop> &loops)
+{
+    const DimSet idx = wl.reuse(t).indexing;
+    std::int64_t events = 1;
+    bool counting = false;
+    for (const auto &loop : loops) {
+        if (!counting && !idx.contains(loop.dim))
+            continue; // reused across this loop
+        counting = true;
+        events = satMul(events, loop.factor);
+    }
+    return events;
+}
+
+/** Product of all spatial factors at levels in (lo, hi]. */
+std::int64_t
+spatialProductRange(const Mapping &m, int lo, int hi)
+{
+    std::int64_t p = 1;
+    for (int l = lo + 1; l <= hi; ++l)
+        p = satMul(p, m.level(l).spatialProduct());
+    return p;
+}
+
+/** Number of parallel instances of (the subtree rooted at) level l. */
+std::int64_t
+instancesOf(const Mapping &m, int level)
+{
+    return spatialProductRange(m, level, m.numLevels() - 1);
+}
+
+/** True when every fanout network in (lo, hi] supports multicast. */
+bool
+multicastRange(const ArchSpec &arch, int lo, int hi)
+{
+    for (int l = lo + 1; l <= hi; ++l)
+        if (arch.levels[l].fanout > 1 && !arch.levels[l].multicast)
+            return false;
+    return true;
+}
+
+/** Physical fanout product of the networks in (lo, hi]. */
+std::int64_t
+physicalFanRange(const ArchSpec &arch, int lo, int hi)
+{
+    std::int64_t f = 1;
+    for (int l = lo + 1; l <= hi; ++l)
+        f = satMul(f, arch.levels[l].fanout);
+    return f;
+}
+
+} // anonymous namespace
+
+CostResult
+evaluateMapping(const BoundArch &ba, const Mapping &m,
+                const CostModelOptions &opts)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    const int nl = ba.numLevels();
+    const int nt = ba.numTensors();
+
+    CostResult res;
+    res.access.assign(nl, std::vector<AccessCounts>(nt));
+    res.levelEnergyPj.assign(nl, 0.0);
+
+    if (!opts.assumeValid && !m.valid(ba, &res.invalidReason)) {
+        res.valid = false;
+        res.edp = std::numeric_limits<double>::infinity();
+        res.totalEnergyPj = std::numeric_limits<double>::infinity();
+        return res;
+    }
+    res.valid = true;
+
+    const std::int64_t ops = wl.totalOps();
+
+    for (TensorId t = 0; t < nt; ++t) {
+        const TensorSpec &ts = wl.tensor(t);
+        const std::int64_t problem_fp = ts.footprint(wl.shape());
+
+        // Storage chain, innermost first.
+        std::vector<int> chain;
+        for (int l = 0; l < nl; ++l)
+            if (ba.stores(l, t))
+                chain.push_back(l);
+        SUNSTONE_ASSERT(!chain.empty(), "tensor stored nowhere");
+
+        // MAC-level consumption at the innermost storing level: one word
+        // per operand per operation; outputs are read-modify-written.
+        auto &inner = res.access[chain[0]][t];
+        if (!ts.isOutput) {
+            inner.reads += ops;
+        } else {
+            inner.updates += ops;
+            inner.accumReads += ops - problem_fp;
+        }
+
+        // Transfers between consecutive storing levels.
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+            const int c = chain[i - 1];
+            const int l = chain[i];
+            const auto loops = loopsAbove(m, c);
+            const std::int64_t ev = tileChangeEvents(wl, t, loops);
+            const std::int64_t n_above = instancesOf(m, l);
+            const std::int64_t spatial_all = spatialProductRange(m, c, l);
+
+            auto shape_c = m.tileShape(c);
+            const std::int64_t tile_c = ts.footprint(shape_c);
+
+            if (!ts.isOutput) {
+                std::int64_t distinct;
+                if (multicastRange(arch, c, l)) {
+                    // Enlarge the consumer tile by the spatial factors in
+                    // (c, l]; footprint() then reproduces halo sharing
+                    // across neighbouring consumers (Eq. 5).
+                    auto shape_up = shape_c;
+                    for (int j = c + 1; j <= l; ++j)
+                        for (DimId d = 0; d < wl.numDims(); ++d)
+                            shape_up[d] = satMul(shape_up[d],
+                                                 m.level(j).spatial[d]);
+                    distinct = ts.footprint(shape_up);
+                } else {
+                    distinct = satMul(spatial_all, tile_c);
+                }
+                const std::int64_t reads_l =
+                    satMul(satMul(ev, distinct), n_above);
+                const std::int64_t fills_c = satMul(
+                    satMul(ev, satMul(spatial_all, tile_c)), n_above);
+                res.access[l][t].reads += reads_l;
+                res.access[c][t].fills += fills_c;
+
+                if (opts.modelNoc) {
+                    const std::int64_t fan = physicalFanRange(arch, c, l);
+                    if (fan > 1) {
+                        const double hops = std::sqrt((double)fan);
+                        res.nocEnergyPj += (double)reads_l * ts.wordBits *
+                                           energy::nocHopPjPerBit() * hops;
+                        res.nocEnergyPj += (double)fills_c *
+                                           energy::tagCheckPjPerWord();
+                    }
+                }
+            } else {
+                // Partial-sum drain: every consumer instance sends its
+                // tile per event; the provider read-modify-writes.
+                const std::int64_t upd_l = satMul(
+                    satMul(ev, satMul(spatial_all, tile_c)), n_above);
+                res.access[l][t].updates += upd_l;
+                res.access[c][t].drains += upd_l;
+                res.access[l][t].accumReads += upd_l - problem_fp;
+
+                if (opts.modelNoc) {
+                    const std::int64_t fan = physicalFanRange(arch, c, l);
+                    if (fan > 1) {
+                        const double hops = std::sqrt((double)fan);
+                        res.nocEnergyPj += (double)upd_l * ts.wordBits *
+                                           energy::nocHopPjPerBit() * hops;
+                    }
+                }
+            }
+        }
+    }
+
+    // Energy.
+    for (int l = 0; l < nl; ++l) {
+        for (TensorId t = 0; t < nt; ++t) {
+            const auto &a = res.access[l][t];
+            res.levelEnergyPj[l] +=
+                (double)a.totalReads() * ba.readEnergyPj(l, t) +
+                (double)a.totalWrites() * ba.writeEnergyPj(l, t);
+        }
+        res.totalEnergyPj += res.levelEnergyPj[l];
+    }
+    res.macEnergyPj =
+        (double)ops * ba.macEnergyPj() * wl.multipliesPerOp();
+    res.totalEnergyPj += res.macEnergyPj;
+    if (opts.modelNoc)
+        res.totalEnergyPj += res.nocEnergyPj;
+
+    // Latency: double buffering overlaps compute with every level's
+    // transfers, so delay is the max of all of them.
+    const std::int64_t lanes = std::max<std::int64_t>(1, m.totalSpatial());
+    double cycles = (double)ops / (double)lanes;
+    res.bottleneck = "compute";
+    for (int l = 0; l < nl; ++l) {
+        const auto &lv = arch.levels[l];
+        const double inst = (double)instancesOf(m, l);
+        double reads = 0, writes = 0;
+        for (TensorId t = 0; t < nt; ++t) {
+            reads += (double)res.access[l][t].totalReads();
+            writes += (double)res.access[l][t].totalWrites();
+        }
+        const double level_cycles =
+            std::max(reads / (lv.readBwWordsPerCycle * inst),
+                     writes / (lv.writeBwWordsPerCycle * inst));
+        if (level_cycles > cycles) {
+            cycles = level_cycles;
+            res.bottleneck = lv.name;
+        }
+    }
+    res.cycles = cycles;
+    res.delaySeconds = cycles / (arch.clockGhz * 1e9);
+    res.utilization =
+        (double)lanes / (double)std::max<std::int64_t>(1,
+                                                       arch.totalFanout());
+    res.edp = res.totalEnergyPj * 1e-12 * res.delaySeconds;
+    return res;
+}
+
+double
+partialEnergyPj(const BoundArch &ba, const Mapping &m, int max_level)
+{
+    CostModelOptions opts;
+    opts.assumeValid = true;
+    opts.modelNoc = false;
+    CostResult r = evaluateMapping(ba, m, opts);
+    double e = r.macEnergyPj;
+    for (int l = 0; l <= max_level && l < (int)r.levelEnergyPj.size(); ++l)
+        e += r.levelEnergyPj[l];
+    return e;
+}
+
+} // namespace sunstone

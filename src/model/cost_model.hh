@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Analytical cost model in the style of Timeloop (the paper's evaluation
+ * platform, Section V-A): for a (workload, architecture, mapping) triple
+ * it derives per-level, per-tensor access counts in closed form, converts
+ * them to energy via the BoundArch energies, models latency as
+ * max(compute, per-level bandwidth) under double buffering, and reports
+ * the energy-delay product.
+ *
+ * Access-count semantics (validated against the literal loop-nest walker
+ * in nest_simulator.hh):
+ *
+ *  - A tensor's *storage chain* is the list of levels that store it
+ *    (bypass-aware). Data moves only between consecutive chain levels.
+ *  - Reads from provider L serving consumer C use the stationarity rule
+ *    of the paper's Eqs. 1-3: the number of tile-change events is the
+ *    product of all temporal loop factors above C, skipping the trailing
+ *    run of loops over non-indexing dimensions.
+ *  - Spatial factors between C and L multicast: the distinct data per
+ *    event is the footprint of the consumer tile enlarged by the
+ *    indexing-dimension spatial factors (this reproduces the halo sharing
+ *    of Eq. 5 exactly). Every consumer instance is still *filled*.
+ *  - Outputs flow upward: every consumer drains its partial tile per
+ *    event (spatial reduction sends every partial), and each arriving
+ *    partial beyond the first visit of a distinct word performs a
+ *    read-modify-write at the provider.
+ */
+
+#ifndef SUNSTONE_MODEL_COST_MODEL_HH
+#define SUNSTONE_MODEL_COST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hh"
+
+namespace sunstone {
+
+/** Per-(level, tensor) access counters (words). */
+struct AccessCounts
+{
+    /** Reads serving consumers below (incl. MAC operand fetches). */
+    std::int64_t reads = 0;
+    /** Writes arriving from the level above (input tensors). */
+    std::int64_t fills = 0;
+    /** Writes of partial results arriving from below (outputs). */
+    std::int64_t updates = 0;
+    /** Reads performed to accumulate into an existing partial. */
+    std::int64_t accumReads = 0;
+    /** Reads that drain partial results toward the level above. */
+    std::int64_t drains = 0;
+
+    std::int64_t
+    totalReads() const
+    {
+        return reads + accumReads + drains;
+    }
+    std::int64_t totalWrites() const { return fills + updates; }
+};
+
+/** Full evaluation result for one mapping. */
+struct CostResult
+{
+    bool valid = false;
+    std::string invalidReason;
+
+    /** access[level][tensor] counters. */
+    std::vector<std::vector<AccessCounts>> access;
+
+    /** Energy broken out per level (pJ), plus compute and network. */
+    std::vector<double> levelEnergyPj;
+    double macEnergyPj = 0;
+    double nocEnergyPj = 0;
+
+    double totalEnergyPj = 0;
+    /** Execution cycles under double buffering. */
+    double cycles = 0;
+    double delaySeconds = 0;
+    /** Energy-delay product in pJ*s (the paper's figure of merit). */
+    double edp = 0;
+
+    /** Utilization of the MAC array in [0, 1]. */
+    double utilization = 0;
+
+    /**
+     * What binds the delay: "compute" or the name of the bandwidth-
+     * limited level (useful when tuning an architecture).
+     */
+    std::string bottleneck;
+};
+
+/** Evaluation knobs. */
+struct CostModelOptions
+{
+    /** Skip the validity check (caller guarantees validity). */
+    bool assumeValid = false;
+    /** Include NoC wire + tag-check energy (Section V-A). */
+    bool modelNoc = true;
+};
+
+/**
+ * Evaluates a mapping. Invalid mappings return valid=false with a reason
+ * and infinite EDP so searches can rank them last.
+ */
+CostResult evaluateMapping(const BoundArch &ba, const Mapping &m,
+                           const CostModelOptions &opts = {});
+
+/**
+ * Cheap partial objective used by searches: total access energy of levels
+ * <= max_level only (pJ), assuming the mapping prefix below is final.
+ * This is the alpha-beta lower-bound surrogate of Section V-C.
+ */
+double partialEnergyPj(const BoundArch &ba, const Mapping &m, int max_level);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MODEL_COST_MODEL_HH

@@ -1,0 +1,144 @@
+#include "model/nest_simulator.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** A temporal loop, outermost first in the linearized nest. */
+struct Loop
+{
+    DimId dim;
+    std::int64_t factor;
+};
+
+/**
+ * Linearizes all temporal loops of levels strictly above `consumer`,
+ * outermost first: top level first, each level in its mapping order.
+ */
+std::vector<Loop>
+loopsAboveOuterFirst(const Mapping &m, int consumer)
+{
+    std::vector<Loop> loops;
+    for (int l = m.numLevels() - 1; l > consumer; --l) {
+        const auto &lm = m.level(l);
+        for (DimId d : lm.order)
+            if (lm.temporal[d] > 1)
+                loops.push_back({d, lm.temporal[d]});
+    }
+    return loops;
+}
+
+/**
+ * Counts tile-change events for a tensor by walking the nest: the tile
+ * identity is the tuple of loop indices over the tensor's indexing
+ * dimensions; every step whose identity differs from the previous step
+ * (including the very first) is one event.
+ */
+std::int64_t
+walkEvents(const std::vector<Loop> &loops, DimSet idx,
+           std::int64_t max_steps)
+{
+    std::int64_t total_steps = 1;
+    for (const auto &l : loops)
+        total_steps = satMul(total_steps, l.factor);
+    SUNSTONE_ASSERT(total_steps <= max_steps,
+                    "nest simulator iteration space too large: ",
+                    total_steps);
+
+    const int n = static_cast<int>(loops.size());
+    std::vector<std::int64_t> index(n, 0);
+    std::vector<std::int64_t> prev_identity;
+    bool have_prev = false;
+    std::int64_t events = 0;
+
+    for (std::int64_t step = 0; step < total_steps; ++step) {
+        std::vector<std::int64_t> identity;
+        identity.reserve(n);
+        for (int i = 0; i < n; ++i)
+            if (idx.contains(loops[i].dim))
+                identity.push_back(index[i]);
+        if (!have_prev || identity != prev_identity) {
+            ++events;
+            prev_identity = std::move(identity);
+            have_prev = true;
+        }
+        // Odometer increment, innermost (last) fastest.
+        for (int i = n - 1; i >= 0; --i) {
+            if (++index[i] < loops[i].factor)
+                break;
+            index[i] = 0;
+        }
+    }
+    return events;
+}
+
+std::int64_t
+spatialProductRange(const Mapping &m, int lo, int hi)
+{
+    std::int64_t p = 1;
+    for (int l = lo + 1; l <= hi; ++l)
+        p = satMul(p, m.level(l).spatialProduct());
+    return p;
+}
+
+} // anonymous namespace
+
+std::vector<std::vector<AccessCounts>>
+simulateAccessCounts(const BoundArch &ba, const Mapping &m,
+                     std::int64_t max_steps)
+{
+    const Workload &wl = ba.workload();
+    const int nl = ba.numLevels();
+    const int nt = ba.numTensors();
+    std::vector<std::vector<AccessCounts>> access(
+        nl, std::vector<AccessCounts>(nt));
+
+    const std::int64_t ops = wl.totalOps();
+
+    for (TensorId t = 0; t < nt; ++t) {
+        const TensorSpec &ts = wl.tensor(t);
+        std::vector<int> chain;
+        for (int l = 0; l < nl; ++l)
+            if (ba.stores(l, t))
+                chain.push_back(l);
+
+        auto &inner = access[chain[0]][t];
+        if (!ts.isOutput) {
+            inner.reads += ops;
+        } else {
+            inner.updates += ops;
+            inner.accumReads += ops - ts.footprint(wl.shape());
+        }
+
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+            const int c = chain[i - 1];
+            const int l = chain[i];
+            const auto loops = loopsAboveOuterFirst(m, c);
+            const std::int64_t ev =
+                walkEvents(loops, wl.reuse(t).indexing, max_steps);
+            const std::int64_t instances =
+                satMul(spatialProductRange(m, c, l),
+                       spatialProductRange(m, l, nl - 1));
+            const std::int64_t tile_c = ts.footprint(m.tileShape(c));
+            const std::int64_t words =
+                satMul(satMul(ev, instances), tile_c);
+            if (!ts.isOutput) {
+                access[l][t].reads += words;
+                access[c][t].fills += words;
+            } else {
+                access[l][t].updates += words;
+                access[c][t].drains += words;
+                access[l][t].accumReads +=
+                    words - ts.footprint(wl.shape());
+            }
+        }
+    }
+    return access;
+}
+
+} // namespace sunstone

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reference ("oracle") nest simulator: instead of closed-form products,
+ * it literally walks the temporal loop nest of a mapping, tracks the tile
+ * of each tensor resident at each consumer level, and counts the fetch /
+ * drain events that the analytical cost model predicts with its
+ * stationarity formula. Property tests assert both agree on randomized
+ * mappings, which pins down the trickiest logic in the repository.
+ *
+ * The simulator counts with per-instance tiles (no multicast halo
+ * sharing), so comparisons should use architectures whose networks have
+ * multicast disabled. accumReads is not independently derived here and is
+ * excluded from comparisons.
+ */
+
+#ifndef SUNSTONE_MODEL_NEST_SIMULATOR_HH
+#define SUNSTONE_MODEL_NEST_SIMULATOR_HH
+
+#include "model/cost_model.hh"
+
+namespace sunstone {
+
+/**
+ * Walks the loop nest and returns per-(level, tensor) access counters
+ * with the same semantics as evaluateMapping() under multicast-free
+ * networks. Intended for small problems; panics if the temporal
+ * iteration space above any storing level exceeds `max_steps`.
+ */
+std::vector<std::vector<AccessCounts>>
+simulateAccessCounts(const BoundArch &ba, const Mapping &m,
+                     std::int64_t max_steps = 20'000'000);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MODEL_NEST_SIMULATOR_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Compact set of problem dimensions. Tensor-algebra workloads have a small
+ * number of dimensions (7 for CONV, 4 for MTTKRP, ...), so a 32-bit mask
+ * with value semantics is sufficient and keeps reuse analysis allocation
+ * free.
+ */
+
+#ifndef SUNSTONE_WORKLOAD_DIM_SET_HH
+#define SUNSTONE_WORKLOAD_DIM_SET_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+
+/** Index of a problem dimension within its Workload (0-based). */
+using DimId = int;
+
+/** Maximum number of dimensions a workload may declare. */
+constexpr int MaxDims = 32;
+
+/** Value-semantic set of DimIds backed by a bit mask. */
+class DimSet
+{
+  public:
+    constexpr DimSet() = default;
+
+    /** Constructs a singleton set. */
+    static DimSet
+    of(DimId d)
+    {
+        DimSet s;
+        s.add(d);
+        return s;
+    }
+
+    /** Constructs the set {0, 1, ..., n-1}. */
+    static DimSet
+    all(int n)
+    {
+        SUNSTONE_ASSERT(n >= 0 && n <= MaxDims, "bad dim count ", n);
+        DimSet s;
+        s.mask = (n == MaxDims) ? ~std::uint32_t(0)
+                                : ((std::uint32_t(1) << n) - 1);
+        return s;
+    }
+
+    void
+    add(DimId d)
+    {
+        SUNSTONE_ASSERT(d >= 0 && d < MaxDims, "bad DimId ", d);
+        mask |= std::uint32_t(1) << d;
+    }
+
+    void
+    remove(DimId d)
+    {
+        SUNSTONE_ASSERT(d >= 0 && d < MaxDims, "bad DimId ", d);
+        mask &= ~(std::uint32_t(1) << d);
+    }
+
+    bool
+    contains(DimId d) const
+    {
+        SUNSTONE_ASSERT(d >= 0 && d < MaxDims, "bad DimId ", d);
+        return mask & (std::uint32_t(1) << d);
+    }
+
+    bool empty() const { return mask == 0; }
+    int size() const { return __builtin_popcount(mask); }
+
+    DimSet
+    unionWith(DimSet o) const
+    {
+        DimSet s;
+        s.mask = mask | o.mask;
+        return s;
+    }
+
+    DimSet
+    intersect(DimSet o) const
+    {
+        DimSet s;
+        s.mask = mask & o.mask;
+        return s;
+    }
+
+    DimSet
+    minus(DimSet o) const
+    {
+        DimSet s;
+        s.mask = mask & ~o.mask;
+        return s;
+    }
+
+    /** @return true when this is a subset of o. */
+    bool subsetOf(DimSet o) const { return (mask & ~o.mask) == 0; }
+
+    bool operator==(const DimSet &o) const = default;
+
+    /** Raw mask, usable as a hash key. */
+    std::uint32_t raw() const { return mask; }
+
+    /** Iterator over the member DimIds in ascending order. */
+    class Iterator
+    {
+      public:
+        explicit Iterator(std::uint32_t m) : rest(m) {}
+        DimId operator*() const { return __builtin_ctz(rest); }
+        Iterator &
+        operator++()
+        {
+            rest &= rest - 1;
+            return *this;
+        }
+        bool operator!=(const Iterator &o) const { return rest != o.rest; }
+
+      private:
+        std::uint32_t rest;
+    };
+
+    Iterator begin() const { return Iterator(mask); }
+    Iterator end() const { return Iterator(0); }
+
+  private:
+    std::uint32_t mask = 0;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_WORKLOAD_DIM_SET_HH

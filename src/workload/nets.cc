@@ -1,0 +1,212 @@
+#include "workload/nets.hh"
+
+namespace sunstone {
+
+namespace {
+
+ConvShape
+conv(std::string name, std::int64_t n, std::int64_t k, std::int64_t c,
+     std::int64_t pq, std::int64_t r, std::int64_t s, std::int64_t stride)
+{
+    ConvShape sh;
+    sh.name = std::move(name);
+    sh.n = n;
+    sh.k = k;
+    sh.c = c;
+    sh.p = pq;
+    sh.q = pq;
+    sh.r = r;
+    sh.s = s;
+    sh.strideH = stride;
+    sh.strideW = stride;
+    return sh;
+}
+
+} // anonymous namespace
+
+std::vector<Layer>
+resnet18Layers(std::int64_t batch)
+{
+    std::vector<Layer> layers;
+    auto add = [&](const ConvShape &sh, int count) {
+        layers.push_back({makeConv2D(sh), count});
+    };
+    add(conv("conv1", batch, 64, 3, 112, 7, 7, 2), 1);
+    add(conv("conv2_x", batch, 64, 64, 56, 3, 3, 1), 4);
+    add(conv("conv3_ds", batch, 128, 64, 28, 1, 1, 2), 1);
+    add(conv("conv3_1", batch, 128, 64, 28, 3, 3, 2), 1);
+    add(conv("conv3_x", batch, 128, 128, 28, 3, 3, 1), 3);
+    add(conv("conv4_ds", batch, 256, 128, 14, 1, 1, 2), 1);
+    add(conv("conv4_1", batch, 256, 128, 14, 3, 3, 2), 1);
+    add(conv("conv4_x", batch, 256, 256, 14, 3, 3, 1), 3);
+    add(conv("conv5_ds", batch, 512, 256, 7, 1, 1, 2), 1);
+    add(conv("conv5_1", batch, 512, 256, 7, 3, 3, 2), 1);
+    add(conv("conv5_x", batch, 512, 512, 7, 3, 3, 1), 3);
+    layers.push_back({makeGemm(batch, 1000, 512), 1});
+    return layers;
+}
+
+namespace {
+
+/**
+ * The representative Inception-v3 convolution set. Layer names follow the
+ * paper's Fig. 7 style; the asymmetric 1x7 / 7x1 / 1x3 / 3x1 kernels are
+ * the ones symmetric-only tools cannot map.
+ */
+std::vector<ConvShape>
+inceptionShapes(std::int64_t batch)
+{
+    std::vector<ConvShape> shapes;
+    ConvShape sh;
+
+    shapes.push_back(conv("3x3_stem", batch, 64, 32, 147, 3, 3, 1));
+    shapes.push_back(conv("3x3_red", batch, 192, 80, 72, 3, 3, 1));
+    shapes.push_back(conv("5x5_mod", batch, 64, 48, 35, 5, 5, 1));
+    shapes.push_back(conv("3x3_dbl", batch, 96, 96, 35, 3, 3, 1));
+    shapes.push_back(conv("1x1_mixed", batch, 192, 768, 17, 1, 1, 1));
+
+    sh = conv("1x7_deep", batch, 128, 128, 17, 1, 7, 1);
+    sh.r = 1;
+    sh.s = 7;
+    shapes.push_back(sh);
+
+    sh = conv("7x1_deep", batch, 192, 128, 17, 7, 1, 1);
+    sh.r = 7;
+    sh.s = 1;
+    shapes.push_back(sh);
+
+    sh = conv("1x3_8", batch, 384, 384, 8, 1, 3, 1);
+    shapes.push_back(sh);
+
+    sh = conv("3x1_8", batch, 384, 448, 8, 3, 1, 1);
+    shapes.push_back(sh);
+
+    return shapes;
+}
+
+} // anonymous namespace
+
+std::vector<Layer>
+inceptionV3Layers(std::int64_t batch)
+{
+    std::vector<Layer> layers;
+    for (const auto &sh : inceptionShapes(batch))
+        layers.push_back({makeConv2D(sh), 1});
+    return layers;
+}
+
+std::vector<Layer>
+inceptionV3WeightUpdateLayers(std::int64_t batch)
+{
+    std::vector<Layer> layers;
+    for (const auto &sh : inceptionShapes(batch))
+        layers.push_back({makeConvWeightUpdate(sh), 1});
+    return layers;
+}
+
+std::vector<Layer>
+nonDnnSuite()
+{
+    std::vector<Layer> suite;
+    // FROSTT mode sizes rounded to nearby composites (see header note).
+    suite.push_back({makeMTTKRP(12096, 9216, 28800, 32, "mttkrp_nell2"), 1});
+    suite.push_back(
+        {makeMTTKRP(480000, 17920, 2160, 32, "mttkrp_netflix"), 1});
+    suite.push_back({makeMTTKRP(3072, 3072, 3072, 32, "mttkrp_poisson1"), 1});
+    suite.push_back(
+        {makeTTMc(12096, 9216, 28800, 8, 8, "ttmc_nell2"), 1});
+    suite.push_back({makeTTMc(480000, 17920, 2160, 8, 8, "ttmc_netflix"), 1});
+    suite.push_back({makeTTMc(3072, 3072, 3072, 8, 8, "ttmc_poisson1"), 1});
+    // SuiteSparse matrices for SDDMM (ALS), rank 512.
+    suite.push_back({makeSDDMM(10800, 10800, 512, "sddmm_bcsstk17"), 1});
+    suite.push_back({makeSDDMM(62400, 62400, 512, "sddmm_cant"), 1});
+    return suite;
+}
+
+Workload
+inceptionTableIExample(std::int64_t batch)
+{
+    return makeConv2D(conv("3x3_dbl", batch, 96, 96, 35, 3, 3, 1));
+}
+
+std::vector<Layer>
+alexnetLayers(std::int64_t batch)
+{
+    std::vector<Layer> layers;
+    auto add = [&](const ConvShape &sh, int count) {
+        layers.push_back({makeConv2D(sh), count});
+    };
+    // Output sizes rounded to composites (55 -> 54, 27 -> 28, 13 -> 12).
+    add(conv("alex_conv1", batch, 96, 3, 54, 11, 11, 4), 1);
+    add(conv("alex_conv2", batch, 256, 96, 28, 5, 5, 1), 1);
+    add(conv("alex_conv3", batch, 384, 256, 12, 3, 3, 1), 1);
+    add(conv("alex_conv4", batch, 384, 384, 12, 3, 3, 1), 1);
+    add(conv("alex_conv5", batch, 256, 384, 12, 3, 3, 1), 1);
+    return layers;
+}
+
+std::vector<Layer>
+vgg16Layers(std::int64_t batch)
+{
+    std::vector<Layer> layers;
+    auto add = [&](const ConvShape &sh, int count) {
+        layers.push_back({makeConv2D(sh), count});
+    };
+    add(conv("vgg_1_1", batch, 64, 3, 224, 3, 3, 1), 1);
+    add(conv("vgg_1_2", batch, 64, 64, 224, 3, 3, 1), 1);
+    add(conv("vgg_2", batch, 128, 64, 112, 3, 3, 1), 1);
+    add(conv("vgg_2_2", batch, 128, 128, 112, 3, 3, 1), 1);
+    add(conv("vgg_3", batch, 256, 128, 56, 3, 3, 1), 1);
+    add(conv("vgg_3_x", batch, 256, 256, 56, 3, 3, 1), 2);
+    add(conv("vgg_4", batch, 512, 256, 28, 3, 3, 1), 1);
+    add(conv("vgg_4_x", batch, 512, 512, 28, 3, 3, 1), 2);
+    add(conv("vgg_5_x", batch, 512, 512, 14, 3, 3, 1), 3);
+    return layers;
+}
+
+std::vector<Layer>
+tclSuite()
+{
+    std::vector<Layer> suite;
+    // AlexNet final feature map 256 x 6 x 6 contracted to 128 x 4 x 4,
+    // and VGG-16's 512 x 7 x 7 to 256 x 4 x 4 (Kossaifi et al. style).
+    suite.push_back(
+        {makeTCL(6, 6, 256, 4, 4, 128, "tcl_alexnet"), 1});
+    suite.push_back({makeTCL(7, 7, 512, 4, 4, 256, "tcl_vgg"), 1});
+    return suite;
+}
+
+std::vector<Layer>
+attentionSuite(std::int64_t seq)
+{
+    std::vector<Layer> suite;
+    // Per-head chain out = (Q K^T) V with d_k = 64:
+    // out[i,l] = sum_{j,k} Q[i,j] * K[k,j]~B[j,k] * V[k,l].
+    suite.push_back({makeMMc(seq, 64, seq, 64, "attention_head"), 1});
+    // Whole-model projection chain with d_model = 768.
+    suite.push_back({makeMMc(seq, 768, 768, 768, "attention_proj"), 1});
+    return suite;
+}
+
+std::vector<Layer>
+depthwiseSuite(std::int64_t batch)
+{
+    std::vector<Layer> suite;
+    ConvShape sh;
+    sh.n = batch;
+    sh.c = 32;
+    sh.p = 112;
+    sh.q = 112;
+    sh.r = 3;
+    sh.s = 3;
+    sh.name = "mbnet_dw1";
+    suite.push_back({makeDepthwiseConv(sh), 1});
+    sh.c = 256;
+    sh.p = 14;
+    sh.q = 14;
+    sh.name = "mbnet_dw4";
+    suite.push_back({makeDepthwiseConv(sh), 1});
+    return suite;
+}
+
+} // namespace sunstone

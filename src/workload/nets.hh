@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Layer tables for the networks and tensor datasets the paper evaluates:
+ * ResNet-18 (Fig. 8, Table VI, Fig. 9), Inception-v3 weight-update layers
+ * (Fig. 7, Table I), and the non-DNN workload instances of Fig. 6
+ * (MTTKRP / TTMc / SDDMM over FROSTT / SuiteSparse shapes).
+ *
+ * Mode sizes of the sparse datasets are rounded (< 1% change) to nearby
+ * composite numbers so divisor-exact tiling has factors to work with; all
+ * mappers see the same rounded shapes (see DESIGN.md "Substitutions").
+ */
+
+#ifndef SUNSTONE_WORKLOAD_NETS_HH
+#define SUNSTONE_WORKLOAD_NETS_HH
+
+#include <vector>
+
+#include "workload/zoo.hh"
+
+namespace sunstone {
+
+/** A named layer plus its multiplicity within the network. */
+struct Layer
+{
+    Workload workload;
+    int count = 1;
+};
+
+/**
+ * Unique convolution layers of ResNet-18 with multiplicities.
+ * @param batch batch size (the paper uses 16 for Fig. 8)
+ */
+std::vector<Layer> resnet18Layers(std::int64_t batch = 16);
+
+/**
+ * Representative Inception-v3 convolution layers, forward direction,
+ * including the asymmetric 1x7 / 7x1 / 1x3 / 3x1 kernels that break
+ * symmetric-convolution-only tools (Section V-B2).
+ */
+std::vector<Layer> inceptionV3Layers(std::int64_t batch = 16);
+
+/**
+ * The same Inception-v3 layers as weight-update (backward w.r.t. weights)
+ * einsums — the Fig. 7 benchmark.
+ */
+std::vector<Layer> inceptionV3WeightUpdateLayers(std::int64_t batch = 16);
+
+/** Fig. 6 non-DNN suite: MTTKRP rank 32, TTMc rank 8, SDDMM rank 512. */
+std::vector<Layer> nonDnnSuite();
+
+/** A small Inception-v3 layer used for Table I space-size estimates. */
+Workload inceptionTableIExample(std::int64_t batch = 16);
+
+/** Unique AlexNet convolution layers (Table II cites TCL on AlexNet). */
+std::vector<Layer> alexnetLayers(std::int64_t batch = 4);
+
+/** Unique VGG-16 convolution layers. */
+std::vector<Layer> vgg16Layers(std::int64_t batch = 4);
+
+/**
+ * TCL instances replacing the flatten+fc entry of AlexNet and VGG
+ * (Table II's "Application Instance" column for TCL).
+ */
+std::vector<Layer> tclSuite();
+
+/**
+ * Transformer attention as matrix chains (Table II's MMc row): the
+ * score*value chain per head for BERT-base-like shapes.
+ */
+std::vector<Layer> attentionSuite(std::int64_t seq = 512);
+
+/** MobileNet-style depthwise separable blocks (extension workloads). */
+std::vector<Layer> depthwiseSuite(std::int64_t batch = 4);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_WORKLOAD_NETS_HH

@@ -1,0 +1,407 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace sunstone {
+
+DimSet
+IndexExpr::dims() const
+{
+    DimSet s;
+    for (const auto &t : terms)
+        s.add(t.dim);
+    return s;
+}
+
+std::int64_t
+IndexExpr::extent(const std::vector<std::int64_t> &shape) const
+{
+    // The index values span [0, sum coeff_i * (extent_i - 1)], hence the
+    // accessed extent along this rank is that sum plus one.
+    std::int64_t e = 1;
+    for (const auto &t : terms) {
+        SUNSTONE_ASSERT(t.dim >= 0 && t.dim < (int)shape.size(),
+                        "dim out of range in IndexExpr");
+        e += t.coeff * (shape[t.dim] - 1);
+    }
+    return e;
+}
+
+DimSet
+TensorSpec::indexingDims() const
+{
+    DimSet s;
+    for (const auto &r : ranks)
+        s = s.unionWith(r.dims());
+    return s;
+}
+
+std::int64_t
+TensorSpec::footprint(const std::vector<std::int64_t> &shape) const
+{
+    std::int64_t fp = 1;
+    for (const auto &r : ranks)
+        fp = satMul(fp, r.extent(shape));
+    return fp;
+}
+
+DimId
+Workload::dimByName(const std::string &n) const
+{
+    for (int d = 0; d < numDims(); ++d)
+        if (dimNames[d] == n)
+            return d;
+    SUNSTONE_FATAL("workload '", name_, "' has no dimension '", n, "'");
+}
+
+TensorId
+Workload::tensorByName(const std::string &n) const
+{
+    for (int t = 0; t < numTensors(); ++t)
+        if (tensors_[t].name == n)
+            return t;
+    SUNSTONE_FATAL("workload '", name_, "' has no tensor '", n, "'");
+}
+
+std::vector<TensorId>
+Workload::outputs() const
+{
+    std::vector<TensorId> out;
+    for (int t = 0; t < numTensors(); ++t)
+        if (tensors_[t].isOutput)
+            out.push_back(t);
+    return out;
+}
+
+std::int64_t
+Workload::totalOps() const
+{
+    std::int64_t ops = 1;
+    for (auto s : dimSizes)
+        ops = satMul(ops, s);
+    return ops;
+}
+
+int
+Workload::multipliesPerOp() const
+{
+    int inputs = 0;
+    for (const auto &t : tensors_)
+        if (!t.isOutput)
+            ++inputs;
+    return std::max(1, inputs - 1);
+}
+
+void
+Workload::computeReuse()
+{
+    reuse_.clear();
+    reuse_.reserve(tensors_.size());
+    const DimSet all = DimSet::all(numDims());
+    for (const auto &ts : tensors_) {
+        TensorReuse r;
+        r.indexing = ts.indexingDims();
+        r.fullyReusedBy = all.minus(r.indexing);
+        // A dim yields partial (sliding-window) reuse when it appears only
+        // inside compound expressions: moving along it shifts the window,
+        // so the overlap can be kept (Section IV, Table III).
+        DimSet simple;
+        for (const auto &rank : ts.ranks)
+            if (!rank.compound())
+                simple = simple.unionWith(rank.dims());
+        for (const auto &rank : ts.ranks) {
+            if (!rank.compound())
+                continue;
+            for (const auto &term : rank.terms)
+                if (!simple.contains(term.dim))
+                    r.partiallyReusedBy.add(term.dim);
+        }
+        reuse_.push_back(r);
+    }
+}
+
+void
+Workload::validate() const
+{
+    if (dimSizes.empty())
+        SUNSTONE_FATAL("workload '", name_, "' declares no dimensions");
+    if (tensors_.empty())
+        SUNSTONE_FATAL("workload '", name_, "' declares no tensors");
+    for (auto s : dimSizes)
+        if (s < 1)
+            SUNSTONE_FATAL("workload '", name_,
+                           "' has a non-positive dimension size");
+    int outputs = 0;
+    DimSet used;
+    for (const auto &t : tensors_) {
+        if (t.isOutput)
+            ++outputs;
+        if (t.ranks.empty())
+            SUNSTONE_FATAL("tensor '", t.name, "' has no ranks");
+        for (const auto &r : t.ranks) {
+            if (r.terms.empty())
+                SUNSTONE_FATAL("tensor '", t.name, "' has an empty rank");
+            for (const auto &term : r.terms) {
+                if (term.dim < 0 || term.dim >= numDims())
+                    SUNSTONE_FATAL("tensor '", t.name,
+                                   "' indexes an undeclared dimension");
+                if (term.coeff < 1)
+                    SUNSTONE_FATAL("tensor '", t.name,
+                                   "' has a non-positive stride");
+            }
+        }
+        used = used.unionWith(t.indexingDims());
+    }
+    if (outputs == 0)
+        SUNSTONE_FATAL("workload '", name_, "' has no output tensor");
+    if (!(used == DimSet::all(numDims())))
+        SUNSTONE_FATAL("workload '", name_,
+                       "' declares a dimension no tensor uses");
+}
+
+std::string
+Workload::toString() const
+{
+    std::ostringstream os;
+    os << name_ << ": ";
+    bool first_tensor = true;
+    // Output first, then inputs, einsum style.
+    auto render = [&](const TensorSpec &t) {
+        os << t.name << "[";
+        for (std::size_t i = 0; i < t.ranks.size(); ++i) {
+            if (i)
+                os << ",";
+            const auto &terms = t.ranks[i].terms;
+            for (std::size_t j = 0; j < terms.size(); ++j) {
+                if (j)
+                    os << "+";
+                if (terms[j].coeff != 1)
+                    os << terms[j].coeff << "*";
+                os << dimNames[terms[j].dim];
+            }
+        }
+        os << "]";
+    };
+    for (const auto &t : tensors_)
+        if (t.isOutput) {
+            render(t);
+            os << " = ";
+        }
+    for (const auto &t : tensors_) {
+        if (t.isOutput)
+            continue;
+        if (!first_tensor)
+            os << " * ";
+        render(t);
+        first_tensor = false;
+    }
+    os << "  { ";
+    for (int d = 0; d < numDims(); ++d) {
+        if (d)
+            os << ", ";
+        os << dimNames[d] << ":" << dimSizes[d];
+    }
+    os << " }";
+    return os.str();
+}
+
+Workload
+Workload::withShape(const std::vector<std::int64_t> &new_shape) const
+{
+    SUNSTONE_ASSERT(new_shape.size() == dimSizes.size(),
+                    "withShape(): rank mismatch");
+    Workload w = *this;
+    w.dimSizes = new_shape;
+    w.validate();
+    w.computeReuse();
+    return w;
+}
+
+WorkloadBuilder::WorkloadBuilder(std::string name)
+{
+    w.name_ = std::move(name);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::dim(const std::string &name, std::int64_t size)
+{
+    for (const auto &n : w.dimNames)
+        if (n == name)
+            SUNSTONE_FATAL("duplicate dimension '", name, "'");
+    w.dimNames.push_back(name);
+    w.dimSizes.push_back(size);
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::input(const std::string &name, int word_bits)
+{
+    TensorSpec t;
+    t.name = name;
+    t.wordBits = word_bits;
+    w.tensors_.push_back(std::move(t));
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::output(const std::string &name, int word_bits)
+{
+    TensorSpec t;
+    t.name = name;
+    t.isOutput = true;
+    t.wordBits = word_bits;
+    w.tensors_.push_back(std::move(t));
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::rank(const std::string &dim_name, std::int64_t coeff)
+{
+    return rank({{dim_name, coeff}});
+}
+
+WorkloadBuilder &
+WorkloadBuilder::rank(std::vector<std::pair<std::string, std::int64_t>> terms)
+{
+    if (w.tensors_.empty())
+        SUNSTONE_FATAL("rank() before any input()/output()");
+    IndexExpr e;
+    for (auto &[n, c] : terms)
+        e.terms.push_back({w.dimByName(n), c});
+    w.tensors_.back().ranks.push_back(std::move(e));
+    return *this;
+}
+
+Workload
+WorkloadBuilder::build()
+{
+    w.validate();
+    w.computeReuse();
+    return w;
+}
+
+namespace {
+
+/** Cursor-based mini parser for the einsum grammar. */
+struct Parser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    explicit Parser(const std::string &str) : s(str) {}
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace((unsigned char)s[pos]))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    done()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+
+    std::string
+    ident()
+    {
+        skipWs();
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum((unsigned char)s[pos]) || s[pos] == '_'))
+            ++pos;
+        if (pos == start)
+            SUNSTONE_FATAL("einsum parse error near position ", start,
+                           " in '", s, "'");
+        return s.substr(start, pos - start);
+    }
+
+    std::int64_t
+    number()
+    {
+        skipWs();
+        std::size_t start = pos;
+        while (pos < s.size() && std::isdigit((unsigned char)s[pos]))
+            ++pos;
+        if (pos == start)
+            SUNSTONE_FATAL("expected number at position ", start, " in '",
+                           s, "'");
+        return std::stoll(s.substr(start, pos - start));
+    }
+
+    bool
+    peekDigit()
+    {
+        skipWs();
+        return pos < s.size() && std::isdigit((unsigned char)s[pos]);
+    }
+};
+
+} // anonymous namespace
+
+Workload
+parseEinsum(const std::string &name, const std::string &expr,
+            const std::vector<std::pair<std::string, std::int64_t>> &sizes)
+{
+    WorkloadBuilder b(name);
+    for (const auto &[n, sz] : sizes)
+        b.dim(n, sz);
+
+    Parser p(expr);
+    bool is_output = true;
+    while (!p.done()) {
+        std::string tname = p.ident();
+        if (is_output)
+            b.output(tname);
+        else
+            b.input(tname);
+        if (!p.eat('['))
+            SUNSTONE_FATAL("expected '[' after tensor '", tname, "'");
+        // Parse comma-separated ranks; each rank is term (+ term)* with
+        // term := [N*] dim.
+        do {
+            std::vector<std::pair<std::string, std::int64_t>> terms;
+            do {
+                std::int64_t coeff = 1;
+                if (p.peekDigit()) {
+                    coeff = p.number();
+                    if (!p.eat('*'))
+                        SUNSTONE_FATAL("expected '*' after stride in '",
+                                       expr, "'");
+                }
+                terms.emplace_back(p.ident(), coeff);
+            } while (p.eat('+'));
+            b.rank(terms);
+        } while (p.eat(','));
+        if (!p.eat(']'))
+            SUNSTONE_FATAL("expected ']' in '", expr, "'");
+        if (is_output) {
+            if (!p.eat('='))
+                SUNSTONE_FATAL("expected '=' after output in '", expr, "'");
+            is_output = false;
+        } else if (!p.eat('*') && !p.done()) {
+            SUNSTONE_FATAL("expected '*' between inputs in '", expr, "'");
+        }
+    }
+    return b.build();
+}
+
+} // namespace sunstone

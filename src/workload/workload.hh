@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tensor-algebra workload description (the paper's Section IV problem
+ * input): named problem dimensions with sizes, plus a list of tensors each
+ * indexed by affine expressions over the dimensions. Compound expressions
+ * such as p+r model sliding-window (convolution) access; integer
+ * coefficients model strides and dilation (2*p + r).
+ *
+ * From this description alone the library infers all reuse information
+ * (Table III in the paper): indexing vs non-indexing dimensions, full reuse
+ * and partial (sliding-window) reuse. No per-workload heuristics exist
+ * anywhere downstream.
+ */
+
+#ifndef SUNSTONE_WORKLOAD_WORKLOAD_HH
+#define SUNSTONE_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dim_set.hh"
+
+namespace sunstone {
+
+/** One term of an affine index expression: coeff * dim. */
+struct IndexTerm
+{
+    DimId dim = 0;
+    std::int64_t coeff = 1;
+
+    bool operator==(const IndexTerm &) const = default;
+};
+
+/**
+ * Affine index expression, e.g. [p + r] or [2*p + r]. A tensor rank is
+ * indexed by exactly one expression; most expressions have a single term.
+ */
+struct IndexExpr
+{
+    std::vector<IndexTerm> terms;
+
+    /** @return true when the expression has two or more terms. */
+    bool compound() const { return terms.size() >= 2; }
+
+    /** @return the set of dims participating in this expression. */
+    DimSet dims() const;
+
+    /**
+     * Extent of this rank when each dim d spans [0, shape[d]).
+     * For p + r with extents Pt, Rt this is (Pt - 1) + (Rt - 1) + 1,
+     * the standard halo'd tile width.
+     */
+    std::int64_t extent(const std::vector<std::int64_t> &shape) const;
+
+    bool operator==(const IndexExpr &) const = default;
+};
+
+/** A tensor participating in the computation. */
+struct TensorSpec
+{
+    std::string name;
+    std::vector<IndexExpr> ranks;
+    bool isOutput = false;
+    /** Datatype width in bits (Table IV gives per-datatype precisions). */
+    int wordBits = 16;
+
+    /** @return union of dims over all ranks (the indexing dims). */
+    DimSet indexingDims() const;
+
+    /** @return tensor footprint (in words) for the given tile shape. */
+    std::int64_t footprint(const std::vector<std::int64_t> &shape) const;
+};
+
+/** Identifies a tensor within its workload. */
+using TensorId = int;
+
+/** Per-tensor reuse information inferred from the access pattern. */
+struct TensorReuse
+{
+    /** Dims appearing in some index expression of the tensor. */
+    DimSet indexing;
+    /** Dims not indexing the tensor: iterating them fully reuses it. */
+    DimSet fullyReusedBy;
+    /**
+     * Dims that index the tensor only through a compound (sliding-window)
+     * expression: iterating them reuses the overlap (partial reuse).
+     */
+    DimSet partiallyReusedBy;
+};
+
+/**
+ * A complete workload: dimension table plus tensors. Construct via
+ * WorkloadBuilder or parseEinsum(); both validate the description.
+ */
+class Workload
+{
+  public:
+    /** @return human-readable workload name. */
+    const std::string &name() const { return name_; }
+
+    int numDims() const { return static_cast<int>(dimSizes.size()); }
+    std::int64_t dimSize(DimId d) const { return dimSizes.at(d); }
+    const std::string &dimName(DimId d) const { return dimNames.at(d); }
+    const std::vector<std::int64_t> &shape() const { return dimSizes; }
+
+    /** @return DimId for a dimension name; fatal() if absent. */
+    DimId dimByName(const std::string &n) const;
+
+    int numTensors() const { return static_cast<int>(tensors_.size()); }
+    const TensorSpec &tensor(TensorId t) const { return tensors_.at(t); }
+    const std::vector<TensorSpec> &tensors() const { return tensors_; }
+
+    /** @return TensorId for a tensor name; fatal() if absent. */
+    TensorId tensorByName(const std::string &n) const;
+
+    /** @return ids of output tensors (usually exactly one). */
+    std::vector<TensorId> outputs() const;
+
+    /** @return inferred reuse info for tensor t (cached). */
+    const TensorReuse &reuse(TensorId t) const { return reuse_.at(t); }
+
+    /**
+     * @return total number of compute operations: the volume of the
+     * operation space (product of all dimension sizes), as in Fig. 2.
+     */
+    std::int64_t totalOps() const;
+
+    /** @return multiplies per operation-space point (#inputs). */
+    int multipliesPerOp() const;
+
+    /** Sets the word width of a tensor (chainable tweak for presets). */
+    void setWordBits(TensorId t, int bits) { tensors_.at(t).wordBits = bits; }
+
+    /** Renders the algebraic definition, e.g. for logs and docs. */
+    std::string toString() const;
+
+    /** @return a copy with a different shape (same access pattern). */
+    Workload withShape(const std::vector<std::int64_t> &new_shape) const;
+
+  private:
+    friend class WorkloadBuilder;
+
+    void computeReuse();
+    void validate() const;
+
+    std::string name_;
+    std::vector<std::string> dimNames;
+    std::vector<std::int64_t> dimSizes;
+    std::vector<TensorSpec> tensors_;
+    std::vector<TensorReuse> reuse_;
+};
+
+/** Fluent builder for Workload. */
+class WorkloadBuilder
+{
+  public:
+    explicit WorkloadBuilder(std::string name);
+
+    /** Declares a problem dimension with its size. */
+    WorkloadBuilder &dim(const std::string &name, std::int64_t size);
+
+    /** Starts a new input tensor. */
+    WorkloadBuilder &input(const std::string &name, int word_bits = 16);
+
+    /** Starts a new output tensor. */
+    WorkloadBuilder &output(const std::string &name, int word_bits = 16);
+
+    /** Adds a single-dim rank (coeff * dim) to the current tensor. */
+    WorkloadBuilder &rank(const std::string &dim_name,
+                          std::int64_t coeff = 1);
+
+    /** Adds a compound rank such as [p + r] or [2*p + r]. */
+    WorkloadBuilder &
+    rank(std::vector<std::pair<std::string, std::int64_t>> terms);
+
+    /** Finalizes: validates, infers reuse, and returns the workload. */
+    Workload build();
+
+  private:
+    Workload w;
+};
+
+/**
+ * Parses an einsum-style description into a Workload, e.g.
+ *   parseEinsum("mttkrp", "out[i,j] = A[i,k,l] * B[k,j] * C[l,j]",
+ *               {{"i", 64}, {"j", 32}, {"k", 64}, {"l", 64}});
+ * Compound ranks use '+' ("ifmap[c, p+r]") and strides use 'N*'
+ * ("ifmap[c, 2*p+r]"). The left-hand side is the output tensor.
+ * Calls fatal() on malformed input.
+ */
+Workload
+parseEinsum(const std::string &name, const std::string &expr,
+            const std::vector<std::pair<std::string, std::int64_t>> &sizes);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_WORKLOAD_WORKLOAD_HH

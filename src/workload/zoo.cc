@@ -1,0 +1,126 @@
+#include "workload/zoo.hh"
+
+#include <sstream>
+
+namespace sunstone {
+
+Workload
+makeConv2D(const ConvShape &sh)
+{
+    std::ostringstream expr;
+    expr << "ofmap[n,k,p,q] = ifmap[n,c,";
+    if (sh.strideH != 1)
+        expr << sh.strideH << "*";
+    expr << "p+r,";
+    if (sh.strideW != 1)
+        expr << sh.strideW << "*";
+    expr << "q+s] * weight[k,c,r,s]";
+    return parseEinsum(sh.name, expr.str(),
+                       {{"n", sh.n},
+                        {"k", sh.k},
+                        {"c", sh.c},
+                        {"p", sh.p},
+                        {"q", sh.q},
+                        {"r", sh.r},
+                        {"s", sh.s}});
+}
+
+Workload
+makeConvWeightUpdate(const ConvShape &sh)
+{
+    // Gradient w.r.t. weights: the filter tensor becomes the output and
+    // the reduction runs over batch and output positions.
+    std::ostringstream expr;
+    expr << "dweight[k,c,r,s] = dofmap[n,k,p,q] * ifmap[n,c,";
+    if (sh.strideH != 1)
+        expr << sh.strideH << "*";
+    expr << "p+r,";
+    if (sh.strideW != 1)
+        expr << sh.strideW << "*";
+    expr << "q+s]";
+    return parseEinsum(sh.name + "_wu", expr.str(),
+                       {{"n", sh.n},
+                        {"k", sh.k},
+                        {"c", sh.c},
+                        {"p", sh.p},
+                        {"q", sh.q},
+                        {"r", sh.r},
+                        {"s", sh.s}});
+}
+
+Workload
+makeConv1D(std::int64_t k, std::int64_t c, std::int64_t p, std::int64_t r)
+{
+    return parseEinsum("conv1d", "ofmap[k,p] = ifmap[c,p+r] * weight[k,c,r]",
+                       {{"k", k}, {"c", c}, {"p", p}, {"r", r}});
+}
+
+Workload
+makeGemm(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    return parseEinsum("gemm", "out[m,n] = a[m,k] * b[k,n]",
+                       {{"m", m}, {"n", n}, {"k", k}});
+}
+
+Workload
+makeMTTKRP(std::int64_t i, std::int64_t k, std::int64_t l, std::int64_t j,
+           const std::string &name)
+{
+    return parseEinsum(name, "out[i,j] = A[i,k,l] * B[k,j] * C[l,j]",
+                       {{"i", i}, {"k", k}, {"l", l}, {"j", j}});
+}
+
+Workload
+makeSDDMM(std::int64_t i, std::int64_t j, std::int64_t k,
+          const std::string &name)
+{
+    return parseEinsum(name, "out[i,j] = A[i,j] * B[i,k] * C[k,j]",
+                       {{"i", i}, {"j", j}, {"k", k}});
+}
+
+Workload
+makeTTMc(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l,
+         std::int64_t m, const std::string &name)
+{
+    return parseEinsum(name, "out[i,l,m] = A[i,j,k] * B[j,l] * C[k,m]",
+                       {{"i", i}, {"j", j}, {"k", k}, {"l", l}, {"m", m}});
+}
+
+Workload
+makeMMc(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l,
+        const std::string &name)
+{
+    return parseEinsum(name, "out[i,l] = A[i,j] * B[j,k] * C[k,l]",
+                       {{"i", i}, {"j", j}, {"k", k}, {"l", l}});
+}
+
+Workload
+makeDepthwiseConv(const ConvShape &sh)
+{
+    std::ostringstream expr;
+    expr << "ofmap[n,c,p,q] = ifmap[n,c,";
+    if (sh.strideH != 1)
+        expr << sh.strideH << "*";
+    expr << "p+r,";
+    if (sh.strideW != 1)
+        expr << sh.strideW << "*";
+    expr << "q+s] * weight[c,r,s]";
+    return parseEinsum(sh.name + "_dw", expr.str(),
+                       {{"n", sh.n},
+                        {"c", sh.c},
+                        {"p", sh.p},
+                        {"q", sh.q},
+                        {"r", sh.r},
+                        {"s", sh.s}});
+}
+
+Workload
+makeTCL(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l,
+        std::int64_t m, std::int64_t n, const std::string &name)
+{
+    return parseEinsum(
+        name, "out[l,m,n] = A[i,j,k] * B[i,l] * C[j,m] * D[k,n]",
+        {{"i", i}, {"j", j}, {"k", k}, {"l", l}, {"m", m}, {"n", n}});
+}
+
+} // namespace sunstone

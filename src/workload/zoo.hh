@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Constructors for every tensor-algebra kernel in the paper's Table II,
+ * plus the 1D convolution running example of Sections II-IV and the
+ * weight-update (backward) convolution used in Fig. 7.
+ */
+
+#ifndef SUNSTONE_WORKLOAD_ZOO_HH
+#define SUNSTONE_WORKLOAD_ZOO_HH
+
+#include <cstdint>
+
+#include "workload/workload.hh"
+
+namespace sunstone {
+
+/** Shape of a 2D convolution layer (dims as in Table II / Timeloop). */
+struct ConvShape
+{
+    std::int64_t n = 1;      ///< batch
+    std::int64_t k = 1;      ///< output channels
+    std::int64_t c = 1;      ///< input channels
+    std::int64_t p = 1;      ///< output rows
+    std::int64_t q = 1;      ///< output cols
+    std::int64_t r = 1;      ///< filter rows
+    std::int64_t s = 1;      ///< filter cols
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::string name = "conv";
+};
+
+/**
+ * CONV: ofmap[n,k,p,q] = sum_{c,r,s} ifmap[n,c,sh*p+r,sw*q+s]
+ *                                     * weight[k,c,r,s].
+ */
+Workload makeConv2D(const ConvShape &shape);
+
+/** Backward/weight-update CONV: dw[k,c,r,s] = sum_{n,p,q} ... (Fig. 7). */
+Workload makeConvWeightUpdate(const ConvShape &shape);
+
+/** The paper's running example: 1D conv with C input channels. */
+Workload makeConv1D(std::int64_t k, std::int64_t c, std::int64_t p,
+                    std::int64_t r);
+
+/** Fully-connected layer / GEMM: out[m,n] = sum_k a[m,k] * b[k,n]. */
+Workload makeGemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/** MTTKRP: out[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j]. */
+Workload makeMTTKRP(std::int64_t i, std::int64_t k, std::int64_t l,
+                    std::int64_t j, const std::string &name = "mttkrp");
+
+/** SDDMM: out[i,j] = A[i,j] * sum_k B[i,k] * C[k,j]. */
+Workload makeSDDMM(std::int64_t i, std::int64_t j, std::int64_t k,
+                   const std::string &name = "sddmm");
+
+/** TTMc: out[i,l,m] = sum_{j,k} A[i,j,k] * B[j,l] * C[k,m]. */
+Workload makeTTMc(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l, std::int64_t m,
+                  const std::string &name = "ttmc");
+
+/** MMc (matrix chain): out[i,l] = sum_{j,k} A[i,j] * B[j,k] * C[k,l]. */
+Workload makeMMc(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l, const std::string &name = "mmc");
+
+/**
+ * Depthwise CONV (MobileNet-style): every channel is filtered
+ * independently, so the channel dim indexes *every* tensor and offers
+ * no reuse -- a stress test for reuse inference.
+ * ofmap[n,c,p,q] = sum_{r,s} ifmap[n,c,p+r,q+s] * weight[c,r,s].
+ */
+Workload makeDepthwiseConv(const ConvShape &shape);
+
+/**
+ * TCL (tensor contraction layer):
+ * out[l,m,n] = sum_{i,j,k} A[i,j,k] * B[i,l] * C[j,m] * D[k,n].
+ */
+Workload makeTCL(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l, std::int64_t m, std::int64_t n,
+                 const std::string &name = "tcl");
+
+} // namespace sunstone
+
+#endif // SUNSTONE_WORKLOAD_ZOO_HH

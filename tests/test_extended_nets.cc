@@ -1,0 +1,103 @@
+/** @file Tests for the extended network tables and depthwise conv. */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "workload/nets.hh"
+
+namespace sunstone {
+namespace {
+
+TEST(DepthwiseConv, ChannelIndexesEveryTensor)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.c = 8;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeDepthwiseConv(sh);
+    const DimId c = wl.dimByName("c");
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        EXPECT_TRUE(wl.reuse(t).indexing.contains(c))
+            << wl.tensor(t).name;
+    // No tensor is reusable across c, so no surviving ordering may
+    // credit c with full reuse.
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        EXPECT_FALSE(wl.reuse(t).fullyReusedBy.contains(c));
+}
+
+TEST(DepthwiseConv, SchedulesOnConventional)
+{
+    auto suite = depthwiseSuite(2);
+    for (const auto &l : suite) {
+        BoundArch ba(makeConventional(), l.workload);
+        SunstoneOptions opts;
+        opts.beamWidth = 8;
+        auto r = sunstoneOptimize(ba, opts);
+        ASSERT_TRUE(r.found) << l.workload.name();
+        std::string why;
+        EXPECT_TRUE(r.mapping.valid(ba, &why))
+            << l.workload.name() << ": " << why;
+    }
+}
+
+TEST(ExtendedNets, AlexnetAndVggTablesAreSane)
+{
+    for (const auto &l : alexnetLayers(4)) {
+        EXPECT_EQ(l.workload.numDims(), 7);
+        EXPECT_GT(l.workload.totalOps(), 0);
+    }
+    auto vgg = vgg16Layers(4);
+    int total = 0;
+    for (const auto &l : vgg)
+        total += l.count;
+    EXPECT_EQ(total, 13); // VGG-16 has 13 conv layers
+}
+
+TEST(ExtendedNets, AlexnetStrideFourStemHasHalo)
+{
+    const Workload wl = alexnetLayers(1)[0].workload;
+    // ifmap extent: 4*(54-1) + (11-1) + 1 = 223 per spatial rank.
+    const TensorSpec &ifmap = wl.tensor(wl.tensorByName("ifmap"));
+    EXPECT_EQ(ifmap.ranks[2].extent(wl.shape()), 223);
+}
+
+TEST(ExtendedNets, TclSuiteMatchesTableTwo)
+{
+    auto suite = tclSuite();
+    ASSERT_EQ(suite.size(), 2u);
+    for (const auto &l : suite) {
+        EXPECT_EQ(l.workload.numTensors(), 5); // out + A + 3 factors
+        EXPECT_EQ(l.workload.numDims(), 6);
+    }
+}
+
+TEST(ExtendedNets, AttentionChainsSchedule)
+{
+    for (const auto &l : attentionSuite(128)) {
+        BoundArch ba(makeConventional(), l.workload);
+        SunstoneOptions opts;
+        opts.beamWidth = 8;
+        auto r = sunstoneOptimize(ba, opts);
+        ASSERT_TRUE(r.found) << l.workload.name();
+        EXPECT_GT(r.cost.utilization, 0.05);
+    }
+}
+
+TEST(ExtendedNets, TclSchedulesOnConventional)
+{
+    const Workload wl = tclSuite()[0].workload;
+    BoundArch ba(makeConventional(), wl);
+    SunstoneOptions opts;
+    opts.beamWidth = 8;
+    auto r = sunstoneOptimize(ba, opts);
+    ASSERT_TRUE(r.found);
+    std::string why;
+    EXPECT_TRUE(r.mapping.valid(ba, &why)) << why;
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,186 @@
+/** @file
+ * Fuzz suite: randomly generated tensor-algebra workloads (random dims,
+ * random tensors, random affine index expressions including compound
+ * sliding windows) must never break reuse inference, the cost model, the
+ * model/oracle agreement, or the scheduler. This covers access patterns
+ * no hand-written kernel in the zoo exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "model/nest_simulator.hh"
+#include "mapping/serialize.hh"
+#include "workload/workload.hh"
+
+namespace sunstone {
+namespace {
+
+/** Builds a random valid workload; shapes stay tiny for the oracle. */
+Workload
+randomWorkload(std::mt19937_64 &rng)
+{
+    const int nd = 2 + static_cast<int>(rng() % 4); // 2..5 dims
+    WorkloadBuilder b("fuzz");
+    std::vector<std::string> names;
+    std::vector<std::int64_t> sizes;
+    for (int d = 0; d < nd; ++d) {
+        names.push_back(std::string(1, static_cast<char>('a' + d)));
+        sizes.push_back(2 + static_cast<std::int64_t>(rng() % 5));
+        b.dim(names.back(), sizes.back());
+    }
+
+    // The output indexes a random nonempty proper-or-full subset.
+    std::vector<int> out_dims;
+    for (int d = 0; d < nd; ++d)
+        if (rng() % 2)
+            out_dims.push_back(d);
+    if (out_dims.empty())
+        out_dims.push_back(static_cast<int>(rng() % nd));
+    b.output("out");
+    for (int d : out_dims)
+        b.rank(names[d]);
+
+    // 1..3 inputs; each indexes a random nonempty subset, occasionally
+    // with a compound (sliding-window) rank over two dims.
+    const int n_inputs = 1 + static_cast<int>(rng() % 3);
+    DimSet used;
+    for (int d : out_dims)
+        used.add(d);
+    for (int i = 0; i < n_inputs; ++i) {
+        b.input("in" + std::to_string(i));
+        std::vector<int> dims;
+        for (int d = 0; d < nd; ++d)
+            if (rng() % 2)
+                dims.push_back(d);
+        if (dims.empty())
+            dims.push_back(static_cast<int>((rng() >> 8) % nd));
+        std::size_t j = 0;
+        while (j < dims.size()) {
+            if (j + 1 < dims.size() && (rng() % 4) == 0) {
+                // Compound rank, occasionally strided.
+                const std::int64_t coeff = 1 + (rng() % 2);
+                b.rank({{names[dims[j]], coeff},
+                        {names[dims[j + 1]], 1}});
+                used.add(dims[j]);
+                used.add(dims[j + 1]);
+                j += 2;
+            } else {
+                b.rank(names[dims[j]]);
+                used.add(dims[j]);
+                ++j;
+            }
+        }
+    }
+
+    // Every declared dim must be used somewhere; patch up with a final
+    // input covering the leftovers.
+    DimSet all = DimSet::all(nd);
+    DimSet leftovers = all.minus(used);
+    if (!leftovers.empty()) {
+        b.input("patch");
+        for (DimId d : leftovers)
+            b.rank(names[d]);
+    }
+    return b.build();
+}
+
+TEST(FuzzWorkloads, ReuseInferenceInvariants)
+{
+    std::mt19937_64 rng(2026);
+    for (int trial = 0; trial < 200; ++trial) {
+        Workload wl = randomWorkload(rng);
+        const DimSet all = DimSet::all(wl.numDims());
+        for (TensorId t = 0; t < wl.numTensors(); ++t) {
+            const TensorReuse &r = wl.reuse(t);
+            // Indexing and fully-reused partition the dim set.
+            EXPECT_TRUE(r.indexing.unionWith(r.fullyReusedBy) == all);
+            EXPECT_TRUE(r.indexing.intersect(r.fullyReusedBy).empty());
+            // Partial reuse only on indexing dims.
+            EXPECT_TRUE(r.partiallyReusedBy.subsetOf(r.indexing));
+        }
+    }
+}
+
+TEST(FuzzWorkloads, ModelMatchesOracleOnRandomEinsums)
+{
+    std::mt19937_64 rng(7);
+    ArchSpec arch = makeToyArch(64, 4);
+    for (auto &l : arch.levels)
+        l.multicast = false;
+    CostModelOptions opts;
+    opts.assumeValid = true;
+
+    for (int trial = 0; trial < 40; ++trial) {
+        Workload wl = randomWorkload(rng);
+        BoundArch ba(arch, wl);
+
+        // Random factor assignment (valid products by construction).
+        Mapping m(ba.numLevels(), wl.numDims());
+        for (DimId d = 0; d < wl.numDims(); ++d) {
+            std::int64_t rem = wl.dimSize(d);
+            for (std::int64_t f = 2; f <= rem; ++f) {
+                while (rem % f == 0) {
+                    const int l =
+                        static_cast<int>(rng() % ba.numLevels());
+                    if (l == 1 && (rng() % 2))
+                        m.level(l).spatial[d] *= f;
+                    else
+                        m.level(l).temporal[d] *= f;
+                    rem /= f;
+                }
+            }
+        }
+        for (int l = 0; l < ba.numLevels(); ++l)
+            std::shuffle(m.level(l).order.begin(),
+                         m.level(l).order.end(), rng);
+
+        auto model = evaluateMapping(ba, m, opts);
+        auto sim = simulateAccessCounts(ba, m);
+        for (int l = 0; l < ba.numLevels(); ++l) {
+            for (TensorId t = 0; t < wl.numTensors(); ++t) {
+                ASSERT_EQ(model.access[l][t].reads, sim[l][t].reads)
+                    << "trial " << trial << "\n"
+                    << wl.toString() << "\n"
+                    << m.toString(ba);
+                ASSERT_EQ(model.access[l][t].updates, sim[l][t].updates)
+                    << "trial " << trial << "\n"
+                    << wl.toString();
+            }
+        }
+    }
+}
+
+TEST(FuzzWorkloads, SchedulerAlwaysFindsAValidMapping)
+{
+    std::mt19937_64 rng(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        Workload wl = randomWorkload(rng);
+        BoundArch ba(makeToyArch(64, 4), wl);
+        SunstoneOptions opts;
+        opts.beamWidth = 8;
+        auto r = sunstoneOptimize(ba, opts);
+        ASSERT_TRUE(r.found) << wl.toString();
+        std::string why;
+        ASSERT_TRUE(r.mapping.valid(ba, &why))
+            << wl.toString() << ": " << why;
+    }
+}
+
+TEST(FuzzWorkloads, SerializationRoundTrips)
+{
+    std::mt19937_64 rng(123);
+    for (int trial = 0; trial < 100; ++trial) {
+        Workload wl = randomWorkload(rng);
+        // toString() is the canonical rendering; the round trip through
+        // the parseable text format must preserve it.
+        Workload back = workloadFromText(workloadToText(wl));
+        EXPECT_EQ(back.toString(), wl.toString()) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace sunstone

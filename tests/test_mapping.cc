@@ -1,0 +1,158 @@
+/** @file Tests for the mapping representation and validation. */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "mapping/mapping.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+/** A tiny fixture: 1D conv on the toy 3-level arch. */
+class MappingTest : public ::testing::Test
+{
+  protected:
+    MappingTest()
+        : wl(makeConv1D(4, 4, 8, 3)), arch(makeToyArch(64, 4)),
+          ba(arch, wl)
+    {
+    }
+
+    Workload wl;
+    ArchSpec arch;
+    BoundArch ba;
+};
+
+TEST_F(MappingTest, IdentityLevel)
+{
+    LevelMapping lm = LevelMapping::identity(4);
+    EXPECT_EQ(lm.temporal, (std::vector<std::int64_t>{1, 1, 1, 1}));
+    EXPECT_EQ(lm.spatialProduct(), 1);
+    EXPECT_EQ(lm.order, (std::vector<DimId>{0, 1, 2, 3}));
+}
+
+TEST_F(MappingTest, NaiveMappingIsValid)
+{
+    Mapping m = naiveMapping(ba);
+    std::string why;
+    EXPECT_TRUE(m.valid(ba, &why)) << why;
+    // All loops at DRAM.
+    EXPECT_EQ(m.tileShape(1), (std::vector<std::int64_t>{1, 1, 1, 1}));
+    EXPECT_EQ(m.tileShape(2), wl.shape());
+}
+
+TEST_F(MappingTest, TileShapeAccumulates)
+{
+    Mapping m(3, 4);
+    const DimId k = wl.dimByName("k"), p = wl.dimByName("p");
+    m.level(0).temporal[k] = 2;
+    m.level(1).spatial[p] = 4;
+    m.level(1).temporal[p] = 2;
+    auto s0 = m.tileShape(0);
+    auto s1 = m.tileShape(1);
+    EXPECT_EQ(s0[k], 2);
+    EXPECT_EQ(s0[p], 1);
+    EXPECT_EQ(s1[k], 2);
+    EXPECT_EQ(s1[p], 8);
+}
+
+TEST_F(MappingTest, FootprintsUseHalo)
+{
+    Mapping m(3, 4);
+    m.level(0).temporal[wl.dimByName("p")] = 4;
+    m.level(0).temporal[wl.dimByName("r")] = 3;
+    auto fp = m.footprints(0, wl);
+    // ifmap tile: (4+3-1) * 1 = 6 words.
+    EXPECT_EQ(fp[wl.tensorByName("ifmap")], 6);
+    EXPECT_EQ(fp[wl.tensorByName("ofmap")], 4);
+    EXPECT_EQ(fp[wl.tensorByName("weight")], 3);
+}
+
+TEST_F(MappingTest, DetectsBadFactorProduct)
+{
+    Mapping m = naiveMapping(ba);
+    m.level(2).temporal[0] = 3; // 4 -> 3 breaks the product
+    std::string why;
+    EXPECT_FALSE(m.valid(ba, &why));
+    EXPECT_NE(why.find("multiply to"), std::string::npos);
+}
+
+TEST_F(MappingTest, DetectsFanoutViolation)
+{
+    Mapping m = naiveMapping(ba);
+    // Move a factor of 4 from DRAM temporal k into L2 spatial k, then
+    // inflate it beyond the fanout of 4.
+    const DimId p = wl.dimByName("p");
+    m.level(2).temporal[p] = 1;
+    m.level(1).spatial[p] = 8; // fanout is 4
+    std::string why;
+    EXPECT_FALSE(m.valid(ba, &why));
+    EXPECT_NE(why.find("fanout"), std::string::npos);
+}
+
+TEST_F(MappingTest, DetectsCapacityOverflow)
+{
+    // Everything in L1: footprints far exceed 64 words.
+    Mapping m(3, 4);
+    for (DimId d = 0; d < 4; ++d)
+        m.level(0).temporal[d] = wl.dimSize(d);
+    std::string why;
+    EXPECT_FALSE(m.valid(ba, &why));
+    EXPECT_NE(why.find("fit"), std::string::npos);
+}
+
+TEST_F(MappingTest, DetectsBadOrderPermutation)
+{
+    Mapping m = naiveMapping(ba);
+    m.level(1).order = {0, 0, 1, 2};
+    std::string why;
+    EXPECT_FALSE(m.valid(ba, &why));
+    EXPECT_NE(why.find("permutation"), std::string::npos);
+}
+
+TEST_F(MappingTest, TotalSpatial)
+{
+    Mapping m = naiveMapping(ba);
+    const DimId k = wl.dimByName("k");
+    m.level(2).temporal[k] = 1;
+    m.level(1).spatial[k] = 4;
+    EXPECT_EQ(m.totalSpatial(), 4);
+    std::string why;
+    EXPECT_TRUE(m.valid(ba, &why)) << why;
+}
+
+TEST_F(MappingTest, ToStringShowsLoops)
+{
+    Mapping m = naiveMapping(ba);
+    const std::string s = m.toString(ba);
+    EXPECT_NE(s.find("[DRAM]"), std::string::npos);
+    EXPECT_NE(s.find("compute"), std::string::npos);
+    EXPECT_NE(s.find("for k in 0..4"), std::string::npos);
+}
+
+TEST(MappingSimba, BypassedTensorsDontCountAgainstCapacity)
+{
+    ConvShape sh;
+    sh.k = 16;
+    sh.c = 16;
+    sh.p = 4;
+    sh.q = 4;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl);
+    BoundArch ba(makeSimbaLike(), wl);
+    // Weight register holds 8 words; a mapping with a k=8 register tile
+    // is fine even though ifmap/ofmap have no room at level 0.
+    Mapping m = naiveMapping(ba);
+    const DimId k = wl.dimByName("k");
+    m.level(2 + 1).temporal[k] = 2; // DRAM keeps k=2 (16/8)
+    m.level(3).temporal[k] = 2;
+    m.level(0).temporal[k] = 8;
+    // Rebalance: dram originally had 16; now 2*8 = 16 total.
+    m.level(3).temporal[k] = 2;
+    std::string why;
+    EXPECT_TRUE(m.valid(ba, &why)) << why;
+}
+
+} // namespace
+} // namespace sunstone

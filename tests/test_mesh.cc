@@ -1,0 +1,120 @@
+/** @file Tests for the optional 2D mesh-placement constraint. */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hh"
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+ArchSpec
+meshedToy(int x, int y)
+{
+    ArchSpec a = makeToyArch(256, x * y);
+    a.levels[1].meshX = x;
+    a.levels[1].meshY = y;
+    return a;
+}
+
+TEST(Mesh, ValidateRejectsInconsistentShapes)
+{
+    ArchSpec a = makeToyArch(64, 16);
+    a.levels[1].meshX = 4; // meshY missing
+    EXPECT_EXIT(a.validate(), ::testing::ExitedWithCode(1),
+                "both mesh sides");
+    a.levels[1].meshY = 3; // 4*3 != 16
+    EXPECT_EXIT(a.validate(), ::testing::ExitedWithCode(1),
+                "!= fanout");
+}
+
+TEST(Mesh, PackableAndUnpackableFactorSets)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    BoundArch ba(meshedToy(4, 4), wl);
+    const DimId m = wl.dimByName("m"), n = wl.dimByName("n");
+
+    // 4 x 4 factors pack onto the 4x4 mesh.
+    Mapping ok = naiveMapping(ba);
+    ok.level(2).temporal[m] = 2;
+    ok.level(2).temporal[n] = 2;
+    ok.level(1).spatial[m] = 4;
+    ok.level(1).spatial[n] = 4;
+    std::string why;
+    EXPECT_TRUE(ok.valid(ba, &why)) << why;
+
+    // A single factor of 8 exceeds both mesh sides even though the
+    // product (8 <= 16) fits the fanout.
+    Mapping bad = naiveMapping(ba);
+    bad.level(2).temporal[m] = 1;
+    bad.level(1).spatial[m] = 8;
+    EXPECT_FALSE(bad.valid(ba, &why));
+    EXPECT_NE(why.find("mesh"), std::string::npos);
+}
+
+TEST(Mesh, ThreeFactorsPackBySubsetChoice)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    BoundArch ba(meshedToy(4, 4), wl);
+    const DimId m = wl.dimByName("m"), n = wl.dimByName("n"),
+                k = wl.dimByName("k");
+    // Factors {2, 2, 4}: pack as X = {2, 2}, Y = {4}.
+    Mapping ok = naiveMapping(ba);
+    ok.level(2).temporal[m] = 4;
+    ok.level(2).temporal[n] = 4;
+    ok.level(2).temporal[k] = 2;
+    ok.level(1).spatial[m] = 2;
+    ok.level(1).spatial[n] = 2;
+    ok.level(1).spatial[k] = 4;
+    std::string why;
+    EXPECT_TRUE(ok.valid(ba, &why)) << why;
+}
+
+TEST(Mesh, UnconstrainedLevelsIgnoreMesh)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    BoundArch ba(makeToyArch(256, 16), wl); // meshX = 0
+    Mapping m = naiveMapping(ba);
+    m.level(2).temporal[0] = 1;
+    m.level(1).spatial[0] = 8; // would fail a 4x4 mesh
+    std::string why;
+    EXPECT_TRUE(m.valid(ba, &why)) << why;
+}
+
+TEST(Mesh, SearchRespectsMeshThroughFinalValidation)
+{
+    // The 14x12 Eyeriss array with the mesh constraint on: Sunstone's
+    // result must still validate (invalid candidates are rejected in
+    // the final evaluation).
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 16;
+    sh.c = 16;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 3;
+    sh.s = 3;
+    ArchSpec arch = makeEyerissLike();
+    arch.levels[1].meshX = 14;
+    arch.levels[1].meshY = 12;
+    BoundArch ba(arch, makeConv2D(sh));
+    SunstoneOptions opts;
+    opts.beamWidth = 16;
+    auto r = sunstoneOptimize(ba, opts);
+    ASSERT_TRUE(r.found);
+    std::string why;
+    EXPECT_TRUE(r.mapping.valid(ba, &why)) << why;
+}
+
+TEST(Mesh, ConfigRoundTrip)
+{
+    ArchSpec a = meshedToy(8, 2);
+    ArchSpec back = archFromText(archToText(a));
+    EXPECT_EQ(back.levels[1].meshX, 8);
+    EXPECT_EQ(back.levels[1].meshY, 2);
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,200 @@
+/** @file
+ * Property suite: the closed-form cost model's access counts must equal
+ * the counts obtained by literally walking the loop nest, across
+ * randomized mappings, several workloads with different access patterns,
+ * and architectures with bypass. Multicast is disabled (the oracle
+ * counts per-instance tiles); the multicast path is covered by the
+ * hand-computed Eq-5 test in test_cost_model.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arch/presets.hh"
+#include "model/nest_simulator.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+/** Generates a random valid-by-construction factor assignment. */
+Mapping
+randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
+{
+    const Workload &wl = ba.workload();
+    const int nl = ba.numLevels();
+    const int nd = wl.numDims();
+    Mapping m(nl, nd);
+    struct Slot
+    {
+        int level;
+        bool spatial;
+    };
+    std::vector<Slot> slots;
+    for (int l = 0; l < nl; ++l) {
+        slots.push_back({l, false});
+        if (ba.arch().levels[l].fanout > 1)
+            slots.push_back({l, true});
+    }
+    for (DimId d = 0; d < nd; ++d) {
+        std::int64_t rem = wl.dimSize(d);
+        for (std::int64_t f = 2; f * f <= rem; ++f) {
+            while (rem % f == 0) {
+                const auto &s = slots[rng() % slots.size()];
+                if (s.spatial)
+                    m.level(s.level).spatial[d] *= f;
+                else
+                    m.level(s.level).temporal[d] *= f;
+                rem /= f;
+            }
+        }
+        if (rem > 1) {
+            const auto &s = slots[rng() % slots.size()];
+            if (s.spatial)
+                m.level(s.level).spatial[d] *= rem;
+            else
+                m.level(s.level).temporal[d] *= rem;
+        }
+    }
+    for (int l = 0; l < nl; ++l)
+        std::shuffle(m.level(l).order.begin(), m.level(l).order.end(),
+                     rng);
+    return m;
+}
+
+ArchSpec
+noMulticast(ArchSpec a)
+{
+    for (auto &l : a.levels)
+        l.multicast = false;
+    return a;
+}
+
+/** Compares model vs oracle for one (workload, arch, seed) triple. */
+void
+checkAgreement(const Workload &wl, const ArchSpec &arch,
+               std::uint64_t seed, int trials)
+{
+    BoundArch ba(arch, wl);
+    std::mt19937_64 rng(seed);
+    CostModelOptions opts;
+    opts.assumeValid = true; // capacity is irrelevant to the counts
+    for (int i = 0; i < trials; ++i) {
+        Mapping m = randomMapping(ba, rng);
+        auto model = evaluateMapping(ba, m, opts);
+        auto sim = simulateAccessCounts(ba, m);
+        for (int l = 0; l < ba.numLevels(); ++l) {
+            for (TensorId t = 0; t < ba.numTensors(); ++t) {
+                const auto &a = model.access[l][t];
+                const auto &b = sim[l][t];
+                ASSERT_EQ(a.reads, b.reads)
+                    << "trial " << i << " level " << l << " tensor "
+                    << wl.tensor(t).name << "\n"
+                    << m.toString(ba);
+                ASSERT_EQ(a.fills, b.fills)
+                    << "trial " << i << " level " << l << " tensor "
+                    << wl.tensor(t).name << "\n"
+                    << m.toString(ba);
+                ASSERT_EQ(a.updates, b.updates)
+                    << "trial " << i << " level " << l << " tensor "
+                    << wl.tensor(t).name << "\n"
+                    << m.toString(ba);
+                ASSERT_EQ(a.drains, b.drains)
+                    << "trial " << i << " level " << l << " tensor "
+                    << wl.tensor(t).name << "\n"
+                    << m.toString(ba);
+            }
+        }
+    }
+}
+
+struct Case
+{
+    const char *name;
+    Workload workload;
+};
+
+std::vector<Case>
+cases()
+{
+    ConvShape conv;
+    conv.n = 2;
+    conv.k = 4;
+    conv.c = 4;
+    conv.p = 4;
+    conv.q = 4;
+    conv.r = 3;
+    conv.s = 3;
+    ConvShape strided = conv;
+    strided.strideH = strided.strideW = 2;
+    strided.name = "conv_s2";
+    return {
+        {"conv1d", makeConv1D(4, 4, 8, 3)},
+        {"conv2d", makeConv2D(conv)},
+        {"conv2d_strided", makeConv2D(strided)},
+        {"gemm", makeGemm(8, 8, 8)},
+        {"mttkrp", makeMTTKRP(6, 4, 4, 4)},
+        {"sddmm", makeSDDMM(6, 6, 4)},
+        {"ttmc", makeTTMc(4, 4, 4, 2, 2)},
+        {"mmc", makeMMc(4, 4, 4, 4)},
+        {"tcl", makeTCL(2, 2, 2, 2, 2, 2)},
+    };
+}
+
+class NestAgreement : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NestAgreement, ToyArch)
+{
+    const Case c = cases()[GetParam()];
+    checkAgreement(c.workload, noMulticast(makeToyArch(64, 4)),
+                   GetParam() * 7919 + 1, 12);
+}
+
+TEST_P(NestAgreement, ConventionalArch)
+{
+    const Case c = cases()[GetParam()];
+    checkAgreement(c.workload, noMulticast(makeConventional()),
+                   GetParam() * 104729 + 2, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, NestAgreement,
+                         ::testing::Range<std::size_t>(0, cases().size()),
+                         [](const auto &info) {
+                             return cases()[info.param].name;
+                         });
+
+/** Bypass chains must also agree (weights skip L2, ifmap/ofmap skip the
+ * register) -- this exercises the multi-hop chain logic. */
+TEST(NestAgreementBypass, SimbaLikeChains)
+{
+    ConvShape sh;
+    sh.k = 8;
+    sh.c = 4;
+    sh.p = 4;
+    sh.q = 4;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl);
+    checkAgreement(wl, noMulticast(makeSimbaLike()), 42, 10);
+}
+
+TEST(NestAgreementBypass, CustomMidLevelBypass)
+{
+    // Three on-chip levels; the middle one bypasses tensor "a".
+    ArchSpec a = makeToyArch(64, 4);
+    LevelSpec mid;
+    mid.name = "MID";
+    mid.capacityBits = 64 * 1024;
+    mid.bypass = {"a"};
+    mid.fanout = 2;
+    a.levels.insert(a.levels.begin() + 2, mid);
+    Workload wl = makeGemm(8, 8, 8);
+    checkAgreement(wl, noMulticast(a), 7, 12);
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,155 @@
+/** @file Round-trip tests for arch/workload/mapping serialization. */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_config.hh"
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "mapping/serialize.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+TEST(ArchConfig, RoundTripsEveryPreset)
+{
+    for (const ArchSpec &arch :
+         {makeConventional(), makeSimbaLike(), makeDianNaoLike(),
+          makeEyerissLike(), makeToyArch()}) {
+        ArchSpec back = archFromText(archToText(arch));
+        EXPECT_EQ(back.name, arch.name);
+        EXPECT_EQ(back.macBits, arch.macBits);
+        ASSERT_EQ(back.numLevels(), arch.numLevels());
+        for (int l = 0; l < arch.numLevels(); ++l) {
+            const auto &a = arch.levels[l];
+            const auto &b = back.levels[l];
+            EXPECT_EQ(b.name, a.name);
+            EXPECT_EQ(b.capacityBits, a.capacityBits);
+            EXPECT_EQ(b.fanout, a.fanout);
+            EXPECT_EQ(b.isDram, a.isDram);
+            EXPECT_EQ(b.multicast, a.multicast);
+            ASSERT_EQ(b.partitions.size(), a.partitions.size());
+            for (std::size_t p = 0; p < a.partitions.size(); ++p) {
+                EXPECT_EQ(b.partitions[p].name, a.partitions[p].name);
+                EXPECT_EQ(b.partitions[p].capacityBits,
+                          a.partitions[p].capacityBits);
+            }
+            EXPECT_EQ(b.bypass, a.bypass);
+        }
+    }
+}
+
+TEST(ArchConfig, RoundTripsDoubleBuffering)
+{
+    ArchSpec arch = makeToyArch();
+    arch.levels[0].doubleBuffered = true;
+    ArchSpec back = archFromText(archToText(arch));
+    EXPECT_TRUE(back.levels[0].doubleBuffered);
+    EXPECT_FALSE(back.levels[1].doubleBuffered);
+}
+
+TEST(ArchConfig, ParsesCommentsAndRejectsGarbage)
+{
+    const char *ok = "arch t\n# a comment\nlevel L1\n  capacity 128 # c\n"
+                     "level DRAM\n  dram\n";
+    ArchSpec a = archFromText(ok);
+    EXPECT_EQ(a.levels[0].capacityBits, 128);
+    EXPECT_EXIT(archFromText("level L1\n  frobnicate 3\nlevel D\n dram\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+    EXPECT_EXIT(archFromText("capacity 12\n"),
+                ::testing::ExitedWithCode(1), "before any level");
+}
+
+TEST(WorkloadText, RoundTripsStridedConv)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 8;
+    sh.c = 4;
+    sh.p = 6;
+    sh.q = 6;
+    sh.r = 3;
+    sh.s = 3;
+    sh.strideH = sh.strideW = 2;
+    Workload wl = makeConv2D(sh);
+    wl.setWordBits(wl.tensorByName("ofmap"), 24);
+    Workload back = workloadFromText(workloadToText(wl));
+    EXPECT_EQ(back.name(), wl.name());
+    EXPECT_EQ(back.shape(), wl.shape());
+    ASSERT_EQ(back.numTensors(), wl.numTensors());
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        EXPECT_EQ(back.tensor(t).name, wl.tensor(t).name);
+        EXPECT_EQ(back.tensor(t).wordBits, wl.tensor(t).wordBits);
+        EXPECT_EQ(back.tensor(t).ranks, wl.tensor(t).ranks);
+        EXPECT_EQ(back.tensor(t).isOutput, wl.tensor(t).isOutput);
+    }
+}
+
+TEST(WorkloadText, RoundTripsEveryZooKernel)
+{
+    for (const Workload &wl :
+         {makeGemm(8, 8, 8), makeMTTKRP(4, 4, 4, 4), makeSDDMM(4, 4, 4),
+          makeTTMc(4, 4, 4, 2, 2), makeMMc(4, 4, 4, 4),
+          makeTCL(2, 2, 2, 2, 2, 2)}) {
+        Workload back = workloadFromText(workloadToText(wl));
+        EXPECT_EQ(back.toString(), wl.toString());
+    }
+}
+
+TEST(MappingText, RoundTripPreservesCost)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+    SunstoneResult r = sunstoneOptimize(ba);
+    ASSERT_TRUE(r.found);
+
+    const std::string text = mappingToText(r.mapping, ba);
+    Mapping back = mappingFromText(text, ba);
+    auto a = evaluateMapping(ba, r.mapping);
+    auto b = evaluateMapping(ba, back);
+    ASSERT_TRUE(b.valid) << b.invalidReason;
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj);
+    EXPECT_EQ(a.edp, b.edp);
+}
+
+TEST(MappingText, RejectsWrongLevelNames)
+{
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeConventional(), wl);
+    const char *bad = "mapping\n"
+                      "level NOPE temporal - spatial - order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(bad, ba), ::testing::ExitedWithCode(1),
+                "expected level");
+}
+
+TEST(MappingText, RejectsTruncatedFiles)
+{
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeConventional(), wl);
+    const char *bad = "mapping\n"
+                      "level L1 temporal - spatial - order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(bad, ba), ::testing::ExitedWithCode(1),
+                "expected 3");
+}
+
+TEST(Files, SaveAndLoadThroughDisk)
+{
+    Workload wl = makeGemm(8, 8, 8);
+    BoundArch ba(makeToyArch(64, 4), wl);
+    Mapping m = naiveMapping(ba);
+
+    const std::string dir = ::testing::TempDir();
+    saveWorkloadFile(wl, dir + "/wl.txt");
+    saveMappingFile(m, ba, dir + "/map.txt");
+    saveArchFile(ba.arch(), dir + "/arch.txt");
+
+    Workload wl2 = loadWorkloadFile(dir + "/wl.txt");
+    ArchSpec arch2 = loadArchFile(dir + "/arch.txt");
+    BoundArch ba2(arch2, wl2);
+    Mapping m2 = loadMappingFile(dir + "/map.txt", ba2);
+    std::string why;
+    EXPECT_TRUE(m2.valid(ba2, &why)) << why;
+}
+
+} // namespace
+} // namespace sunstone

@@ -1,0 +1,257 @@
+/** @file
+ * Tests for the Sunstone driver: validity on every workload class and
+ * architecture, near-optimality against the exhaustive oracle on tiny
+ * problems (the paper's "without rejecting good solutions" claim),
+ * bottom-up vs top-down, intra-level orders, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "mappers/exhaustive_mapper.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+SunstoneResult
+runSunstone(const BoundArch &ba, SunstoneOptions opts = {})
+{
+    SunstoneResult r = sunstoneOptimize(ba, opts);
+    EXPECT_TRUE(r.found);
+    if (r.found) {
+        std::string why;
+        EXPECT_TRUE(r.mapping.valid(ba, &why)) << why;
+    }
+    return r;
+}
+
+TEST(Sunstone, FindsValidMappingForEveryKernelClass)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 16;
+    sh.c = 16;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    std::vector<Workload> workloads = {
+        makeConv2D(sh),          makeConv1D(16, 16, 28, 3),
+        makeGemm(64, 64, 64),    makeMTTKRP(64, 32, 32, 8),
+        makeSDDMM(64, 64, 32),   makeTTMc(32, 16, 16, 8, 8),
+        makeMMc(32, 32, 32, 32), makeTCL(8, 8, 8, 8, 8, 8),
+    };
+    ArchSpec arch = makeConventional();
+    for (const auto &wl : workloads) {
+        BoundArch ba(arch, wl);
+        auto r = runSunstone(ba);
+        EXPECT_GT(r.cost.totalEnergyPj, 0) << wl.name();
+        EXPECT_GT(r.candidatesExamined, 0) << wl.name();
+    }
+}
+
+TEST(Sunstone, HandlesSimbaLikeHierarchy)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 32;
+    sh.c = 32;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl);
+    BoundArch ba(makeSimbaLike(), wl);
+    auto r = runSunstone(ba);
+    // The Simba-like machine has three spatial levels; a sensible
+    // mapping must exploit real parallelism (dozens of lanes)...
+    EXPECT_GT(r.mapping.totalSpatial(), 32);
+    // ...and crush the serial all-at-DRAM reference on EDP.
+    auto naive = evaluateMapping(ba, naiveMapping(ba));
+    ASSERT_TRUE(naive.valid);
+    EXPECT_LT(r.cost.edp * 10, naive.edp);
+}
+
+/** The central quality property: on problems small enough to enumerate
+ * completely, Sunstone's pruned search must land within a small factor
+ * of the global optimum. */
+class NearOptimality : public ::testing::TestWithParam<int>
+{
+  protected:
+    Workload
+    workload() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return makeConv1D(4, 4, 8, 3);
+          case 1:
+            return makeGemm(8, 8, 8);
+          case 2:
+            return makeMTTKRP(4, 4, 4, 4);
+          default:
+            return makeSDDMM(4, 4, 4);
+        }
+    }
+};
+
+TEST_P(NearOptimality, WithinTenPercentOfExhaustive)
+{
+    Workload wl = workload();
+    ArchSpec arch = makeToyArch(16, 4);
+    BoundArch ba(arch, wl);
+
+    ExhaustiveOptions eo;
+    eo.maxSpace = 5e7;
+    ExhaustiveMapper ex(eo);
+    auto truth = ex.optimize(ba);
+    ASSERT_TRUE(truth.found);
+
+    SunstoneOptions so;
+    so.beamWidth = 64;
+    auto r = runSunstone(ba, so);
+    EXPECT_LE(r.cost.edp, truth.cost.edp * 1.10)
+        << wl.name() << ": sunstone " << r.cost.edp << " vs optimal "
+        << truth.cost.edp;
+    // And it must do so with a far smaller examined space.
+    EXPECT_LT(r.candidatesExamined, truth.mappingsEvaluated);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyProblems, NearOptimality,
+                         ::testing::Range(0, 4));
+
+TEST(Sunstone, TopDownAlsoFindsValidMappings)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+    SunstoneOptions opts;
+    opts.levelOrder = SunstoneOptions::LevelOrder::TopDown;
+    auto r = runSunstone(ba, opts);
+    EXPECT_GT(r.candidatesExamined, 0);
+}
+
+TEST(Sunstone, TopDownExploresMoreThanBottomUp)
+{
+    // Table VI's headline: the bottom-up order examines far fewer
+    // candidates at similar quality.
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 16;
+    sh.c = 16;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeEyerissLike(), wl);
+
+    SunstoneOptions up;
+    auto r_up = runSunstone(ba, up);
+
+    SunstoneOptions down;
+    down.levelOrder = SunstoneOptions::LevelOrder::TopDown;
+    auto r_down = runSunstone(ba, down);
+
+    EXPECT_GT(r_down.candidatesExamined, r_up.candidatesExamined);
+    // Quality stays in the same ballpark (Table VI: 4.8 vs 4.6).
+    EXPECT_LT(r_up.cost.edp, r_down.cost.edp * 3.0);
+    EXPECT_LT(r_down.cost.edp, r_up.cost.edp * 3.0);
+}
+
+TEST(Sunstone, IntraLevelOrdersAllWork)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+    using IO = SunstoneOptions::IntraOrder;
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0;
+    for (IO io : {IO::OrderTileUnroll, IO::TileUnrollOrder,
+                  IO::UnrollTileOrder}) {
+        SunstoneOptions opts;
+        opts.intraOrder = io;
+        auto r = runSunstone(ba, opts);
+        // Table VI studies the *energy* side of the objective; the
+        // intra-level decision order barely moves it.
+        best = std::min(best, r.cost.totalEnergyPj);
+        worst = std::max(worst, r.cost.totalEnergyPj);
+    }
+    EXPECT_LT(worst, best * 2.0);
+}
+
+TEST(Sunstone, DeterministicAcrossRuns)
+{
+    Workload wl = makeMTTKRP(64, 32, 32, 8);
+    BoundArch ba(makeConventional(), wl);
+    auto a = runSunstone(ba);
+    auto b = runSunstone(ba);
+    EXPECT_EQ(a.cost.edp, b.cost.edp);
+    EXPECT_EQ(a.candidatesExamined, b.candidatesExamined);
+}
+
+TEST(Sunstone, AlphaBetaAndBeamTrimTheSearch)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+
+    SunstoneOptions wide;
+    wide.alphaBeta = false;
+    wide.beamWidth = 512;
+    auto r_wide = runSunstone(ba, wide);
+
+    SunstoneOptions tight;
+    tight.alphaBeta = true;
+    tight.beamWidth = 16;
+    auto r_tight = runSunstone(ba, tight);
+
+    // The pruned search keeps (almost) the same quality.
+    EXPECT_LE(r_tight.cost.edp, r_wide.cost.edp * 1.25);
+}
+
+TEST(Sunstone, EnergyObjectiveFindsLowerEnergy)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+    SunstoneOptions edp;
+    auto r_edp = runSunstone(ba, edp);
+    SunstoneOptions en;
+    en.optimizeEdp = false;
+    auto r_en = runSunstone(ba, en);
+    EXPECT_LE(r_en.cost.totalEnergyPj, r_edp.cost.totalEnergyPj * 1.05);
+}
+
+TEST(Sunstone, MultithreadedMatchesSingleThreaded)
+{
+    Workload wl = makeConv1D(16, 16, 28, 3);
+    BoundArch ba(makeConventional(), wl);
+    SunstoneOptions one;
+    one.threads = 1;
+    SunstoneOptions four;
+    four.threads = 4;
+    auto a = runSunstone(ba, one);
+    auto b = runSunstone(ba, four);
+    // Same beam, same candidates, same result.
+    EXPECT_EQ(a.cost.edp, b.cost.edp);
+}
+
+TEST(Sunstone, UtilizationThresholdRaisesParallelism)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 16;
+    sh.q = 16;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeConventional(), wl);
+    SunstoneOptions opts;
+    opts.utilizationThreshold = 0.9;
+    auto r = runSunstone(ba, opts);
+    EXPECT_GT(r.cost.utilization, 0.5);
+}
+
+} // namespace
+} // namespace sunstone

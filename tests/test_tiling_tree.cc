@@ -1,0 +1,175 @@
+/** @file Tests for the tiling tree (Sections III-A, IV-B). */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "common/math_utils.hh"
+#include "core/tiling_tree.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+std::int64_t
+footprintAll(const Workload &wl, const std::vector<std::int64_t> &shape)
+{
+    std::int64_t fp = 0;
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        fp += wl.tensor(t).footprint(shape);
+    return fp;
+}
+
+/** The Fig. 5 example: K=4, P=14, C=4, R=4 sliding-window conv with a
+ *  unified 8-entry L1, growing only the ofmap indexing dims K and P. */
+class FigFiveTest : public ::testing::Test
+{
+  protected:
+    FigFiveTest()
+        : wl(makeConv1D(4, 4, 14, 4)), arch(makeToyArch(8, 1)),
+          ba(arch, wl)
+    {
+        grow.add(wl.dimByName("k"));
+        grow.add(wl.dimByName("p"));
+    }
+
+    Workload wl;
+    ArchSpec arch;
+    BoundArch ba;
+    DimSet grow;
+};
+
+TEST_F(FigFiveTest, MaximalTilesFitAndCannotGrow)
+{
+    std::vector<std::int64_t> unit(4, 1);
+    auto res = growTiles(ba, 0, unit, wl.shape(), grow);
+    ASSERT_FALSE(res.maximal.empty());
+    for (const auto &tile : res.maximal) {
+        EXPECT_LE(footprintAll(wl, tile) * 16, 8 * 16);
+        // Growing any grow-dim to the next divisor must overflow (or be
+        // impossible).
+        for (DimId d : grow) {
+            const std::int64_t nf = nextDivisor(wl.dimSize(d), tile[d]);
+            if (nf == 0)
+                continue;
+            auto bigger = tile;
+            bigger[d] = nf;
+            EXPECT_GT(footprintAll(wl, bigger) * 16, 8 * 16)
+                << "tile could still grow in dim " << wl.dimName(d);
+        }
+    }
+}
+
+TEST_F(FigFiveTest, OnlyGrowDimsChange)
+{
+    std::vector<std::int64_t> unit(4, 1);
+    auto res = growTiles(ba, 0, unit, wl.shape(), grow);
+    const DimId c = wl.dimByName("c"), r = wl.dimByName("r");
+    for (const auto &tile : res.maximal) {
+        EXPECT_EQ(tile[c], 1);
+        EXPECT_EQ(tile[r], 1);
+    }
+}
+
+TEST_F(FigFiveTest, PruningShrinksTheSpace)
+{
+    std::vector<std::int64_t> unit(4, 1);
+    auto res = growTiles(ba, 0, unit, wl.shape(), grow);
+    // The unpruned grow space is all divisor pairs of (K, P); the
+    // surviving frontier must be strictly smaller.
+    EXPECT_LT((std::int64_t)res.maximal.size(), res.unprunedSpace);
+    EXPECT_GT(res.nodesVisited, 0);
+}
+
+TEST(TilingTree, RespectsBaseShape)
+{
+    Workload wl = makeGemm(16, 16, 16);
+    ArchSpec arch = makeToyArch(64, 1);
+    BoundArch ba(arch, wl);
+    // A base shape that nearly fills L1 leaves little room to grow.
+    std::vector<std::int64_t> base{4, 4, 1}; // out 16 + a 4 + b 4 = 24
+    std::vector<std::int64_t> remaining{4, 4, 16};
+    auto res = growTiles(ba, 0, base, remaining, DimSet::all(3));
+    for (const auto &tile : res.maximal) {
+        std::vector<std::int64_t> shape(3);
+        for (int d = 0; d < 3; ++d)
+            shape[d] = base[d] * tile[d];
+        EXPECT_LE(footprintAll(wl, shape), 64);
+    }
+}
+
+TEST(TilingTree, OverflowingBaseYieldsNoCandidates)
+{
+    Workload wl = makeGemm(16, 16, 16);
+    ArchSpec arch = makeToyArch(8, 1);
+    BoundArch ba(arch, wl);
+    std::vector<std::int64_t> base{16, 16, 1}; // 256-word output alone
+    auto res = growTiles(ba, 0, base, {1, 1, 16}, DimSet::all(3));
+    EXPECT_TRUE(res.maximal.empty());
+}
+
+TEST(TilingTree, ExhaustedDimIsMaximal)
+{
+    // When remaining = 1 along every grow dim, the unit tile itself is
+    // the single maximal candidate.
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeToyArch(1024, 1), wl);
+    auto res = growTiles(ba, 0, {1, 1, 1}, {1, 1, 1}, DimSet::all(3));
+    ASSERT_EQ(res.maximal.size(), 1u);
+    EXPECT_EQ(res.maximal[0], (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(TilingTree, PartitionedCapacityIsPerDatatype)
+{
+    // On the Simba-like PE level the weight partition (32 KB) dominates;
+    // the tree must respect each partition separately.
+    ConvShape sh;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 8;
+    sh.q = 8;
+    Workload wl = makeConv2D(sh);
+    applySimbaPrecisions(wl);
+    BoundArch ba(makeSimbaLike(), wl);
+    DimSet grow;
+    grow.add(wl.dimByName("k"));
+    grow.add(wl.dimByName("c"));
+    auto res = growTiles(ba, 1, std::vector<std::int64_t>(7, 1),
+                         wl.shape(), grow);
+    for (const auto &tile : res.maximal) {
+        // weight tile k*c (r=s=1) must fit 32 KB of 8-bit words.
+        EXPECT_LE(tile[wl.dimByName("k")] * tile[wl.dimByName("c")],
+                  32 * 1024);
+        // ofmap tile k (p=q=1) must fit 3 KB of 24-bit words.
+        EXPECT_LE(tile[wl.dimByName("k")] * 24, 3 * 8 * 1024);
+    }
+    EXPECT_FALSE(res.maximal.empty());
+}
+
+/** Section III-A claim: the Tiling Principle prunes a large fraction of
+ *  the L1 tile space for ResNet-style layers (up to 80% in the paper). */
+TEST(TilingTree, PruningRatioIsSubstantial)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 56;
+    sh.q = 56;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeConventional(), wl);
+    DimSet grow; // ofmap-indexing dims for an ofmap-reusing order
+    for (DimId d : wl.reuse(wl.tensorByName("ofmap")).indexing)
+        grow.add(d);
+    auto res = growTiles(ba, 0, std::vector<std::int64_t>(7, 1),
+                         wl.shape(), grow);
+    ASSERT_FALSE(res.maximal.empty());
+    const double kept = static_cast<double>(res.maximal.size()) /
+                        static_cast<double>(res.unprunedSpace);
+    EXPECT_LT(kept, 0.5) << "maximal=" << res.maximal.size()
+                         << " unpruned=" << res.unprunedSpace;
+}
+
+} // namespace
+} // namespace sunstone

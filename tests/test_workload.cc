@@ -1,0 +1,188 @@
+/** @file Unit tests for the workload IR: builder, parser, reuse. */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+TEST(WorkloadBuilder, BuildsOneDConv)
+{
+    Workload wl = WorkloadBuilder("conv1d")
+                      .dim("k", 4)
+                      .dim("c", 4)
+                      .dim("p", 7)
+                      .dim("r", 3)
+                      .output("ofmap")
+                      .rank("k")
+                      .rank("p")
+                      .input("ifmap")
+                      .rank("c")
+                      .rank({{"p", 1}, {"r", 1}})
+                      .input("weight")
+                      .rank("k")
+                      .rank("c")
+                      .rank("r")
+                      .build();
+    EXPECT_EQ(wl.numDims(), 4);
+    EXPECT_EQ(wl.numTensors(), 3);
+    EXPECT_EQ(wl.dimSize(wl.dimByName("p")), 7);
+    EXPECT_EQ(wl.totalOps(), 4 * 4 * 7 * 3);
+    EXPECT_EQ(wl.outputs(), std::vector<TensorId>{0});
+}
+
+TEST(EinsumParser, MatchesBuilder)
+{
+    Workload a = makeConv1D(4, 4, 7, 3);
+    EXPECT_EQ(a.numDims(), 4);
+    EXPECT_EQ(a.numTensors(), 3);
+    // ifmap is 2D: [c][p+r].
+    const TensorSpec &ifmap = a.tensor(a.tensorByName("ifmap"));
+    ASSERT_EQ(ifmap.ranks.size(), 2u);
+    EXPECT_FALSE(ifmap.ranks[0].compound());
+    EXPECT_TRUE(ifmap.ranks[1].compound());
+}
+
+TEST(EinsumParser, ParsesStrides)
+{
+    Workload wl = parseEinsum(
+        "strided", "o[p] = i[2*p+r] * w[r]", {{"p", 8}, {"r", 3}});
+    const TensorSpec &i = wl.tensor(wl.tensorByName("i"));
+    ASSERT_EQ(i.ranks.size(), 1u);
+    ASSERT_EQ(i.ranks[0].terms.size(), 2u);
+    EXPECT_EQ(i.ranks[0].terms[0].coeff, 2);
+    // Extent: 2*(8-1) + (3-1) + 1 = 17.
+    EXPECT_EQ(i.ranks[0].extent(wl.shape()), 17);
+}
+
+TEST(EinsumParser, RejectsMalformedInput)
+{
+    EXPECT_EXIT(parseEinsum("bad", "o[i] i[i]", {{"i", 4}}),
+                ::testing::ExitedWithCode(1), "fatal");
+    EXPECT_EXIT(parseEinsum("bad", "o[i] = i[j]", {{"i", 4}}),
+                ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(Workload, RejectsUnusedDimension)
+{
+    EXPECT_EXIT(parseEinsum("bad", "o[i] = a[i]", {{"i", 4}, {"z", 3}}),
+                ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(Workload, RejectsMissingOutput)
+{
+    EXPECT_EXIT(WorkloadBuilder("noout")
+                    .dim("i", 2)
+                    .input("a")
+                    .rank("i")
+                    .build(),
+                ::testing::ExitedWithCode(1), "fatal");
+}
+
+/** Table III: inferred reuse of the 1D convolution example. */
+TEST(ReuseInference, TableThreeOneDConv)
+{
+    Workload wl = makeConv1D(4, 4, 7, 3);
+    const TensorId ofmap = wl.tensorByName("ofmap");
+    const TensorId ifmap = wl.tensorByName("ifmap");
+    const TensorId weight = wl.tensorByName("weight");
+    const DimId k = wl.dimByName("k"), c = wl.dimByName("c"),
+                p = wl.dimByName("p"), r = wl.dimByName("r");
+
+    // ofmap: indexed by k,p; reused by c,r.
+    EXPECT_TRUE(wl.reuse(ofmap).indexing.contains(k));
+    EXPECT_TRUE(wl.reuse(ofmap).indexing.contains(p));
+    EXPECT_TRUE(wl.reuse(ofmap).fullyReusedBy.contains(c));
+    EXPECT_TRUE(wl.reuse(ofmap).fullyReusedBy.contains(r));
+    EXPECT_TRUE(wl.reuse(ofmap).partiallyReusedBy.empty());
+
+    // ifmap: indexed by c,p,r; fully reused by k; partially by r and p.
+    EXPECT_TRUE(wl.reuse(ifmap).fullyReusedBy.contains(k));
+    EXPECT_TRUE(wl.reuse(ifmap).partiallyReusedBy.contains(r));
+    EXPECT_TRUE(wl.reuse(ifmap).partiallyReusedBy.contains(p));
+    EXPECT_FALSE(wl.reuse(ifmap).partiallyReusedBy.contains(c));
+
+    // weight: indexed by c,k,r; reused by p.
+    EXPECT_TRUE(wl.reuse(weight).fullyReusedBy.contains(p));
+    EXPECT_EQ(wl.reuse(weight).fullyReusedBy.size(), 1);
+}
+
+TEST(ReuseInference, MttkrpNonIndexing)
+{
+    Workload wl = makeMTTKRP(8, 8, 8, 4);
+    const TensorId out = wl.tensorByName("out");
+    const TensorId a = wl.tensorByName("A");
+    const DimId j = wl.dimByName("j"), k = wl.dimByName("k"),
+                l = wl.dimByName("l");
+    EXPECT_TRUE(wl.reuse(out).fullyReusedBy.contains(k));
+    EXPECT_TRUE(wl.reuse(out).fullyReusedBy.contains(l));
+    EXPECT_TRUE(wl.reuse(a).fullyReusedBy.contains(j));
+    EXPECT_TRUE(wl.reuse(a).partiallyReusedBy.empty());
+}
+
+TEST(Footprint, HaloedSlidingWindow)
+{
+    Workload wl = makeConv1D(4, 4, 7, 3);
+    const TensorSpec &ifmap = wl.tensor(wl.tensorByName("ifmap"));
+    // Tile k=1, c=2, p=4, r=3: ifmap footprint = (4+3-1) * 2 = 12.
+    std::vector<std::int64_t> shape(4, 1);
+    shape[wl.dimByName("c")] = 2;
+    shape[wl.dimByName("p")] = 4;
+    shape[wl.dimByName("r")] = 3;
+    EXPECT_EQ(ifmap.footprint(shape), 12);
+}
+
+TEST(Footprint, FullProblem)
+{
+    Workload wl = makeConv1D(4, 4, 7, 3);
+    // ifmap spans (7+3-1) x 4 = 36, weight 4*4*3 = 48, ofmap 4*7 = 28.
+    EXPECT_EQ(wl.tensor(wl.tensorByName("ifmap")).footprint(wl.shape()),
+              36);
+    EXPECT_EQ(wl.tensor(wl.tensorByName("weight")).footprint(wl.shape()),
+              48);
+    EXPECT_EQ(wl.tensor(wl.tensorByName("ofmap")).footprint(wl.shape()),
+              28);
+}
+
+TEST(Workload, WithShapeKeepsPattern)
+{
+    Workload wl = makeConv1D(4, 4, 7, 3);
+    Workload big = wl.withShape({8, 8, 14, 3});
+    EXPECT_EQ(big.totalOps(), 8 * 8 * 14 * 3);
+    EXPECT_EQ(big.numTensors(), 3);
+}
+
+TEST(Workload, MultipliesPerOp)
+{
+    EXPECT_EQ(makeGemm(4, 4, 4).multipliesPerOp(), 1);
+    EXPECT_EQ(makeMTTKRP(4, 4, 4, 4).multipliesPerOp(), 2);
+    EXPECT_EQ(makeTCL(2, 2, 2, 2, 2, 2).multipliesPerOp(), 3);
+}
+
+TEST(Workload, ToStringRendersEinsum)
+{
+    const std::string s = makeGemm(4, 5, 6).toString();
+    EXPECT_NE(s.find("out[m,n]"), std::string::npos);
+    EXPECT_NE(s.find("a[m,k]"), std::string::npos);
+    EXPECT_NE(s.find("m:4"), std::string::npos);
+}
+
+TEST(DimSet, SetAlgebra)
+{
+    DimSet a = DimSet::of(1).unionWith(DimSet::of(3));
+    DimSet b = DimSet::all(3); // {0,1,2}
+    EXPECT_EQ(a.size(), 2);
+    EXPECT_TRUE(a.intersect(b) == DimSet::of(1));
+    EXPECT_TRUE(a.minus(b) == DimSet::of(3));
+    EXPECT_TRUE(DimSet::of(1).subsetOf(a));
+    EXPECT_FALSE(a.subsetOf(b));
+    std::vector<DimId> members;
+    for (DimId d : a)
+        members.push_back(d);
+    EXPECT_EQ(members, (std::vector<DimId>{1, 3}));
+}
+
+} // namespace
+} // namespace sunstone

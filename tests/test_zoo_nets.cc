@@ -1,0 +1,154 @@
+/** @file Tests for the workload zoo and network layer tables. */
+
+#include <gtest/gtest.h>
+
+#include "workload/nets.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+TEST(Zoo, Conv2DShape)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 8;
+    sh.c = 4;
+    sh.p = 6;
+    sh.q = 6;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    EXPECT_EQ(wl.numDims(), 7);
+    EXPECT_EQ(wl.totalOps(), 2ll * 8 * 4 * 6 * 6 * 3 * 3);
+    // ifmap halo: (6+3-1)^2 * 4 * 2.
+    EXPECT_EQ(wl.tensor(wl.tensorByName("ifmap")).footprint(wl.shape()),
+              8ll * 8 * 4 * 2);
+}
+
+TEST(Zoo, StridedConvUsesCoefficient)
+{
+    ConvShape sh;
+    sh.k = 4;
+    sh.c = 4;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    sh.strideH = sh.strideW = 2;
+    Workload wl = makeConv2D(sh);
+    // ifmap extent per spatial rank: 2*(8-1) + (3-1) + 1 = 17.
+    EXPECT_EQ(wl.tensor(wl.tensorByName("ifmap")).footprint(wl.shape()),
+              17ll * 17 * 4 * 1);
+}
+
+TEST(Zoo, WeightUpdateSwapsOutput)
+{
+    ConvShape sh;
+    sh.n = 2;
+    sh.k = 8;
+    sh.c = 4;
+    sh.p = 6;
+    sh.q = 6;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConvWeightUpdate(sh);
+    const TensorId out = wl.outputs().at(0);
+    EXPECT_EQ(wl.tensor(out).name, "dweight");
+    // dweight is indexed by k,c,r,s and reused across n,p,q.
+    const DimId n = wl.dimByName("n");
+    EXPECT_TRUE(wl.reuse(out).fullyReusedBy.contains(n));
+    EXPECT_EQ(wl.totalOps(), makeConv2D(sh).totalOps());
+}
+
+TEST(Zoo, TableTwoKernelsHaveDocumentedArity)
+{
+    EXPECT_EQ(makeMTTKRP(4, 4, 4, 4).numTensors(), 4);  // out, A, B, C
+    EXPECT_EQ(makeSDDMM(4, 4, 4).numTensors(), 4);      // out, A, B, C
+    EXPECT_EQ(makeTTMc(4, 4, 4, 4, 4).numTensors(), 4);
+    EXPECT_EQ(makeMMc(4, 4, 4, 4).numTensors(), 4);
+    EXPECT_EQ(makeTCL(2, 2, 2, 2, 2, 2).numTensors(), 5);
+}
+
+TEST(Zoo, TTMcReuse)
+{
+    Workload wl = makeTTMc(8, 4, 4, 2, 2);
+    const TensorId b = wl.tensorByName("B");
+    // B[j,l] is reused across i, k, m.
+    EXPECT_EQ(wl.reuse(b).fullyReusedBy.size(), 3);
+}
+
+TEST(Nets, ResNet18LayerTable)
+{
+    auto layers = resnet18Layers(16);
+    ASSERT_GE(layers.size(), 10u);
+    int total = 0;
+    for (const auto &l : layers) {
+        EXPECT_GE(l.count, 1);
+        EXPECT_GT(l.workload.totalOps(), 0);
+        total += l.count;
+    }
+    // ResNet-18 has 20 conv layers plus the classifier.
+    EXPECT_EQ(total, 21);
+}
+
+TEST(Nets, InceptionIncludesAsymmetricKernels)
+{
+    auto layers = inceptionV3Layers(16);
+    bool has_asymmetric = false;
+    for (const auto &l : layers) {
+        const Workload &wl = l.workload;
+        const std::int64_t r = wl.dimSize(wl.dimByName("r"));
+        const std::int64_t s = wl.dimSize(wl.dimByName("s"));
+        if (r != s)
+            has_asymmetric = true;
+    }
+    EXPECT_TRUE(has_asymmetric);
+}
+
+TEST(Nets, WeightUpdateLayersMirrorForward)
+{
+    auto fwd = inceptionV3Layers(16);
+    auto wu = inceptionV3WeightUpdateLayers(16);
+    ASSERT_EQ(fwd.size(), wu.size());
+    for (std::size_t i = 0; i < fwd.size(); ++i)
+        EXPECT_EQ(fwd[i].workload.totalOps(), wu[i].workload.totalOps());
+}
+
+TEST(Nets, NonDnnSuiteCoversFigSix)
+{
+    auto suite = nonDnnSuite();
+    int mttkrp = 0, ttmc = 0, sddmm = 0;
+    for (const auto &l : suite) {
+        const auto &n = l.workload.name();
+        if (n.rfind("mttkrp", 0) == 0)
+            ++mttkrp;
+        if (n.rfind("ttmc", 0) == 0)
+            ++ttmc;
+        if (n.rfind("sddmm", 0) == 0)
+            ++sddmm;
+    }
+    EXPECT_EQ(mttkrp, 3);
+    EXPECT_EQ(ttmc, 3);
+    EXPECT_EQ(sddmm, 2);
+}
+
+TEST(Nets, RanksMatchPaper)
+{
+    for (const auto &l : nonDnnSuite()) {
+        const Workload &wl = l.workload;
+        if (wl.name().rfind("mttkrp", 0) == 0) {
+            EXPECT_EQ(wl.dimSize(wl.dimByName("j")), 32);
+        }
+        if (wl.name().rfind("ttmc", 0) == 0) {
+            EXPECT_EQ(wl.dimSize(wl.dimByName("l")), 8);
+            EXPECT_EQ(wl.dimSize(wl.dimByName("m")), 8);
+        }
+        if (wl.name().rfind("sddmm", 0) == 0) {
+            EXPECT_EQ(wl.dimSize(wl.dimByName("k")), 512);
+        }
+    }
+}
+
+} // namespace
+} // namespace sunstone

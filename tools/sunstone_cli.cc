@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Command-line front end to the library. Subcommands:
+ *
+ *   sunstone describe --einsum "<expr>" --dims k=64,c=32,...
+ *       Print the inferred reuse table (Table III style).
+ *
+ *   sunstone map [workload opts] [--arch NAME|--arch-file F]
+ *                [--mapper sunstone|timeloop|dmaze|inter|cosa|gamma]
+ *                [--energy] [--save-mapping F] [--save-workload F]
+ *       Search for a dataflow and print it with its cost breakdown.
+ *
+ *   sunstone eval --mapping F [workload opts] [--arch ...]
+ *       Re-evaluate a saved mapping.
+ *
+ *   sunstone arch --arch NAME [--save F]
+ *       Print (or save) a preset architecture config.
+ *
+ * Workload options: --einsum/--dims/--bits, or --workload-file F, or a
+ * preset: --conv n=16,k=64,c=64,p=56,q=56,r=3,s=3[,stride=1].
+ * Architectures: conventional (default), simba, eyeriss, diannao, toy,
+ * or --arch-file with a config in the arch_config format.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "arch/arch_config.hh"
+#include "arch/presets.hh"
+#include "core/sunstone.hh"
+#include "mapping/serialize.hh"
+#include "mappers/cosa_mapper.hh"
+#include "mappers/dmaze_mapper.hh"
+#include "mappers/gamma_mapper.hh"
+#include "mappers/interstellar_mapper.hh"
+#include "mappers/timeloop_mapper.hh"
+#include "workload/zoo.hh"
+
+using namespace sunstone;
+
+namespace {
+
+/** Minimal argv parser: --key value pairs plus the subcommand. */
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> kv;
+
+    bool has(const std::string &k) const { return kv.count(k) > 0; }
+    std::string
+    get(const std::string &k, const std::string &dflt = "") const
+    {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : it->second;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    if (argc >= 2 && argv[1][0] != '-')
+        a.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            SUNSTONE_FATAL("expected --option, got '", key, "'");
+        key = key.substr(2);
+        std::string value = "1";
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            value = argv[++i];
+        a.kv[key] = value;
+    }
+    return a;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+parsePairs(const std::string &text)
+{
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            SUNSTONE_FATAL("expected name=value in '", item, "'");
+        out.emplace_back(item.substr(0, eq),
+                         std::stoll(item.substr(eq + 1)));
+    }
+    return out;
+}
+
+Workload
+workloadFromArgs(const Args &a)
+{
+    if (a.has("workload-file"))
+        return loadWorkloadFile(a.get("workload-file"));
+    if (a.has("conv")) {
+        ConvShape sh;
+        for (auto &[k, v] : parsePairs(a.get("conv"))) {
+            if (k == "n")
+                sh.n = v;
+            else if (k == "k")
+                sh.k = v;
+            else if (k == "c")
+                sh.c = v;
+            else if (k == "p")
+                sh.p = v;
+            else if (k == "q")
+                sh.q = v;
+            else if (k == "r")
+                sh.r = v;
+            else if (k == "s")
+                sh.s = v;
+            else if (k == "stride")
+                sh.strideH = sh.strideW = v;
+            else
+                SUNSTONE_FATAL("unknown conv parameter '", k, "'");
+        }
+        return makeConv2D(sh);
+    }
+    if (!a.has("einsum") || !a.has("dims"))
+        SUNSTONE_FATAL("specify a workload: --einsum + --dims, --conv, "
+                       "or --workload-file");
+    Workload wl = parseEinsum(a.get("name", "workload"), a.get("einsum"),
+                              parsePairs(a.get("dims")));
+    if (a.has("bits"))
+        for (auto &[t, b] : parsePairs(a.get("bits")))
+            wl.setWordBits(wl.tensorByName(t), static_cast<int>(b));
+    return wl;
+}
+
+ArchSpec
+archFromArgs(const Args &a)
+{
+    if (a.has("arch-file"))
+        return loadArchFile(a.get("arch-file"));
+    const std::string name = a.get("arch", "conventional");
+    if (name == "conventional")
+        return makeConventional();
+    if (name == "simba")
+        return makeSimbaLike();
+    if (name == "eyeriss")
+        return makeEyerissLike();
+    if (name == "diannao")
+        return makeDianNaoLike();
+    if (name == "toy")
+        return makeToyArch();
+    SUNSTONE_FATAL("unknown architecture '", name,
+                   "' (try conventional, simba, eyeriss, diannao, toy, "
+                   "or --arch-file)");
+}
+
+void
+printReuseTable(const Workload &wl)
+{
+    std::printf("workload: %s\n\n", wl.toString().c_str());
+    std::printf("%-10s | %-14s | %-14s | %s\n", "tensor", "indexed by",
+                "reused by", "partially reused by");
+    auto render = [&](DimSet s) {
+        std::string out;
+        for (DimId d : s) {
+            if (!out.empty())
+                out += ",";
+            out += wl.dimName(d);
+        }
+        return out.empty() ? std::string("-") : out;
+    };
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        const TensorReuse &r = wl.reuse(t);
+        std::printf("%-10s | %-14s | %-14s | %s\n",
+                    wl.tensor(t).name.c_str(), render(r.indexing).c_str(),
+                    render(r.fullyReusedBy).c_str(),
+                    render(r.partiallyReusedBy).c_str());
+    }
+}
+
+void
+printCost(const BoundArch &ba, const CostResult &cost)
+{
+    std::printf("energy  %.6g pJ\ndelay   %.6g s\nEDP     %.6g J*s\n"
+                "util    %.1f%%  (bound by %s)\n",
+                cost.totalEnergyPj, cost.delaySeconds, cost.edp,
+                100.0 * cost.utilization, cost.bottleneck.c_str());
+    std::printf("per-level energy:");
+    for (int l = 0; l < ba.numLevels(); ++l)
+        std::printf(" %s=%.4g", ba.arch().levels[l].name.c_str(),
+                    cost.levelEnergyPj[l]);
+    std::printf(" MAC=%.4g NoC=%.4g\n", cost.macEnergyPj,
+                cost.nocEnergyPj);
+}
+
+int
+cmdDescribe(const Args &a)
+{
+    printReuseTable(workloadFromArgs(a));
+    return 0;
+}
+
+int
+cmdMap(const Args &a)
+{
+    Workload wl = workloadFromArgs(a);
+    ArchSpec arch = archFromArgs(a);
+    if (a.get("arch") == "simba" && !a.has("bits"))
+        applySimbaPrecisions(wl);
+    BoundArch ba(arch, wl);
+
+    const std::string mapper = a.get("mapper", "sunstone");
+    const bool edp = !a.has("energy");
+    MapperResult mr;
+    if (mapper == "sunstone") {
+        SunstoneOptions opts;
+        opts.optimizeEdp = edp;
+        if (a.has("beam"))
+            opts.beamWidth = std::stoi(a.get("beam"));
+        if (a.has("threads"))
+            opts.threads = std::stoi(a.get("threads"));
+        SunstoneResult r = sunstoneOptimize(ba, opts);
+        mr.found = r.found;
+        mr.mapping = r.mapping;
+        mr.cost = r.cost;
+        mr.seconds = r.seconds;
+        mr.mappingsEvaluated = r.candidatesExamined;
+    } else if (mapper == "timeloop") {
+        TimeloopOptions opts = TimeloopOptions::slow();
+        opts.optimizeEdp = edp;
+        if (a.has("budget"))
+            opts.maxSeconds = std::stod(a.get("budget"));
+        mr = TimeloopMapper(opts).optimize(ba);
+    } else if (mapper == "dmaze") {
+        mr = DMazeMapper(DMazeOptions::slow()).optimize(ba);
+    } else if (mapper == "inter") {
+        mr = InterstellarMapper().optimize(ba);
+    } else if (mapper == "cosa") {
+        mr = CosaMapper().optimize(ba);
+    } else if (mapper == "gamma") {
+        GammaOptions opts;
+        opts.optimizeEdp = edp;
+        mr = GammaMapper(opts).optimize(ba);
+    } else {
+        SUNSTONE_FATAL("unknown mapper '", mapper, "'");
+    }
+
+    if (!mr.found) {
+        std::printf("no valid mapping found: %s\n",
+                    mr.invalidReason.c_str());
+        return 1;
+    }
+    std::printf("mapper  %s (%.3f s, %lld candidates)\n\n",
+                mapper.c_str(), mr.seconds,
+                static_cast<long long>(mr.mappingsEvaluated));
+    std::printf("%s\n", mr.mapping.toString(ba).c_str());
+    printCost(ba, mr.cost);
+    if (a.has("save-mapping"))
+        saveMappingFile(mr.mapping, ba, a.get("save-mapping"));
+    if (a.has("save-workload"))
+        saveWorkloadFile(wl, a.get("save-workload"));
+    return 0;
+}
+
+int
+cmdEval(const Args &a)
+{
+    Workload wl = workloadFromArgs(a);
+    ArchSpec arch = archFromArgs(a);
+    BoundArch ba(arch, wl);
+    if (!a.has("mapping"))
+        SUNSTONE_FATAL("eval needs --mapping <file>");
+    Mapping m = loadMappingFile(a.get("mapping"), ba);
+    CostResult cost = evaluateMapping(ba, m);
+    if (!cost.valid) {
+        std::printf("mapping is INVALID: %s\n",
+                    cost.invalidReason.c_str());
+        return 1;
+    }
+    std::printf("%s\n", m.toString(ba).c_str());
+    printCost(ba, cost);
+    return 0;
+}
+
+int
+cmdArch(const Args &a)
+{
+    ArchSpec arch = archFromArgs(a);
+    if (a.has("save")) {
+        saveArchFile(arch, a.get("save"));
+        std::printf("wrote %s\n", a.get("save").c_str());
+    } else {
+        std::printf("%s", archToText(arch).c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: sunstone <describe|map|eval|arch> [options]\n"
+        "see the header of tools/sunstone_cli.cc for the full option "
+        "list\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    if (a.command == "describe")
+        return cmdDescribe(a);
+    if (a.command == "map")
+        return cmdMap(a);
+    if (a.command == "eval")
+        return cmdEval(a);
+    if (a.command == "arch")
+        return cmdArch(a);
+    usage();
+    return a.command.empty() ? 1 : 2;
+}
