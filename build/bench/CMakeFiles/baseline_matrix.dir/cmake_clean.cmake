@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_matrix.dir/baseline_matrix.cc.o"
+  "CMakeFiles/baseline_matrix.dir/baseline_matrix.cc.o.d"
+  "baseline_matrix"
+  "baseline_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_non_dnn.dir/fig6_non_dnn.cc.o"
+  "CMakeFiles/fig6_non_dnn.dir/fig6_non_dnn.cc.o.d"
+  "fig6_non_dnn"
+  "fig6_non_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_non_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_inception.dir/fig7_inception.cc.o"
+  "CMakeFiles/fig7_inception.dir/fig7_inception.cc.o.d"
+  "fig7_inception"
+  "fig7_inception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_inception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_resnet_simba.dir/fig8_resnet_simba.cc.o"
+  "CMakeFiles/fig8_resnet_simba.dir/fig8_resnet_simba.cc.o.d"
+  "fig8_resnet_simba"
+  "fig8_resnet_simba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_resnet_simba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_arch.dir/sweep_arch.cc.o"
+  "CMakeFiles/sweep_arch.dir/sweep_arch.cc.o.d"
+  "sweep_arch"
+  "sweep_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_opt_order.dir/table6_opt_order.cc.o"
+  "CMakeFiles/table6_opt_order.dir/table6_opt_order.cc.o.d"
+  "table6_opt_order"
+  "table6_opt_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_opt_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_scheduling.dir/resnet_scheduling.cc.o"
+  "CMakeFiles/resnet_scheduling.dir/resnet_scheduling.cc.o.d"
+  "resnet_scheduling"
+  "resnet_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saved_dataflows.dir/saved_dataflows.cc.o"
+  "CMakeFiles/saved_dataflows.dir/saved_dataflows.cc.o.d"
+  "saved_dataflows"
+  "saved_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saved_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_decomposition.dir/tensor_decomposition.cc.o"
+  "CMakeFiles/tensor_decomposition.dir/tensor_decomposition.cc.o.d"
+  "tensor_decomposition"
+  "tensor_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch.cc" "src/arch/CMakeFiles/sunstone_arch.dir/arch.cc.o" "gcc" "src/arch/CMakeFiles/sunstone_arch.dir/arch.cc.o.d"
+  "/root/repo/src/arch/arch_config.cc" "src/arch/CMakeFiles/sunstone_arch.dir/arch_config.cc.o" "gcc" "src/arch/CMakeFiles/sunstone_arch.dir/arch_config.cc.o.d"
+  "/root/repo/src/arch/energy_model.cc" "src/arch/CMakeFiles/sunstone_arch.dir/energy_model.cc.o" "gcc" "src/arch/CMakeFiles/sunstone_arch.dir/energy_model.cc.o.d"
+  "/root/repo/src/arch/presets.cc" "src/arch/CMakeFiles/sunstone_arch.dir/presets.cc.o" "gcc" "src/arch/CMakeFiles/sunstone_arch.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sunstone_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunstone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_arch.dir/arch.cc.o"
+  "CMakeFiles/sunstone_arch.dir/arch.cc.o.d"
+  "CMakeFiles/sunstone_arch.dir/arch_config.cc.o"
+  "CMakeFiles/sunstone_arch.dir/arch_config.cc.o.d"
+  "CMakeFiles/sunstone_arch.dir/energy_model.cc.o"
+  "CMakeFiles/sunstone_arch.dir/energy_model.cc.o.d"
+  "CMakeFiles/sunstone_arch.dir/presets.cc.o"
+  "CMakeFiles/sunstone_arch.dir/presets.cc.o.d"
+  "libsunstone_arch.a"
+  "libsunstone_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

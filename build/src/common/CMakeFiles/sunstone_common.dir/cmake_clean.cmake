@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_common.dir/logging.cc.o"
+  "CMakeFiles/sunstone_common.dir/logging.cc.o.d"
+  "CMakeFiles/sunstone_common.dir/math_utils.cc.o"
+  "CMakeFiles/sunstone_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/sunstone_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sunstone_common.dir/thread_pool.cc.o.d"
+  "libsunstone_common.a"
+  "libsunstone_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ordering_trie.cc" "src/core/CMakeFiles/sunstone_core.dir/ordering_trie.cc.o" "gcc" "src/core/CMakeFiles/sunstone_core.dir/ordering_trie.cc.o.d"
+  "/root/repo/src/core/refine.cc" "src/core/CMakeFiles/sunstone_core.dir/refine.cc.o" "gcc" "src/core/CMakeFiles/sunstone_core.dir/refine.cc.o.d"
+  "/root/repo/src/core/sunstone.cc" "src/core/CMakeFiles/sunstone_core.dir/sunstone.cc.o" "gcc" "src/core/CMakeFiles/sunstone_core.dir/sunstone.cc.o.d"
+  "/root/repo/src/core/tiling_tree.cc" "src/core/CMakeFiles/sunstone_core.dir/tiling_tree.cc.o" "gcc" "src/core/CMakeFiles/sunstone_core.dir/tiling_tree.cc.o.d"
+  "/root/repo/src/core/unrolling.cc" "src/core/CMakeFiles/sunstone_core.dir/unrolling.cc.o" "gcc" "src/core/CMakeFiles/sunstone_core.dir/unrolling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sunstone_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sunstone_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunstone_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sunstone_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunstone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

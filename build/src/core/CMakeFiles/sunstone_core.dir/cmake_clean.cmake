@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_core.dir/ordering_trie.cc.o"
+  "CMakeFiles/sunstone_core.dir/ordering_trie.cc.o.d"
+  "CMakeFiles/sunstone_core.dir/refine.cc.o"
+  "CMakeFiles/sunstone_core.dir/refine.cc.o.d"
+  "CMakeFiles/sunstone_core.dir/sunstone.cc.o"
+  "CMakeFiles/sunstone_core.dir/sunstone.cc.o.d"
+  "CMakeFiles/sunstone_core.dir/tiling_tree.cc.o"
+  "CMakeFiles/sunstone_core.dir/tiling_tree.cc.o.d"
+  "CMakeFiles/sunstone_core.dir/unrolling.cc.o"
+  "CMakeFiles/sunstone_core.dir/unrolling.cc.o.d"
+  "libsunstone_core.a"
+  "libsunstone_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

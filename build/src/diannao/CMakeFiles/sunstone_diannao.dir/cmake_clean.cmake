@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_diannao.dir/compiler.cc.o"
+  "CMakeFiles/sunstone_diannao.dir/compiler.cc.o.d"
+  "CMakeFiles/sunstone_diannao.dir/isa.cc.o"
+  "CMakeFiles/sunstone_diannao.dir/isa.cc.o.d"
+  "CMakeFiles/sunstone_diannao.dir/simulator.cc.o"
+  "CMakeFiles/sunstone_diannao.dir/simulator.cc.o.d"
+  "libsunstone_diannao.a"
+  "libsunstone_diannao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_diannao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mappers/cosa_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/cosa_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/cosa_mapper.cc.o.d"
+  "/root/repo/src/mappers/dmaze_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/dmaze_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/dmaze_mapper.cc.o.d"
+  "/root/repo/src/mappers/exhaustive_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/exhaustive_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/exhaustive_mapper.cc.o.d"
+  "/root/repo/src/mappers/gamma_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/gamma_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/gamma_mapper.cc.o.d"
+  "/root/repo/src/mappers/interstellar_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/interstellar_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/interstellar_mapper.cc.o.d"
+  "/root/repo/src/mappers/space_size.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/space_size.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/space_size.cc.o.d"
+  "/root/repo/src/mappers/timeloop_mapper.cc" "src/mappers/CMakeFiles/sunstone_mappers.dir/timeloop_mapper.cc.o" "gcc" "src/mappers/CMakeFiles/sunstone_mappers.dir/timeloop_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sunstone_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sunstone_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunstone_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sunstone_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunstone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_mappers.dir/cosa_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/cosa_mapper.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/dmaze_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/dmaze_mapper.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/exhaustive_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/exhaustive_mapper.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/gamma_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/gamma_mapper.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/interstellar_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/interstellar_mapper.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/space_size.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/space_size.cc.o.d"
+  "CMakeFiles/sunstone_mappers.dir/timeloop_mapper.cc.o"
+  "CMakeFiles/sunstone_mappers.dir/timeloop_mapper.cc.o.d"
+  "libsunstone_mappers.a"
+  "libsunstone_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsunstone_mappers.a"
+)

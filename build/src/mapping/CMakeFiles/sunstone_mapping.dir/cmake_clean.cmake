@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_mapping.dir/mapping.cc.o"
+  "CMakeFiles/sunstone_mapping.dir/mapping.cc.o.d"
+  "CMakeFiles/sunstone_mapping.dir/serialize.cc.o"
+  "CMakeFiles/sunstone_mapping.dir/serialize.cc.o.d"
+  "libsunstone_mapping.a"
+  "libsunstone_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

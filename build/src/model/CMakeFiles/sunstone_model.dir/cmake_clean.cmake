@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_model.dir/cost_model.cc.o"
+  "CMakeFiles/sunstone_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/sunstone_model.dir/nest_simulator.cc.o"
+  "CMakeFiles/sunstone_model.dir/nest_simulator.cc.o.d"
+  "libsunstone_model.a"
+  "libsunstone_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/nets.cc" "src/workload/CMakeFiles/sunstone_workload.dir/nets.cc.o" "gcc" "src/workload/CMakeFiles/sunstone_workload.dir/nets.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/sunstone_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/sunstone_workload.dir/workload.cc.o.d"
+  "/root/repo/src/workload/zoo.cc" "src/workload/CMakeFiles/sunstone_workload.dir/zoo.cc.o" "gcc" "src/workload/CMakeFiles/sunstone_workload.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sunstone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_workload.dir/nets.cc.o"
+  "CMakeFiles/sunstone_workload.dir/nets.cc.o.d"
+  "CMakeFiles/sunstone_workload.dir/workload.cc.o"
+  "CMakeFiles/sunstone_workload.dir/workload.cc.o.d"
+  "CMakeFiles/sunstone_workload.dir/zoo.cc.o"
+  "CMakeFiles/sunstone_workload.dir/zoo.cc.o.d"
+  "libsunstone_workload.a"
+  "libsunstone_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

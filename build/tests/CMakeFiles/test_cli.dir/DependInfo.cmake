@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/test_cli.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/test_cli.dir/test_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sunstone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mappers/CMakeFiles/sunstone_mappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/diannao/CMakeFiles/sunstone_diannao.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sunstone_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sunstone_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunstone_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sunstone_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sunstone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_properties.dir/test_cost_properties.cc.o"
+  "CMakeFiles/test_cost_properties.dir/test_cost_properties.cc.o.d"
+  "test_cost_properties"
+  "test_cost_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diannao.dir/test_diannao.cc.o"
+  "CMakeFiles/test_diannao.dir/test_diannao.cc.o.d"
+  "test_diannao"
+  "test_diannao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diannao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_nets.dir/test_extended_nets.cc.o"
+  "CMakeFiles/test_extended_nets.dir/test_extended_nets.cc.o.d"
+  "test_extended_nets"
+  "test_extended_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

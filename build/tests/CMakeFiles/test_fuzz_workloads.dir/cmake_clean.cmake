@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_workloads.dir/test_fuzz_workloads.cc.o"
+  "CMakeFiles/test_fuzz_workloads.dir/test_fuzz_workloads.cc.o.d"
+  "test_fuzz_workloads"
+  "test_fuzz_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordering_trie.dir/test_ordering_trie.cc.o"
+  "CMakeFiles/test_ordering_trie.dir/test_ordering_trie.cc.o.d"
+  "test_ordering_trie"
+  "test_ordering_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordering_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sunstone.dir/test_sunstone.cc.o"
+  "CMakeFiles/test_sunstone.dir/test_sunstone.cc.o.d"
+  "test_sunstone"
+  "test_sunstone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sunstone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

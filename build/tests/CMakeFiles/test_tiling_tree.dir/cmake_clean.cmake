@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiling_tree.dir/test_tiling_tree.cc.o"
+  "CMakeFiles/test_tiling_tree.dir/test_tiling_tree.cc.o.d"
+  "test_tiling_tree"
+  "test_tiling_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiling_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

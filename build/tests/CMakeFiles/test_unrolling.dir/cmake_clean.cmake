@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unrolling.dir/test_unrolling.cc.o"
+  "CMakeFiles/test_unrolling.dir/test_unrolling.cc.o.d"
+  "test_unrolling"
+  "test_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo_nets.dir/test_zoo_nets.cc.o"
+  "CMakeFiles/test_zoo_nets.dir/test_zoo_nets.cc.o.d"
+  "test_zoo_nets"
+  "test_zoo_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

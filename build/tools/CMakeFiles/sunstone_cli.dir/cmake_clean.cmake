@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunstone_cli.dir/sunstone_cli.cc.o"
+  "CMakeFiles/sunstone_cli.dir/sunstone_cli.cc.o.d"
+  "sunstone"
+  "sunstone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunstone_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
