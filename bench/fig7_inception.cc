@@ -21,6 +21,7 @@
 #include "mappers/dmaze_mapper.hh"
 #include "mappers/interstellar_mapper.hh"
 #include "mappers/timeloop_mapper.hh"
+#include "model/eval_engine.hh"
 #include "workload/nets.hh"
 
 using namespace sunstone;
@@ -58,25 +59,39 @@ main()
     int dmaze_invalid = 0, inter_invalid = 0, layers_run = 0;
     int tl_never_matches = 0;
 
+    // One engine per tool family: Sunstone's telemetry stays separable
+    // from the baselines', while each family shares its cache and pool
+    // across all layers.
+    EvalEngine sunEngine;
+    EvalEngine baselineEngine;
+
     for (const auto &layer : inceptionV3WeightUpdateLayers(16)) {
         BoundArch ba(arch, layer.workload);
-        SunstoneResult sun = sunstoneOptimize(ba);
+        SunstoneOptions so;
+        so.engine = &sunEngine;
+        SunstoneResult sun = sunstoneOptimize(ba, so);
 
         TimeloopOptions tf = TimeloopOptions::fast();
         tf.maxSeconds = budget;
+        tf.engine = &baselineEngine;
         auto tlf = TimeloopMapper(tf, "TL-fast").optimize(ba);
         TimeloopOptions ts = TimeloopOptions::slow();
         ts.maxSeconds = budget;
+        ts.engine = &baselineEngine;
         auto tls = TimeloopMapper(ts, "TL-slow").optimize(ba);
 
         DMazeOptions df = DMazeOptions::fast();
         df.maxEvaluations = 60000;
+        df.engine = &baselineEngine;
         auto dmf = DMazeMapper(df, "dMaze-fast").optimize(ba);
         DMazeOptions ds = DMazeOptions::slow();
         ds.maxEvaluations = 60000;
+        ds.engine = &baselineEngine;
         auto dms = DMazeMapper(ds, "dMaze-slow").optimize(ba);
 
-        auto inter = InterstellarMapper().optimize(ba);
+        InterstellarOptions io;
+        io.engine = &baselineEngine;
+        auto inter = InterstellarMapper(io).optimize(ba);
 
         std::printf(
             "%-14s | %9.3g | %9s %9s | %9s %9s | %9s || %7.2f %7.2f "
@@ -110,5 +125,23 @@ main()
                 tl_never_matches, layers_run);
     std::printf("dMaze invalid on %d/%d layers; INTER invalid on %d/%d\n",
                 dmaze_invalid, layers_run, inter_invalid, layers_run);
+
+    const SearchStats ss = sunEngine.stats();
+    const SearchStats bs = baselineEngine.stats();
+    std::printf("\nengine telemetry (all layers):\n");
+    std::printf("  Sunstone : %lld evaluations, %lld cache hits "
+                "(%.1f%% of cached lookups), %lld prunes\n",
+                static_cast<long long>(ss.evaluations),
+                static_cast<long long>(ss.cacheHits),
+                ss.cacheHits + ss.cacheMisses
+                    ? 100.0 * (double)ss.cacheHits /
+                          (double)(ss.cacheHits + ss.cacheMisses)
+                    : 0.0,
+                static_cast<long long>(ss.prunes));
+    std::printf("  baselines: %lld evaluations, %lld cache hits, "
+                "%lld invalid mappings\n",
+                static_cast<long long>(bs.evaluations),
+                static_cast<long long>(bs.cacheHits),
+                static_cast<long long>(bs.invalidMappings));
     return 0;
 }

@@ -16,9 +16,11 @@
 
 #include "arch/presets.hh"
 #include "bench/bench_util.hh"
+#include "core/net_scheduler.hh"
 #include "core/sunstone.hh"
 #include "mappers/cosa_mapper.hh"
 #include "mappers/timeloop_mapper.hh"
+#include "model/eval_engine.hh"
 #include "workload/nets.hh"
 
 using namespace sunstone;
@@ -42,18 +44,39 @@ main()
     int cosa_invalid = 0, cosa_total = 0;
     double sun_total_edp = 0, tl_total_edp = 0;
 
-    for (const auto &layer : resnet18Layers(16)) {
-        Workload wl = layer.workload;
-        applySimbaPrecisions(wl);
+    // The whole network goes through the network scheduler on one shared
+    // engine: repeated structures are searched once and every search
+    // shares the memoization cache. Baselines get their own engine so
+    // the telemetry stays per tool family.
+    std::vector<Layer> layers = resnet18Layers(16);
+    for (auto &layer : layers)
+        applySimbaPrecisions(layer.workload);
+
+    EvalEngine sunEngine;
+    NetSchedulerOptions nopts;
+    nopts.engine = &sunEngine;
+    NetScheduleResult net = scheduleNet(arch, layers, nopts);
+
+    EvalEngine baselineEngine;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        const Workload &wl = layers[li].workload;
         BoundArch ba(arch, wl);
 
-        SunstoneResult sun = sunstoneOptimize(ba);
+        const LayerSchedule &lsched = net.layers[li];
+        SunstoneResult sun;
+        sun.found = lsched.found;
+        sun.mapping = lsched.mapping;
+        sun.cost = lsched.cost;
+        sun.seconds = lsched.seconds;
 
         TimeloopOptions to = TimeloopOptions::slow();
         to.maxSeconds = budget;
+        to.engine = &baselineEngine;
         auto tl = TimeloopMapper(to, "TL").optimize(ba);
 
-        auto cosa = CosaMapper().optimize(ba);
+        CosaOptions co;
+        co.engine = &baselineEngine;
+        auto cosa = CosaMapper(co).optimize(ba);
         ++cosa_total;
         if (!cosa.found)
             ++cosa_invalid;
@@ -76,9 +99,10 @@ main()
 
         if (tl.found && sun.found) {
             tl_gain.push_back(tl.cost.edp / sun.cost.edp);
-            tl_speedup.push_back(tl.seconds / sun.seconds);
-            sun_total_edp += layer.count * sun.cost.edp;
-            tl_total_edp += layer.count * tl.cost.edp;
+            if (!lsched.deduplicated && sun.seconds > 0)
+                tl_speedup.push_back(tl.seconds / sun.seconds);
+            sun_total_edp += layers[li].count * sun.cost.edp;
+            tl_total_edp += layers[li].count * tl.cost.edp;
         }
     }
     bench::rule(100);
@@ -89,5 +113,22 @@ main()
                 bench::geomean(tl_speedup));
     std::printf("CoSA invalid mappings: %d/%d layers\n", cosa_invalid,
                 cosa_total);
+
+    const SearchStats ss = sunEngine.stats();
+    const SearchStats bs = baselineEngine.stats();
+    std::printf("\nnetwork schedule: %d layer instances, %d unique "
+                "searched (%.2f s total)\n",
+                net.layersTotal, net.layersUnique, net.seconds);
+    std::printf("whole-net aggregate: energy %.4g pJ, delay %.4g s, "
+                "EDP %.4g\n",
+                net.totalEnergyPj, net.totalDelaySeconds, net.totalEdp);
+    std::printf("Sunstone engine: %lld evaluations, %lld cost-model runs "
+                "avoided by the cache, %lld prunes\n",
+                static_cast<long long>(ss.evaluations),
+                static_cast<long long>(ss.cacheHits),
+                static_cast<long long>(ss.prunes));
+    std::printf("baseline engine: %lld evaluations, %lld cache hits\n",
+                static_cast<long long>(bs.evaluations),
+                static_cast<long long>(bs.cacheHits));
     return 0;
 }

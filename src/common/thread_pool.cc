@@ -1,6 +1,7 @@
 #include "common/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
 
 namespace sunstone {
 
@@ -44,6 +45,28 @@ ThreadPool::waitIdle()
     cvIdle.wait(lk, [this] { return queue.empty() && active == 0; });
 }
 
+bool
+ThreadPool::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (queue.empty())
+            return false;
+        task = std::move(queue.front());
+        queue.pop_front();
+        ++active;
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        --active;
+        if (queue.empty() && active == 0)
+            cvIdle.notify_all();
+    }
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -69,27 +92,72 @@ ThreadPool::workerLoop()
 }
 
 void
+TaskGroup::run(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++pending;
+    }
+    pool.submit([this, fn = std::move(fn)] {
+        fn();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            --pending;
+        }
+        cv.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            if (pending == 0)
+                return;
+        }
+        // Help: run queued tasks (possibly other groups') while waiting.
+        if (pool.tryRunOne())
+            continue;
+        // Queue empty but our tasks still running elsewhere: nap briefly.
+        // The timeout covers the race where a running task enqueues new
+        // work between our empty-queue check and the wait.
+        std::unique_lock<std::mutex> lk(mtx);
+        cv.wait_for(lk, std::chrono::milliseconds(1),
+                    [this] { return pending == 0; });
+        if (pending == 0)
+            return;
+    }
+}
+
+void
 parallelFor(ThreadPool &pool, std::size_t n,
             const std::function<void(std::size_t)> &fn)
 {
-    if (pool.size() <= 1 || n <= 1) {
+    if (n == 0)
+        return;
+    if (pool.size() <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
     std::atomic<std::size_t> next{0};
-    const unsigned workers = pool.size();
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.submit([&next, n, &fn] {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    pool.waitIdle();
+    auto runner = [&next, n, &fn] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    TaskGroup group(pool);
+    const std::size_t helpers =
+        std::min<std::size_t>(pool.size(), n - 1);
+    for (std::size_t w = 0; w < helpers; ++w)
+        group.run(runner);
+    runner(); // the caller participates, guaranteeing progress
+    group.wait();
 }
 
 } // namespace sunstone

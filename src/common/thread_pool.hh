@@ -1,7 +1,19 @@
 /**
  * @file
  * A minimal fixed-size thread pool used to parallelize independent mapper
- * evaluations (the paper runs every tool with 8 threads).
+ * evaluations (the paper runs every tool with 8 threads), plus a
+ * TaskGroup for scoped fork/join on a *shared* pool.
+ *
+ * The pool is designed to be shared by nested searches (the network
+ * scheduler runs one Sunstone search per unique layer, and each search
+ * parallelizes its own beam expansion on the same workers). Two rules
+ * make that safe:
+ *  - waiting on a TaskGroup is a *helping* wait: the waiter drains tasks
+ *    from the pool queue while its group is outstanding, so a worker
+ *    blocked on a nested join still makes global progress (no deadlock
+ *    even with a single worker);
+ *  - parallelFor() waits on its own group, never on global pool idleness,
+ *    so concurrent submitters do not wait for each other's tasks.
  */
 
 #ifndef SUNSTONE_COMMON_THREAD_POOL_HH
@@ -36,8 +48,18 @@ class ThreadPool
     /** Enqueues a task for execution on some worker. */
     void submit(std::function<void()> task);
 
-    /** Blocks until the queue is empty and all workers are idle. */
+    /**
+     * Blocks until the queue is empty and all workers are idle. Only
+     * meaningful when the caller is the sole submitter; scoped joins
+     * should use TaskGroup instead.
+     */
     void waitIdle();
+
+    /**
+     * Pops one queued task and runs it on the *calling* thread.
+     * @return false when the queue was empty.
+     */
+    bool tryRunOne();
 
     /** @return the number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
@@ -55,8 +77,40 @@ class ThreadPool
 };
 
 /**
+ * A scoped set of tasks on a shared pool. wait() returns when every task
+ * run() through this group has finished, independent of other work on the
+ * pool. The waiting thread helps execute queued tasks, so nested groups
+ * (a pool task that itself creates and waits on a group) cannot deadlock.
+ * The destructor waits.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool(pool) {}
+    ~TaskGroup() { wait(); }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Submits a task belonging to this group. */
+    void run(std::function<void()> fn);
+
+    /** Helping join: blocks until all of this group's tasks finished. */
+    void wait();
+
+  private:
+    ThreadPool &pool;
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+};
+
+/**
  * Runs fn(i) for i in [0, n) across the pool and waits for completion.
- * Falls back to a serial loop when the pool has a single worker.
+ * The calling thread participates, the wait is group-scoped (safe with
+ * concurrent submitters), and the call nests safely when the caller is
+ * itself a pool worker. Falls back to a serial loop when the pool has a
+ * single worker.
  */
 void parallelFor(ThreadPool &pool, std::size_t n,
                  const std::function<void(std::size_t)> &fn);

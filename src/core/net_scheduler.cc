@@ -1,0 +1,183 @@
+#include "core/net_scheduler.hh"
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.hh"
+#include "common/timer.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** JSON string escaping for layer names (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+NetScheduleResult::toJson() const
+{
+    std::string j = "{";
+    j += "\"allFound\":" + std::string(allFound ? "true" : "false");
+    j += ",\"layersTotal\":" + std::to_string(layersTotal);
+    j += ",\"layersUnique\":" + std::to_string(layersUnique);
+    j += ",\"totalEnergyPj\":" + num(totalEnergyPj);
+    j += ",\"totalDelaySeconds\":" + num(totalDelaySeconds);
+    j += ",\"totalEdp\":" + num(totalEdp);
+    j += ",\"seconds\":" + num(seconds);
+    j += ",\"layers\":[";
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerSchedule &l = layers[i];
+        if (i)
+            j += ",";
+        j += "{\"name\":\"" + jsonEscape(l.name) + "\"";
+        j += ",\"count\":" + std::to_string(l.count);
+        j += ",\"found\":" + std::string(l.found ? "true" : "false");
+        j += ",\"deduplicated\":" +
+             std::string(l.deduplicated ? "true" : "false");
+        if (l.found) {
+            j += ",\"energyPj\":" + num(l.cost.totalEnergyPj);
+            j += ",\"delaySeconds\":" + num(l.cost.delaySeconds);
+            j += ",\"edp\":" + num(l.cost.edp);
+            j += ",\"utilization\":" + num(l.cost.utilization);
+        }
+        j += ",\"seconds\":" + num(l.seconds);
+        j += ",\"candidatesExamined\":" +
+             std::to_string(l.candidatesExamined);
+        j += "}";
+    }
+    j += "],\"stats\":" + stats.toJson();
+    j += "}";
+    return j;
+}
+
+NetScheduleResult
+scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
+            const NetSchedulerOptions &opts)
+{
+    Timer timer;
+    NetScheduleResult result;
+
+    const unsigned threads =
+        opts.threads ? opts.threads : opts.sunstone.threads;
+    EvalEngine localEngine(EvalEngineOptions{.threads = threads});
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+
+    // Bind every layer and group by structural fingerprint. BoundArch
+    // objects are heap-allocated so references taken by the concurrent
+    // searches below stay stable.
+    struct Unique
+    {
+        std::unique_ptr<BoundArch> ba;
+        SunstoneResult search;
+    };
+    std::vector<Unique> uniques;
+    std::vector<std::size_t> layerToUnique(layers.size());
+    std::unordered_map<std::uint64_t, std::size_t> byFingerprint;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        auto ba = std::make_unique<BoundArch>(arch, layers[i].workload);
+        const std::uint64_t fp = eng.context(*ba).fingerprint();
+        auto [it, inserted] =
+            byFingerprint.emplace(fp, uniques.size());
+        if (inserted)
+            uniques.push_back({std::move(ba), {}});
+        layerToUnique[i] = it->second;
+    }
+
+    // One Sunstone search per unique structure, concurrently on the
+    // shared pool. The search's own parallelFor nests on the same pool
+    // through group-scoped joins, so no thread oversubscription.
+    parallelFor(eng.pool(), uniques.size(), [&](std::size_t u) {
+        SunstoneOptions so = opts.sunstone;
+        so.engine = &eng;
+        Timer t;
+        uniques[u].search = sunstoneOptimize(*uniques[u].ba, so);
+        eng.addPhaseSeconds(
+            "layer:" + uniques[u].ba->workload().name(), t.seconds());
+    });
+
+    result.allFound = true;
+    result.layers.reserve(layers.size());
+    std::vector<bool> seen(uniques.size(), false);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const std::size_t u = layerToUnique[i];
+        const Unique &uq = uniques[u];
+        LayerSchedule ls;
+        ls.name = layers[i].workload.name();
+        ls.count = layers[i].count;
+        ls.found = uq.search.found;
+        ls.mapping = uq.search.mapping;
+        if (seen[u]) {
+            // Broadcast: re-validate the chosen mapping under this
+            // layer's own context. Identical structure means an
+            // identical cache key, so this is a guaranteed hit — the
+            // dedup shows up in the telemetry instead of as a repeated
+            // search.
+            ls.deduplicated = true;
+            if (ls.found)
+                ls.cost = eng.evaluate(eng.context(*uq.ba), ls.mapping);
+        } else {
+            seen[u] = true;
+            ls.cost = uq.search.cost;
+            ls.seconds = uq.search.seconds;
+            ls.candidatesExamined = uq.search.candidatesExamined;
+        }
+        if (ls.found) {
+            result.totalEnergyPj += ls.count * ls.cost.totalEnergyPj;
+            result.totalDelaySeconds += ls.count * ls.cost.delaySeconds;
+        } else {
+            result.allFound = false;
+        }
+        result.layersTotal += ls.count;
+        result.layers.push_back(std::move(ls));
+    }
+    result.layersUnique = static_cast<int>(uniques.size());
+    result.totalEdp = result.totalEnergyPj * result.totalDelaySeconds;
+    result.seconds = timer.seconds();
+    eng.addPhaseSeconds("net.schedule", result.seconds);
+    result.stats = eng.stats();
+    return result;
+}
+
+} // namespace sunstone

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/math_utils.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -12,12 +13,12 @@ namespace {
 
 /** Objective of a mapping; infinity when invalid. */
 double
-objective(const BoundArch &ba, const Mapping &m, bool edp,
-          RefineStats *stats)
+objective(EvalEngine &engine, const EvalEngine::Context &ctx,
+          const Mapping &m, bool edp, RefineStats *stats)
 {
     if (stats)
         ++stats->evaluated;
-    CostResult r = evaluateMapping(ba, m);
+    CostResult r = engine.evaluate(ctx, m);
     if (!r.valid)
         return std::numeric_limits<double>::infinity();
     return edp ? r.edp : r.totalEnergyPj;
@@ -98,14 +99,17 @@ neighbours(const BoundArch &ba, const Mapping &m)
 
 Mapping
 polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
-              int max_rounds, RefineStats *stats)
+              int max_rounds, RefineStats *stats, EvalEngine *engine)
 {
+    EvalEngine localEngine;
+    EvalEngine &eng = engine ? *engine : localEngine;
+    const EvalEngine::Context ctx = eng.context(ba);
     Mapping best = m;
-    double best_obj = objective(ba, best, optimize_edp, stats);
+    double best_obj = objective(eng, ctx, best, optimize_edp, stats);
     for (int round = 0; round < max_rounds; ++round) {
         bool improved = false;
         for (auto &n : neighbours(ba, best)) {
-            const double obj = objective(ba, n, optimize_edp, stats);
+            const double obj = objective(eng, ctx, n, optimize_edp, stats);
             if (obj < best_obj) {
                 best_obj = obj;
                 best = std::move(n);

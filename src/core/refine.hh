@@ -16,6 +16,8 @@
 
 namespace sunstone {
 
+class EvalEngine;
+
 /** Refinement statistics. */
 struct RefineStats
 {
@@ -31,10 +33,14 @@ struct RefineStats
  * @param optimize_edp objective (EDP or energy)
  * @param max_rounds cap on accepted-improvement rounds
  * @param stats optional counters
+ * @param engine optional shared evaluation engine; a private one is
+ *        created when null. The hill climb revisits neighbours across
+ *        rounds, so a shared memoized engine saves real evaluations.
  */
 Mapping polishMapping(const BoundArch &ba, const Mapping &m,
                       bool optimize_edp, int max_rounds = 64,
-                      RefineStats *stats = nullptr);
+                      RefineStats *stats = nullptr,
+                      EvalEngine *engine = nullptr);
 
 } // namespace sunstone
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
@@ -15,6 +16,7 @@
 #include "core/refine.hh"
 #include "core/tiling_tree.hh"
 #include "core/unrolling.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -53,7 +55,9 @@ class Driver
     Driver(const BoundArch &ba, const SunstoneOptions &opts)
         : ba(ba), opts(opts), wl(ba.workload()),
           nLevels(ba.numLevels()), nDims(wl.numDims()),
-          pool(opts.threads)
+          localEngine(EvalEngineOptions{.threads = opts.threads}),
+          engine(opts.engine ? *opts.engine : localEngine),
+          ctx(engine.context(ba))
     {
     }
 
@@ -76,7 +80,7 @@ class Driver
         // Full evaluation (with validity check) of the surviving beam.
         std::vector<std::pair<double, const Partial *>> ranked;
         for (const auto &p : beam) {
-            CostResult cr = evaluateMapping(ba, p.m);
+            CostResult cr = engine.evaluate(ctx, p.m);
             if (!cr.valid)
                 continue;
             ranked.emplace_back(
@@ -98,10 +102,11 @@ class Driver
             Mapping m = ranked[i].second->m;
             if (opts.polish) {
                 RefineStats rs;
-                m = polishMapping(ba, m, opts.optimizeEdp, 64, &rs);
+                m = polishMapping(ba, m, opts.optimizeEdp, 64, &rs,
+                                  &engine);
                 examined.fetch_add(rs.evaluated);
             }
-            CostResult cr = evaluateMapping(ba, m);
+            CostResult cr = engine.evaluate(ctx, m);
             if (!cr.valid)
                 continue;
             const double metric =
@@ -115,6 +120,7 @@ class Driver
         }
         result.candidatesExamined = examined.load();
         result.seconds = timer.seconds();
+        engine.addPhaseSeconds("sunstone.search", result.seconds);
         return result;
     }
 
@@ -228,8 +234,12 @@ class Driver
         // in the paper; the delay of a residual-at-DRAM completion is
         // too noisy to rank by EDP. Parallelism diversity is preserved
         // by the stratified beam (see expandBeam), and the final pick
-        // over the surviving beam uses the real objective.
-        return evaluateMapping(ba, m, cmo).totalEnergyPj;
+        // over the surviving beam uses the real objective. Completions
+        // are nearly all distinct, so the cache is bypassed: caching
+        // them would only churn entries the rank/polish phases reuse.
+        return engine
+            .evaluate(ctx, m, cmo, EvalEngine::CachePolicy::Bypass)
+            .totalEnergyPj;
     }
 
     /** Pushes a finished step candidate through alpha-beta + collection. */
@@ -244,8 +254,10 @@ class Driver
             while (cand.score < inc &&
                    !incumbent.compare_exchange_weak(inc, cand.score)) {
             }
-            if (cand.score > incumbent.load() * opts.alphaSlack)
+            if (cand.score > incumbent.load() * opts.alphaSlack) {
+                engine.notePrune();
                 return;
+            }
         }
         std::lock_guard<std::mutex> lk(mtx);
         out.push_back(std::move(cand));
@@ -257,7 +269,7 @@ class Driver
     {
         std::vector<Partial> out;
         std::mutex mtx;
-        parallelFor(pool, beam.size(), [&](std::size_t i) {
+        parallelFor(engine.pool(), beam.size(), [&](std::size_t i) {
             if (bottom_up)
                 expandBottomUp(beam[i], k, out, mtx);
             else
@@ -587,9 +599,13 @@ class Driver
                 shape[d] = remaining[d] / t[d];
             return shapeFits(ba, k - 1, shape);
         };
-        std::map<std::vector<std::int64_t>, bool> visited;
+        // Hash of the factor vector, not the vector itself: the frontier
+        // visits millions of nodes on large shapes and the ordered-map
+        // key comparisons dominated. A 64-bit FNV collision would only
+        // drop one duplicate candidate, never corrupt a mapping.
+        std::unordered_set<std::uint64_t> visited;
         std::vector<std::vector<std::int64_t>> frontier{unit};
-        visited[unit] = true;
+        visited.insert(hashFactors(unit));
         constexpr std::int64_t node_cap = 2'000'000;
         std::int64_t visited_nodes = 0;
         while (!frontier.empty()) {
@@ -611,10 +627,8 @@ class Driver
                         continue;
                     auto child = node;
                     child[d] = nf;
-                    if (!visited[child]) {
-                        visited[child] = true;
+                    if (visited.insert(hashFactors(child)).second)
                         next.push_back(std::move(child));
-                    }
                 }
             }
             frontier = std::move(next);
@@ -654,7 +668,10 @@ class Driver
     const Workload &wl;
     const int nLevels;
     const int nDims;
-    ThreadPool pool;
+    /** Private engine used only when none is injected via the options. */
+    EvalEngine localEngine;
+    EvalEngine &engine;
+    const EvalEngine::Context ctx;
     std::atomic<std::int64_t> examined{0};
     std::atomic<double> incumbent{kInf};
 };

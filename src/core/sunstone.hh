@@ -26,6 +26,8 @@
 
 namespace sunstone {
 
+class EvalEngine;
+
 /** Search configuration. */
 struct SunstoneOptions
 {
@@ -75,6 +77,14 @@ struct SunstoneOptions
      * so unrollings mixing reduction and output dims stay reachable.
      */
     bool generalistOrdering = true;
+
+    /**
+     * Shared evaluation engine (memoization cache, telemetry, worker
+     * pool). When null the driver creates a private engine sized by
+     * `threads`; inject one to share the cache and pool across searches
+     * (the network scheduler does).
+     */
+    EvalEngine *engine = nullptr;
 };
 
 /** Search outcome. */

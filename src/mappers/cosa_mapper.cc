@@ -6,6 +6,7 @@
 #include "common/math_utils.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -167,7 +168,9 @@ CosaMapper::optimize(const BoundArch &ba)
     for (DimId d = 0; d < nd; ++d)
         m.level(nl - 1).temporal[d] = rem[d];
 
-    CostResult cr = evaluateMapping(ba, m);
+    EvalEngine localEngine;
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    CostResult cr = eng.evaluate(eng.context(ba), m);
     result.mappingsEvaluated = 1;
     result.seconds = timer.seconds();
     result.mapping = m;

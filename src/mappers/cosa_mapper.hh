@@ -22,6 +22,9 @@ struct CosaOptions
 {
     /** Target buffer fill fraction for the relaxed allocation. */
     double targetUtilization = 0.85;
+
+    /** Shared evaluation engine; a private one is created when null. */
+    EvalEngine *engine = nullptr;
 };
 
 /** The mapper. */

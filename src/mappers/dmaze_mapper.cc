@@ -5,6 +5,7 @@
 #include "common/math_utils.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -176,6 +177,9 @@ DMazeMapper::optimize(const BoundArch &ba)
     const ArchSpec &arch = ba.arch();
     const int nd = wl.numDims();
 
+    EvalEngine localEngine;
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+
     auto bail = [&](const std::string &why) {
         result.invalid = true;
         result.invalidReason = why;
@@ -218,6 +222,8 @@ DMazeMapper::optimize(const BoundArch &ba)
                                      opts.peUtil, 24);
     if (spatials.empty())
         return bail("no unrolling meets the PE utilization threshold");
+
+    const EvalEngine::Context ctx = eng.context(ba);
 
     double best_metric = std::numeric_limits<double>::infinity();
     bool found = false;
@@ -267,7 +273,7 @@ DMazeMapper::optimize(const BoundArch &ba)
                         }
                         m.level(1).order = rotatedOrder(nd, in2);
                         m.level(2).order = rotatedOrder(nd, in3);
-                        CostResult cr = evaluateMapping(ba, m);
+                        CostResult cr = eng.evaluate(ctx, m);
                         ++evaluated;
                         if (!cr.valid)
                             continue;

@@ -6,6 +6,7 @@
 #include "common/math_utils.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -16,9 +17,9 @@ namespace {
 class Enumerator
 {
   public:
-    Enumerator(const BoundArch &ba, bool optimize_edp)
-        : ba(ba), wl(ba.workload()), nl(ba.numLevels()),
-          nd(wl.numDims()), optimizeEdp(optimize_edp)
+    Enumerator(const BoundArch &ba, EvalEngine &eng, bool optimize_edp)
+        : ba(ba), wl(ba.workload()), eng(eng), ctx(eng.context(ba)),
+          nl(ba.numLevels()), nd(wl.numDims()), optimizeEdp(optimize_edp)
     {
         for (int l = 0; l < nl; ++l) {
             slots.push_back({l, false});
@@ -108,7 +109,7 @@ class Enumerator
     void
     evaluate()
     {
-        CostResult cr = evaluateMapping(ba, m);
+        CostResult cr = eng.evaluate(ctx, m);
         ++evaluated;
         if (!cr.valid)
             return;
@@ -122,6 +123,8 @@ class Enumerator
 
     const BoundArch &ba;
     const Workload &wl;
+    EvalEngine &eng;
+    const EvalEngine::Context ctx;
     const int nl;
     const int nd;
     const bool optimizeEdp;
@@ -145,7 +148,9 @@ ExhaustiveMapper::optimize(const BoundArch &ba)
     if (est > opts.maxSpace)
         SUNSTONE_FATAL("exhaustive search space too large (", est,
                        " mappings, cap ", opts.maxSpace, ")");
-    Enumerator e(ba, opts.optimizeEdp);
+    EvalEngine localEngine;
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    Enumerator e(ba, eng, opts.optimizeEdp);
     MapperResult r = e.run();
     r.seconds = timer.seconds();
     return r;

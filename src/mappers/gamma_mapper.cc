@@ -7,6 +7,7 @@
 #include "common/math_utils.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -92,8 +93,12 @@ GammaMapper::optimize(const BoundArch &ba)
     const auto slots = slotsOf(ba);
     std::mt19937_64 rng(opts.seed);
 
+    EvalEngine localEngine;
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    const EvalEngine::Context ctx = eng.context(ba);
+
     auto fitness = [&](const Mapping &m) {
-        CostResult cr = evaluateMapping(ba, m);
+        CostResult cr = eng.evaluate(ctx, m);
         ++result.mappingsEvaluated;
         if (!cr.valid)
             return std::numeric_limits<double>::infinity();
@@ -173,7 +178,7 @@ GammaMapper::optimize(const BoundArch &ba)
     }
     result.found = true;
     result.mapping = best_it->m;
-    result.cost = evaluateMapping(ba, best_it->m);
+    result.cost = eng.evaluate(ctx, best_it->m);
     return result;
 }
 

@@ -5,6 +5,7 @@
 #include "common/math_utils.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -177,6 +178,10 @@ InterstellarMapper::optimize(const BoundArch &ba)
     if (l1_tiles.empty())
         return bail("no L1 tiling compatible with the preset unrolling");
 
+    EvalEngine localEngine;
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    const EvalEngine::Context ctx = eng.context(ba);
+
     double best_metric = std::numeric_limits<double>::infinity();
     bool found = false;
     std::int64_t evaluated = 0;
@@ -205,7 +210,7 @@ InterstellarMapper::optimize(const BoundArch &ba)
                     }
                     m.level(1).order = rotatedOrder(nd, in2);
                     m.level(2).order = rotatedOrder(nd, in3);
-                    CostResult cr = evaluateMapping(ba, m);
+                    CostResult cr = eng.evaluate(ctx, m);
                     ++evaluated;
                     if (!cr.valid)
                         continue;

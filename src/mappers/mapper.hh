@@ -17,6 +17,8 @@
 
 namespace sunstone {
 
+class EvalEngine;
+
 /** Outcome of one mapper invocation. */
 struct MapperResult
 {

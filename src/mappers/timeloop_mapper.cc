@@ -8,6 +8,7 @@
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
@@ -74,6 +75,10 @@ TimeloopMapper::optimize(const BoundArch &ba)
     Timer timer;
     MapperResult result;
 
+    EvalEngine localEngine(EvalEngineOptions{.threads = opts.threads});
+    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    const EvalEngine::Context ctx = eng.context(ba);
+
     std::atomic<std::int64_t> evaluated{0};
     std::atomic<std::int64_t> consecutive_invalid{0};
     std::atomic<std::int64_t> consecutive_stale{0};
@@ -97,7 +102,10 @@ TimeloopMapper::optimize(const BoundArch &ba)
                 break;
             }
             Mapping m = randomMapping(ba, rng);
-            CostResult cr = evaluateMapping(ba, m);
+            // Bypass: uniform random samples almost never repeat, so
+            // caching them would only churn the shared cache.
+            CostResult cr = eng.evaluate(ctx, m, {},
+                                         EvalEngine::CachePolicy::Bypass);
             evaluated.fetch_add(1, std::memory_order_relaxed);
             if (!cr.valid) {
                 consecutive_invalid.fetch_add(1,
@@ -120,14 +128,8 @@ TimeloopMapper::optimize(const BoundArch &ba)
         }
     };
 
-    if (opts.threads <= 1) {
-        worker(0);
-    } else {
-        ThreadPool pool(opts.threads);
-        for (unsigned t = 0; t < opts.threads; ++t)
-            pool.submit([&, t] { worker(t); });
-        pool.waitIdle();
-    }
+    parallelFor(eng.pool(), std::max(1u, opts.threads),
+                [&](std::size_t t) { worker((unsigned)t); });
 
     result.found = found;
     if (found) {

@@ -1,0 +1,311 @@
+#include "model/eval_engine.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sunstone {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t
+fnvStep(std::uint64_t h, std::uint64_t x)
+{
+    // Mix all eight bytes of x into the running FNV-1a state.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnvDouble(std::uint64_t h, double d)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return fnvStep(h, bits);
+}
+
+inline std::uint64_t
+fnvString(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return fnvStep(h, s.size());
+}
+
+unsigned
+roundUpPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+hashFactors(const std::vector<std::int64_t> &v, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (std::int64_t x : v)
+        h = fnvStep(h, static_cast<std::uint64_t>(x));
+    return h;
+}
+
+std::string
+SearchStats::toJson() const
+{
+    std::string out = "{";
+    auto field = [&](const char *name, std::int64_t v, bool comma = true) {
+        out += "\"";
+        out += name;
+        out += "\": " + std::to_string(v);
+        if (comma)
+            out += ", ";
+    };
+    field("evaluations", evaluations);
+    field("cache_hits", cacheHits);
+    field("cache_misses", cacheMisses);
+    field("invalid_mappings", invalidMappings);
+    field("prunes", prunes);
+    field("evictions", evictions);
+    out += "\"phase_seconds\": {";
+    for (std::size_t i = 0; i < phaseSeconds.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + phaseSeconds[i].first + "\": ";
+        appendJsonDouble(out, phaseSeconds[i].second);
+    }
+    out += "}}";
+    return out;
+}
+
+EvalEngine::EvalEngine(EvalEngineOptions opts) : opts_(opts)
+{
+    const unsigned n = roundUpPow2(std::max(1u, opts_.shards));
+    opts_.shards = n;
+    shards_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+EvalEngine::~EvalEngine() = default;
+
+EvalEngine::Context
+EvalEngine::context(const BoundArch &ba) const
+{
+    // Structural fingerprint of everything the cost model and validity
+    // check read: architecture levels, compute specs, per-tensor shape
+    // structure, storage membership, and access energies. Display names
+    // are deliberately excluded so identical layers fingerprint alike.
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    h = fnvStep(h, static_cast<std::uint64_t>(ba.numLevels()));
+    h = fnvStep(h, static_cast<std::uint64_t>(wl.numDims()));
+    h = fnvStep(h, static_cast<std::uint64_t>(ba.numTensors()));
+    h = fnvStep(h, static_cast<std::uint64_t>(arch.macBits));
+    h = fnvDouble(h, arch.clockGhz);
+    h = fnvDouble(h, ba.macEnergyPj());
+    for (DimId d = 0; d < wl.numDims(); ++d)
+        h = fnvStep(h, static_cast<std::uint64_t>(wl.dimSize(d)));
+    for (const auto &lv : arch.levels) {
+        h = fnvStep(h, static_cast<std::uint64_t>(lv.capacityBits));
+        h = fnvStep(h, static_cast<std::uint64_t>(lv.fanout));
+        h = fnvDouble(h, lv.readBwWordsPerCycle);
+        h = fnvDouble(h, lv.writeBwWordsPerCycle);
+        h = fnvStep(h, (lv.multicast ? 1u : 0u) |
+                           (lv.doubleBuffered ? 2u : 0u) |
+                           (lv.isDram ? 4u : 0u));
+        h = fnvStep(h, static_cast<std::uint64_t>(lv.meshX) << 32 |
+                           static_cast<std::uint64_t>(lv.meshY));
+        for (const auto &p : lv.partitions) {
+            h = fnvString(h, p.name);
+            h = fnvStep(h, static_cast<std::uint64_t>(p.capacityBits));
+        }
+    }
+    for (TensorId t = 0; t < ba.numTensors(); ++t) {
+        const TensorSpec &ts = wl.tensor(t);
+        h = fnvStep(h, (ts.isOutput ? 1u : 0u));
+        h = fnvStep(h, static_cast<std::uint64_t>(ts.wordBits));
+        h = fnvString(h, ba.partitionOf(t));
+        for (const auto &r : ts.ranks) {
+            h = fnvStep(h, static_cast<std::uint64_t>(r.terms.size()));
+            for (const auto &term : r.terms) {
+                h = fnvStep(h, static_cast<std::uint64_t>(term.dim));
+                h = fnvStep(h, static_cast<std::uint64_t>(term.coeff));
+            }
+        }
+        for (int l = 0; l < ba.numLevels(); ++l) {
+            h = fnvStep(h, ba.stores(l, t) ? 1u : 0u);
+            if (ba.stores(l, t)) {
+                h = fnvDouble(h, ba.readEnergyPj(l, t));
+                h = fnvDouble(h, ba.writeEnergyPj(l, t));
+            }
+        }
+    }
+    return Context(&ba, h);
+}
+
+void
+EvalEngine::canonicalKey(const Mapping &m, const CostModelOptions &opts,
+                         std::vector<std::int64_t> &out) const
+{
+    const int nl = m.numLevels();
+    const int nd = m.numDims();
+    out.clear();
+    out.reserve(static_cast<std::size_t>(nl) * (3 * nd + 1) + 1);
+    out.push_back((opts.assumeValid ? 1 : 0) | (opts.modelNoc ? 2 : 0));
+    for (int l = 0; l < nl; ++l) {
+        const auto &lm = m.level(l);
+        for (DimId d = 0; d < nd; ++d)
+            out.push_back(lm.temporal[d]);
+        for (DimId d = 0; d < nd; ++d)
+            out.push_back(lm.spatial[d]);
+        // Orders: level 0's is never consumed by the cost model, and
+        // factor-1 loops are skipped wherever orders are walked, so only
+        // the relative order of active loops above level 0 is keyed.
+        if (l == 0)
+            continue;
+        out.push_back(-1); // separator keeps the key unambiguous
+        for (DimId d : lm.order)
+            if (lm.temporal[d] > 1)
+                out.push_back(d);
+    }
+}
+
+CostResult
+EvalEngine::evaluate(const Context &ctx, const Mapping &m,
+                     const CostModelOptions &opts, CachePolicy policy)
+{
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (!opts_.enableCache || policy == CachePolicy::Bypass) {
+        CostResult r = evaluateMapping(ctx.boundArch(), m, opts);
+        if (!r.valid)
+            invalid_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+    }
+
+    std::vector<std::int64_t> key;
+    canonicalKey(m, opts, key);
+    const std::uint64_t h = hashFactors(key, ctx.fingerprint());
+    Shard &shard = *shards_[h & (shards_.size() - 1)];
+
+    {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        auto it = shard.map.find(h);
+        if (it != shard.map.end() && it->second.key == key) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second.result;
+        }
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CostResult r = evaluateMapping(ctx.boundArch(), m, opts);
+    if (!r.valid)
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        if (shard.map.size() >= opts_.maxEntriesPerShard) {
+            evictions_.fetch_add(
+                static_cast<std::int64_t>(shard.map.size()),
+                std::memory_order_relaxed);
+            shard.map.clear();
+        }
+        Entry &e = shard.map[h];
+        e.key = std::move(key);
+        e.result = r;
+    }
+    return r;
+}
+
+CostResult
+EvalEngine::evaluate(const BoundArch &ba, const Mapping &m,
+                     const CostModelOptions &opts, CachePolicy policy)
+{
+    return evaluate(context(ba), m, opts, policy);
+}
+
+ThreadPool &
+EvalEngine::pool()
+{
+    std::lock_guard<std::mutex> lk(poolMtx_);
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    return *pool_;
+}
+
+void
+EvalEngine::addPhaseSeconds(const std::string &phase, double seconds)
+{
+    std::lock_guard<std::mutex> lk(phaseMtx_);
+    phases_[phase] += seconds;
+}
+
+SearchStats
+EvalEngine::stats() const
+{
+    SearchStats s;
+    s.evaluations = evaluations_.load(std::memory_order_relaxed);
+    s.cacheHits = hits_.load(std::memory_order_relaxed);
+    s.cacheMisses = misses_.load(std::memory_order_relaxed);
+    s.invalidMappings = invalid_.load(std::memory_order_relaxed);
+    s.prunes = prunes_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(phaseMtx_);
+        s.phaseSeconds.assign(phases_.begin(), phases_.end());
+    }
+    return s;
+}
+
+void
+EvalEngine::resetStats()
+{
+    evaluations_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    invalid_.store(0, std::memory_order_relaxed);
+    prunes_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(phaseMtx_);
+    phases_.clear();
+}
+
+void
+EvalEngine::clearCache()
+{
+    for (auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mtx);
+        s->map.clear();
+    }
+}
+
+std::size_t
+EvalEngine::cacheSize() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mtx);
+        n += s->map.size();
+    }
+    return n;
+}
+
+} // namespace sunstone

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The unified evaluation engine: a single instrumented substrate through
+ * which every search in the repository (the Sunstone driver, the local
+ * refinement pass, and all baseline mappers) evaluates mappings.
+ *
+ * The engine provides, in one place, what each search previously
+ * hand-rolled or lacked entirely:
+ *  - a sharded (striped-mutex) memoization cache from a canonical
+ *    mapping key to the full CostResult, so re-evaluations — final
+ *    ranking, hill-climb revisits, repeated layers of a network — hit
+ *    the cache instead of the analytical model;
+ *  - atomic telemetry counters (evaluations, cache hits/misses, invalid
+ *    mappings, alpha-beta prunes, evictions) plus per-phase wall-clock,
+ *    exported as a SearchStats snapshot with JSON rendering;
+ *  - a lazily created shared ThreadPool, so nested searches (network
+ *    scheduler over per-layer searches) stop oversubscribing threads.
+ *
+ * Cache-key canonicalization (see DESIGN.md §8): the key folds a
+ * structural fingerprint of the bound architecture/workload pair with the
+ * mapping's factors and *cost-relevant* loop orders — per level the loop
+ * order restricted to dims with temporal factor > 1 (the cost model skips
+ * factor-1 loops), and level 0's order dropped entirely (no loop below it
+ * consumes it). Two mappings differing only in the placement of trivial
+ * loops therefore share one cache entry. The full canonical key is stored
+ * alongside each entry and compared on lookup, so a 64-bit hash collision
+ * degrades to a miss, never to a wrong result.
+ *
+ * The free function evaluateMapping() in cost_model.hh remains the raw
+ * analytical model (and the engine's backend); search code must evaluate
+ * through an EvalEngine.
+ */
+
+#ifndef SUNSTONE_MODEL_EVAL_ENGINE_HH
+#define SUNSTONE_MODEL_EVAL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "model/cost_model.hh"
+
+namespace sunstone {
+
+/** Snapshot of the engine's telemetry counters. */
+struct SearchStats
+{
+    /** Evaluation requests routed through the engine (hits included). */
+    std::int64_t evaluations = 0;
+    std::int64_t cacheHits = 0;
+    std::int64_t cacheMisses = 0;
+    /** Evaluations whose mapping failed the validity check. */
+    std::int64_t invalidMappings = 0;
+    /** Alpha-beta prunes recorded by searches via notePrune(). */
+    std::int64_t prunes = 0;
+    /** Entries dropped when a full shard was reset. */
+    std::int64_t evictions = 0;
+    /** Wall-clock per phase, accumulated via addPhaseSeconds(). */
+    std::vector<std::pair<std::string, double>> phaseSeconds;
+
+    /** Renders the snapshot as a JSON object. */
+    std::string toJson() const;
+};
+
+/**
+ * FNV-1a over a factor vector; also used by search frontiers that dedup
+ * factor vectors (e.g. the top-down tiling frontier).
+ */
+std::uint64_t hashFactors(const std::vector<std::int64_t> &v,
+                          std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Engine construction knobs. */
+struct EvalEngineOptions
+{
+    /** Shared pool size; 0 means hardware_concurrency(). */
+    unsigned threads = 1;
+    /** Cache stripe count (rounded up to a power of two). */
+    unsigned shards = 16;
+    /** Per-shard entry cap; a full shard is reset (epoch eviction). */
+    std::size_t maxEntriesPerShard = 16384;
+    bool enableCache = true;
+};
+
+/** The unified evaluation engine. Thread-safe. */
+class EvalEngine
+{
+  public:
+    /**
+     * A bound (architecture, workload) pair plus its precomputed
+     * structural fingerprint. Cheap to copy; valid only while the
+     * BoundArch it was created from is alive. Identical layer structures
+     * produce identical fingerprints regardless of display names, which
+     * is what makes cross-layer deduplication work.
+     */
+    class Context
+    {
+      public:
+        const BoundArch &boundArch() const { return *ba_; }
+        std::uint64_t fingerprint() const { return fp_; }
+
+      private:
+        friend class EvalEngine;
+        Context(const BoundArch *ba, std::uint64_t fp) : ba_(ba), fp_(fp)
+        {
+        }
+        const BoundArch *ba_;
+        std::uint64_t fp_;
+    };
+
+    /**
+     * Bypass skips the cache for this call (still counted as an
+     * evaluation). Used for high-volume, low-reuse paths such as the
+     * Sunstone completion scoring, where caching would only churn.
+     */
+    enum class CachePolicy { UseCache, Bypass };
+
+    explicit EvalEngine(EvalEngineOptions opts = {});
+    ~EvalEngine();
+
+    EvalEngine(const EvalEngine &) = delete;
+    EvalEngine &operator=(const EvalEngine &) = delete;
+
+    /** Fingerprints the pair; do once per search, not per evaluation. */
+    Context context(const BoundArch &ba) const;
+
+    /** Evaluates through the memoization cache. */
+    CostResult evaluate(const Context &ctx, const Mapping &m,
+                        const CostModelOptions &opts = {},
+                        CachePolicy policy = CachePolicy::UseCache);
+
+    /** Convenience overload fingerprinting on every call. */
+    CostResult evaluate(const BoundArch &ba, const Mapping &m,
+                        const CostModelOptions &opts = {},
+                        CachePolicy policy = CachePolicy::UseCache);
+
+    /**
+     * The shared worker pool, created on first use with the configured
+     * thread count. Use TaskGroup/parallelFor for scoped joins.
+     */
+    ThreadPool &pool();
+
+    /** @return configured pool size (without forcing pool creation). */
+    unsigned configuredThreads() const { return opts_.threads; }
+
+    /** Records alpha-beta (or equivalent) prunes for telemetry. */
+    void notePrune(std::int64_t n = 1)
+    {
+        prunes_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Accumulates wall-clock into a named phase. */
+    void addPhaseSeconds(const std::string &phase, double seconds);
+
+    /** @return a consistent snapshot of the counters. */
+    SearchStats stats() const;
+
+    void resetStats();
+    void clearCache();
+
+    /** @return total entries currently cached (approximate under load). */
+    std::size_t cacheSize() const;
+
+  private:
+    struct Entry
+    {
+        std::vector<std::int64_t> key;
+        CostResult result;
+    };
+    struct Shard
+    {
+        std::mutex mtx;
+        std::unordered_map<std::uint64_t, Entry> map;
+    };
+
+    void canonicalKey(const Mapping &m, const CostModelOptions &opts,
+                      std::vector<std::int64_t> &out) const;
+
+    EvalEngineOptions opts_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::atomic<std::int64_t> evaluations_{0};
+    std::atomic<std::int64_t> hits_{0};
+    std::atomic<std::int64_t> misses_{0};
+    std::atomic<std::int64_t> invalid_{0};
+    std::atomic<std::int64_t> prunes_{0};
+    std::atomic<std::int64_t> evictions_{0};
+
+    mutable std::mutex phaseMtx_;
+    std::map<std::string, double> phases_;
+
+    mutable std::mutex poolMtx_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MODEL_EVAL_ENGINE_HH

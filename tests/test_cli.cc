@@ -67,6 +67,40 @@ TEST(Cli, MapEvalRoundTrip)
         << "map: " << map.output << "\neval: " << eval.output;
 }
 
+TEST(Cli, OptionValuesMayBeNegativeNumbers)
+{
+    // "--budget -0.5" used to be parsed as two options because the value
+    // starts with '-'. A negative budget simply times the search out
+    // instantly; the parser must not reject it.
+    auto r = runCli("map --conv n=1,k=4,c=4,p=4,q=4,r=1,s=1 "
+                    "--mapper timeloop --budget -0.5");
+    EXPECT_EQ(r.output.find("expected --option"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("no valid mapping found"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, MapNetSchedulesWholeNetworkWithStatsJson)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string json_path = dir + "/net_stats.json";
+    auto r = runCli("map --net tcl --arch conventional --beam 4 "
+                    "--stats-json " + json_path);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("unique searched"), std::string::npos);
+    EXPECT_NE(r.output.find("cache hits"), std::string::npos);
+
+    std::string json;
+    if (FILE *f = fopen(json_path.c_str(), "r")) {
+        std::array<char, 4096> buf;
+        while (fgets(buf.data(), buf.size(), f))
+            json += buf.data();
+        fclose(f);
+    }
+    EXPECT_NE(json.find("\"totalEdp\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"layersUnique\""), std::string::npos) << json;
+}
+
 TEST(Cli, ArchDumpRoundTripsThroughFile)
 {
     const std::string dir = ::testing::TempDir();

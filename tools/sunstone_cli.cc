@@ -8,7 +8,15 @@
  *   sunstone map [workload opts] [--arch NAME|--arch-file F]
  *                [--mapper sunstone|timeloop|dmaze|inter|cosa|gamma]
  *                [--energy] [--save-mapping F] [--save-workload F]
+ *                [--stats-json F]
  *       Search for a dataflow and print it with its cost breakdown.
+ *
+ *   sunstone map --net NAME [--batch N] [--arch ...] [--stats-json F]
+ *       Schedule a whole network (resnet18, inception, inception-wu,
+ *       alexnet, vgg16, nondnn, tcl, attention, depthwise) through the
+ *       network scheduler: identical layers are deduplicated and the
+ *       per-net aggregate energy/delay/EDP is reported. --stats-json
+ *       dumps the full result (per-layer plus engine telemetry).
  *
  *   sunstone eval --mapping F [workload opts] [--arch ...]
  *       Re-evaluate a saved mapping.
@@ -24,11 +32,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "arch/arch_config.hh"
 #include "arch/presets.hh"
+#include "core/net_scheduler.hh"
 #include "core/sunstone.hh"
 #include "mapping/serialize.hh"
 #include "mappers/cosa_mapper.hh"
@@ -36,6 +46,8 @@
 #include "mappers/gamma_mapper.hh"
 #include "mappers/interstellar_mapper.hh"
 #include "mappers/timeloop_mapper.hh"
+#include "model/eval_engine.hh"
+#include "workload/nets.hh"
 #include "workload/zoo.hh"
 
 using namespace sunstone;
@@ -69,7 +81,9 @@ parseArgs(int argc, char **argv)
             SUNSTONE_FATAL("expected --option, got '", key, "'");
         key = key.substr(2);
         std::string value = "1";
-        if (i + 1 < argc && argv[i + 1][0] != '-')
+        // Only a following "--option" is not a value; a lone "-" or a
+        // negative number ("--budget -0.5") is.
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
             value = argv[++i];
         a.kv[key] = value;
     }
@@ -199,9 +213,101 @@ cmdDescribe(const Args &a)
     return 0;
 }
 
+void
+writeStatsJson(const std::string &path, const std::string &json)
+{
+    std::ofstream os(path);
+    if (!os)
+        SUNSTONE_FATAL("cannot write '", path, "'");
+    os << json << "\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<Layer>
+netFromArgs(const Args &a)
+{
+    const std::string net = a.get("net");
+    const std::int64_t batch =
+        a.has("batch") ? std::stoll(a.get("batch")) : -1;
+    auto b = [&](std::int64_t dflt) { return batch > 0 ? batch : dflt; };
+    if (net == "resnet18")
+        return resnet18Layers(b(16));
+    if (net == "inception")
+        return inceptionV3Layers(b(16));
+    if (net == "inception-wu")
+        return inceptionV3WeightUpdateLayers(b(16));
+    if (net == "alexnet")
+        return alexnetLayers(b(4));
+    if (net == "vgg16")
+        return vgg16Layers(b(4));
+    if (net == "nondnn")
+        return nonDnnSuite();
+    if (net == "tcl")
+        return tclSuite();
+    if (net == "attention")
+        return attentionSuite(b(512));
+    if (net == "depthwise")
+        return depthwiseSuite(b(4));
+    SUNSTONE_FATAL("unknown net '", net,
+                   "' (try resnet18, inception, inception-wu, alexnet, "
+                   "vgg16, nondnn, tcl, attention, depthwise)");
+}
+
+int
+cmdMapNet(const Args &a)
+{
+    ArchSpec arch = archFromArgs(a);
+    std::vector<Layer> layers = netFromArgs(a);
+    if (a.get("arch") == "simba" && !a.has("bits"))
+        for (auto &l : layers)
+            applySimbaPrecisions(l.workload);
+
+    NetSchedulerOptions opts;
+    opts.sunstone.optimizeEdp = !a.has("energy");
+    if (a.has("beam"))
+        opts.sunstone.beamWidth = std::stoi(a.get("beam"));
+    if (a.has("threads"))
+        opts.sunstone.threads = std::stoi(a.get("threads"));
+    EvalEngine engine(
+        EvalEngineOptions{.threads = opts.sunstone.threads});
+    opts.engine = &engine;
+
+    NetScheduleResult r = scheduleNet(arch, layers, opts);
+
+    std::printf("%-12s | %5s | %10s | %12s | %8s | %s\n", "layer",
+                "count", "EDP", "energy pJ", "time s", "via");
+    for (const auto &l : r.layers) {
+        if (l.found)
+            std::printf("%-12s | %5d | %10.3g | %12.4g | %8.3f | %s\n",
+                        l.name.c_str(), l.count, l.cost.edp,
+                        l.cost.totalEnergyPj, l.seconds,
+                        l.deduplicated ? "dedup" : "search");
+        else
+            std::printf("%-12s | %5d | %10s | %12s | %8.3f | %s\n",
+                        l.name.c_str(), l.count, "invalid", "-",
+                        l.seconds, l.deduplicated ? "dedup" : "search");
+    }
+    std::printf("\nnetwork: %d layers (%d unique searched)\n",
+                r.layersTotal, r.layersUnique);
+    std::printf("total energy %.6g pJ, total delay %.6g s, "
+                "EDP %.6g J*s\n",
+                r.totalEnergyPj, r.totalDelaySeconds, r.totalEdp);
+    std::printf("engine: %lld evaluations, %lld cache hits, "
+                "%lld misses, %lld prunes (%.2f s)\n",
+                static_cast<long long>(r.stats.evaluations),
+                static_cast<long long>(r.stats.cacheHits),
+                static_cast<long long>(r.stats.cacheMisses),
+                static_cast<long long>(r.stats.prunes), r.seconds);
+    if (a.has("stats-json"))
+        writeStatsJson(a.get("stats-json"), r.toJson());
+    return r.allFound ? 0 : 1;
+}
+
 int
 cmdMap(const Args &a)
 {
+    if (a.has("net"))
+        return cmdMapNet(a);
     Workload wl = workloadFromArgs(a);
     ArchSpec arch = archFromArgs(a);
     if (a.get("arch") == "simba" && !a.has("bits"))
@@ -210,14 +316,17 @@ cmdMap(const Args &a)
 
     const std::string mapper = a.get("mapper", "sunstone");
     const bool edp = !a.has("energy");
+    const unsigned threads =
+        a.has("threads") ? std::stoi(a.get("threads")) : 1;
+    EvalEngine engine(EvalEngineOptions{.threads = threads});
     MapperResult mr;
     if (mapper == "sunstone") {
         SunstoneOptions opts;
         opts.optimizeEdp = edp;
+        opts.engine = &engine;
         if (a.has("beam"))
             opts.beamWidth = std::stoi(a.get("beam"));
-        if (a.has("threads"))
-            opts.threads = std::stoi(a.get("threads"));
+        opts.threads = threads;
         SunstoneResult r = sunstoneOptimize(ba, opts);
         mr.found = r.found;
         mr.mapping = r.mapping;
@@ -227,22 +336,33 @@ cmdMap(const Args &a)
     } else if (mapper == "timeloop") {
         TimeloopOptions opts = TimeloopOptions::slow();
         opts.optimizeEdp = edp;
+        opts.engine = &engine;
+        opts.threads = threads;
         if (a.has("budget"))
             opts.maxSeconds = std::stod(a.get("budget"));
         mr = TimeloopMapper(opts).optimize(ba);
     } else if (mapper == "dmaze") {
-        mr = DMazeMapper(DMazeOptions::slow()).optimize(ba);
+        DMazeOptions opts = DMazeOptions::slow();
+        opts.engine = &engine;
+        mr = DMazeMapper(opts).optimize(ba);
     } else if (mapper == "inter") {
-        mr = InterstellarMapper().optimize(ba);
+        InterstellarOptions opts;
+        opts.engine = &engine;
+        mr = InterstellarMapper(opts).optimize(ba);
     } else if (mapper == "cosa") {
-        mr = CosaMapper().optimize(ba);
+        CosaOptions opts;
+        opts.engine = &engine;
+        mr = CosaMapper(opts).optimize(ba);
     } else if (mapper == "gamma") {
         GammaOptions opts;
         opts.optimizeEdp = edp;
+        opts.engine = &engine;
         mr = GammaMapper(opts).optimize(ba);
     } else {
         SUNSTONE_FATAL("unknown mapper '", mapper, "'");
     }
+    if (a.has("stats-json"))
+        writeStatsJson(a.get("stats-json"), engine.stats().toJson());
 
     if (!mr.found) {
         std::printf("no valid mapping found: %s\n",
