@@ -101,10 +101,14 @@ TaskGroup::run(std::function<void()> fn)
     pool.submit([this, fn = std::move(fn)] {
         fn();
         {
+            // Notify while holding mtx: a waiter that observes pending==0
+            // may destroy this TaskGroup (e.g. the stack-allocated group in
+            // parallelFor) as soon as it can lock mtx, so the cv must not be
+            // touched after the lock is released.
             std::lock_guard<std::mutex> lk(mtx);
             --pending;
+            cv.notify_all();
         }
-        cv.notify_all();
     });
 }
 

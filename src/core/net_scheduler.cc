@@ -1,5 +1,6 @@
 #include "core/net_scheduler.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <unordered_map>
@@ -48,6 +49,8 @@ jsonEscape(const std::string &s)
 std::string
 num(double v)
 {
+    if (!std::isfinite(v))
+        return "null"; // "%g" would emit inf/nan, which is not valid JSON
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;

@@ -1,5 +1,6 @@
 #include "model/eval_engine.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -51,6 +52,10 @@ roundUpPow2(unsigned v)
 void
 appendJsonDouble(std::string &out, double v)
 {
+    if (!std::isfinite(v)) {
+        out += "null"; // "%g" would emit inf/nan, which is not valid JSON
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += buf;

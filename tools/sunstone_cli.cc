@@ -306,8 +306,15 @@ cmdMapNet(const Args &a)
 int
 cmdMap(const Args &a)
 {
-    if (a.has("net"))
+    if (a.has("net")) {
+        // --net always runs the Sunstone network scheduler; a --mapper
+        // flag would be silently ignored, so reject the combination.
+        if (a.has("mapper"))
+            SUNSTONE_FATAL("--mapper cannot be combined with --net; "
+                           "network search always uses the Sunstone "
+                           "scheduler");
         return cmdMapNet(a);
+    }
     Workload wl = workloadFromArgs(a);
     ArchSpec arch = archFromArgs(a);
     if (a.get("arch") == "simba" && !a.has("bits"))
