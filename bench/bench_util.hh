@@ -18,7 +18,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/convergence.hh"
+#include "obs/metrics.hh"
+#include "obs/thread_registry.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 namespace bench {
@@ -63,6 +69,78 @@ ratio(double num, double den)
     std::snprintf(buf, sizeof(buf), "%.2fx", num / den);
     return buf;
 }
+
+/**
+ * Observability flags shared by the fig benches: --trace-json F,
+ * --metrics-json F, and --convergence-json F (same sinks as the CLI's
+ * map subcommand). Construction parses argv and enables the tracer when
+ * a trace sink is requested; write() renders the requested files once
+ * the bench has finished.
+ */
+class ObsArgs
+{
+  public:
+    ObsArgs(int argc, char **argv)
+    {
+        obs::registerThisThread("main");
+        for (int i = 1; i + 1 < argc; ++i) {
+            const std::string key = argv[i];
+            if (key == "--trace-json")
+                tracePath_ = argv[++i];
+            else if (key == "--metrics-json")
+                metricsPath_ = argv[++i];
+            else if (key == "--convergence-json")
+                convergencePath_ = argv[++i];
+        }
+        if (!tracePath_.empty())
+            obs::tracer().setEnabled(true);
+    }
+
+    /** @return the recorder, or nullptr when no sink was requested. */
+    obs::ConvergenceRecorder *
+    convergence()
+    {
+        return convergencePath_.empty() ? nullptr : &recorder_;
+    }
+
+    /**
+     * Writes every requested sink. `engines` maps a label to that
+     * engine's SearchStats JSON (benches keep one engine per tool
+     * family, so the metrics document carries one entry each).
+     */
+    void
+    write(const std::vector<std::pair<std::string, std::string>> &engines)
+    {
+        if (!tracePath_.empty()) {
+            obs::tracer().setEnabled(false);
+            if (obs::tracer().writeChromeJson(tracePath_))
+                std::printf("wrote %s\n", tracePath_.c_str());
+        }
+        if (!metricsPath_.empty()) {
+            std::string doc = "{\"engines\": {";
+            for (std::size_t i = 0; i < engines.size(); ++i) {
+                if (i)
+                    doc += ", ";
+                doc +=
+                    "\"" + engines[i].first + "\": " + engines[i].second;
+            }
+            doc += "}, \"registry\": " + obs::metrics().toJson() + "}";
+            if (std::FILE *f = std::fopen(metricsPath_.c_str(), "w")) {
+                std::fputs(doc.c_str(), f);
+                std::fputc('\n', f);
+                std::fclose(f);
+                std::printf("wrote %s\n", metricsPath_.c_str());
+            }
+        }
+        if (!convergencePath_.empty() &&
+            recorder_.writeJson(convergencePath_))
+            std::printf("wrote %s\n", convergencePath_.c_str());
+    }
+
+  private:
+    std::string tracePath_, metricsPath_, convergencePath_;
+    obs::ConvergenceRecorder recorder_;
+};
 
 } // namespace bench
 } // namespace sunstone

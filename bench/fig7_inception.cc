@@ -41,9 +41,10 @@ cell(const MapperResult &r)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    bench::ObsArgs oargs(argc, argv);
     ArchSpec arch = makeConventional();
     const double budget = bench::baselineBudgetSeconds();
 
@@ -69,28 +70,35 @@ main()
         BoundArch ba(arch, layer.workload);
         SunstoneOptions so;
         so.engine = &sunEngine;
+        so.convergence = oargs.convergence();
+        so.searchLabel = "sunstone:" + layer.workload.name();
         SunstoneResult sun = sunstoneOptimize(ba, so);
 
         TimeloopOptions tf = TimeloopOptions::fast();
         tf.maxSeconds = budget;
         tf.engine = &baselineEngine;
+        tf.convergence = oargs.convergence();
         auto tlf = TimeloopMapper(tf, "TL-fast").optimize(ba);
         TimeloopOptions ts = TimeloopOptions::slow();
         ts.maxSeconds = budget;
         ts.engine = &baselineEngine;
+        ts.convergence = oargs.convergence();
         auto tls = TimeloopMapper(ts, "TL-slow").optimize(ba);
 
         DMazeOptions df = DMazeOptions::fast();
         df.maxEvaluations = 60000;
         df.engine = &baselineEngine;
+        df.convergence = oargs.convergence();
         auto dmf = DMazeMapper(df, "dMaze-fast").optimize(ba);
         DMazeOptions ds = DMazeOptions::slow();
         ds.maxEvaluations = 60000;
         ds.engine = &baselineEngine;
+        ds.convergence = oargs.convergence();
         auto dms = DMazeMapper(ds, "dMaze-slow").optimize(ba);
 
         InterstellarOptions io;
         io.engine = &baselineEngine;
+        io.convergence = oargs.convergence();
         auto inter = InterstellarMapper(io).optimize(ba);
 
         std::printf(
@@ -143,5 +151,6 @@ main()
                 static_cast<long long>(bs.evaluations),
                 static_cast<long long>(bs.cacheHits),
                 static_cast<long long>(bs.invalidMappings));
+    oargs.write({{"sunstone", ss.toJson()}, {"baselines", bs.toJson()}});
     return 0;
 }

@@ -26,9 +26,10 @@
 using namespace sunstone;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    bench::ObsArgs oargs(argc, argv);
     ArchSpec arch = makeSimbaLike();
     const double budget = bench::baselineBudgetSeconds();
 
@@ -55,6 +56,7 @@ main()
     EvalEngine sunEngine;
     NetSchedulerOptions nopts;
     nopts.engine = &sunEngine;
+    nopts.sunstone.convergence = oargs.convergence();
     NetScheduleResult net = scheduleNet(arch, layers, nopts);
 
     EvalEngine baselineEngine;
@@ -72,10 +74,12 @@ main()
         TimeloopOptions to = TimeloopOptions::slow();
         to.maxSeconds = budget;
         to.engine = &baselineEngine;
+        to.convergence = oargs.convergence();
         auto tl = TimeloopMapper(to, "TL").optimize(ba);
 
         CosaOptions co;
         co.engine = &baselineEngine;
+        co.convergence = oargs.convergence();
         auto cosa = CosaMapper(co).optimize(ba);
         ++cosa_total;
         if (!cosa.found)
@@ -130,5 +134,6 @@ main()
     std::printf("baseline engine: %lld evaluations, %lld cache hits\n",
                 static_cast<long long>(bs.evaluations),
                 static_cast<long long>(bs.cacheHits));
+    oargs.write({{"sunstone", ss.toJson()}, {"baselines", bs.toJson()}});
     return 0;
 }

@@ -8,6 +8,15 @@
  *            description, invalid architecture, ...). Exits with code 1.
  * warn()   - something questionable happened but execution continues.
  * inform() - status messages.
+ * debug()  - chatty diagnostics, off by default.
+ *
+ * Verbosity is a global LogLevel, initialized from the SUNSTONE_LOG
+ * environment variable ("debug", "info", "warn", or "silent"; default
+ * "info") and adjustable at runtime via setLogLevel(). Messages carry a
+ * wall-clock [HH:MM:SS.mmm] timestamp. panic/fatal banners always print.
+ *
+ * setQuiet(true/false) is kept as a shim over setLogLevel(Silent/Info)
+ * for the benchmark tools that predate log levels.
  */
 
 #ifndef SUNSTONE_COMMON_LOGGING_HH
@@ -17,6 +26,9 @@
 #include <string>
 
 namespace sunstone {
+
+/** Global verbosity, most to least verbose. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
 
 namespace detail {
 
@@ -34,6 +46,9 @@ void warnImpl(const std::string &msg);
 /** Prints an informational message. */
 void informImpl(const std::string &msg);
 
+/** Prints a debug diagnostic. */
+void debugImpl(const std::string &msg);
+
 /** Folds a parameter pack into a string via an ostringstream. */
 template <typename... Args>
 std::string
@@ -46,7 +61,16 @@ concat(Args &&...args)
 
 } // namespace detail
 
-/** Global knob: suppress warn()/inform() output (used by benchmarks). */
+/** Sets the global verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+/** @return the global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Legacy knob: suppress warn()/inform() output (used by benchmarks).
+ * Equivalent to setLogLevel(Silent) / setLogLevel(Info).
+ */
 void setQuiet(bool quiet);
 
 /** @return whether warn()/inform() output is suppressed. */
@@ -67,6 +91,9 @@ bool quiet();
 
 #define SUNSTONE_INFORM(...)                                                \
     ::sunstone::detail::informImpl(::sunstone::detail::concat(__VA_ARGS__))
+
+#define SUNSTONE_DEBUG(...)                                                 \
+    ::sunstone::detail::debugImpl(::sunstone::detail::concat(__VA_ARGS__))
 
 /** Assert an internal invariant; compiled in all build types. */
 #define SUNSTONE_ASSERT(cond, ...)                                          \

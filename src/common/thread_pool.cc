@@ -2,8 +2,25 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/thread_registry.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
+
+namespace {
+
+/** Registry lookups take a mutex; cache the counter reference. */
+obs::Counter &
+poolTaskCounter()
+{
+    static obs::Counter &c = obs::metrics().counter("pool.tasks");
+    return c;
+}
+
+} // anonymous namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
 {
@@ -14,7 +31,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
     }
     workers.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -57,7 +74,13 @@ ThreadPool::tryRunOne()
         queue.pop_front();
         ++active;
     }
-    task();
+    {
+        // Helping waits run stolen tasks on the waiter's own thread, so
+        // the span lands on — and is attributed to — that thread.
+        SUNSTONE_TRACE_SPAN("pool.task");
+        task();
+    }
+    poolTaskCounter().add(1);
     {
         std::lock_guard<std::mutex> lk(mtx);
         --active;
@@ -68,8 +91,9 @@ ThreadPool::tryRunOne()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    obs::registerThisThread("worker-" + std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {
@@ -81,7 +105,11 @@ ThreadPool::workerLoop()
             queue.pop_front();
             ++active;
         }
-        task();
+        {
+            SUNSTONE_TRACE_SPAN("pool.task");
+            task();
+        }
+        poolTaskCounter().add(1);
         {
             std::lock_guard<std::mutex> lk(mtx);
             --active;

@@ -65,7 +65,7 @@ class ThreadPool
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> queue;

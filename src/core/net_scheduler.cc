@@ -8,6 +8,8 @@
 
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -99,6 +101,7 @@ NetScheduleResult
 scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
             const NetSchedulerOptions &opts)
 {
+    SUNSTONE_TRACE_SPAN("net.schedule");
     Timer timer;
     NetScheduleResult result;
 
@@ -132,13 +135,22 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
     // shared pool. The search's own parallelFor nests on the same pool
     // through group-scoped joins, so no thread oversubscription.
     parallelFor(eng.pool(), uniques.size(), [&](std::size_t u) {
+        SUNSTONE_TRACE_SPAN("net.search:" +
+                            uniques[u].ba->workload().name());
         SunstoneOptions so = opts.sunstone;
         so.engine = &eng;
+        // One trajectory per unique structure, labeled by the layer that
+        // introduced it.
+        if (so.convergence)
+            so.searchLabel =
+                "sunstone:" + uniques[u].ba->workload().name();
         Timer t;
         uniques[u].search = sunstoneOptimize(*uniques[u].ba, so);
         eng.addPhaseSeconds(
             "layer:" + uniques[u].ba->workload().name(), t.seconds());
     });
+    obs::metrics().counter("net.unique_searches").add(
+        static_cast<std::int64_t>(uniques.size()));
 
     result.allFound = true;
     result.layers.reserve(layers.size());
@@ -158,8 +170,11 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
             // dedup shows up in the telemetry instead of as a repeated
             // search.
             ls.deduplicated = true;
-            if (ls.found)
+            obs::metrics().counter("net.dedup_broadcasts").add(1);
+            if (ls.found) {
+                SUNSTONE_TRACE_SPAN("net.broadcast");
                 ls.cost = eng.evaluate(eng.context(*uq.ba), ls.mapping);
+            }
         } else {
             seen[u] = true;
             ls.cost = uq.search.cost;
@@ -175,6 +190,8 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
         result.layersTotal += ls.count;
         result.layers.push_back(std::move(ls));
     }
+    obs::metrics().counter("net.layers_scheduled").add(
+        static_cast<std::int64_t>(layers.size()));
     result.layersUnique = static_cast<int>(uniques.size());
     result.totalEdp = result.totalEnergyPj * result.totalDelaySeconds;
     result.seconds = timer.seconds();

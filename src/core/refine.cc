@@ -6,6 +6,7 @@
 
 #include "common/math_utils.hh"
 #include "model/eval_engine.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -101,6 +102,7 @@ Mapping
 polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
               int max_rounds, RefineStats *stats, EvalEngine *engine)
 {
+    SUNSTONE_TRACE_SPAN("refine.hillclimb");
     EvalEngine localEngine;
     EvalEngine &eng = engine ? *engine : localEngine;
     const EvalEngine::Context ctx = eng.context(ba);

@@ -17,6 +17,8 @@
 #include "core/tiling_tree.hh"
 #include "core/unrolling.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -64,8 +66,30 @@ class Driver
     SunstoneResult
     run()
     {
+        SUNSTONE_TRACE_SPAN("sunstone.search");
         Timer timer;
         SunstoneResult result;
+
+        // Convergence telemetry: one strict-improvement threshold shared
+        // by the ranking and polish loops. Polish never returns a worse
+        // mapping than its input, so the final result's metric is always
+        // <= every recorded point and the trajectory is monotone.
+        obs::ConvergenceTrajectory *traj =
+            opts.convergence ? &opts.convergence->start(opts.searchLabel)
+                             : nullptr;
+        double recorded_best = kInf;
+        auto recordImprovement = [&](const CostResult &cr) {
+            if (!traj)
+                return;
+            const double metric =
+                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+            if (metric < recorded_best) {
+                recorded_best = metric;
+                traj->record(examined.load(std::memory_order_relaxed),
+                             cr.totalEnergyPj, cr.edp, metric);
+            }
+        };
+
         std::vector<Partial> beam = initialBeam();
         if (opts.levelOrder == SunstoneOptions::LevelOrder::BottomUp) {
             for (int k = 0; k < nLevels - 1; ++k)
@@ -79,12 +103,16 @@ class Driver
 
         // Full evaluation (with validity check) of the surviving beam.
         std::vector<std::pair<double, const Partial *>> ranked;
-        for (const auto &p : beam) {
-            CostResult cr = engine.evaluate(ctx, p.m);
-            if (!cr.valid)
-                continue;
-            ranked.emplace_back(
-                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj, &p);
+        {
+            SUNSTONE_TRACE_SPAN("sunstone.rank");
+            for (const auto &p : beam) {
+                CostResult cr = engine.evaluate(ctx, p.m);
+                if (!cr.valid)
+                    continue;
+                recordImprovement(cr);
+                ranked.emplace_back(
+                    opts.optimizeEdp ? cr.edp : cr.totalEnergyPj, &p);
+            }
         }
         std::sort(ranked.begin(), ranked.end(),
                   [](const auto &a, const auto &b) {
@@ -101,6 +129,7 @@ class Driver
         for (std::size_t i = 0; i < polish_count; ++i) {
             Mapping m = ranked[i].second->m;
             if (opts.polish) {
+                SUNSTONE_TRACE_SPAN("sunstone.refine");
                 RefineStats rs;
                 m = polishMapping(ba, m, opts.optimizeEdp, 64, &rs,
                                   &engine);
@@ -109,6 +138,7 @@ class Driver
             CostResult cr = engine.evaluate(ctx, m);
             if (!cr.valid)
                 continue;
+            recordImprovement(cr);
             const double metric =
                 opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
             if (metric < best_metric) {
@@ -118,6 +148,12 @@ class Driver
                 result.cost = std::move(cr);
             }
         }
+        // Close the trajectory on the reported result, so the last point
+        // always matches what the caller sees.
+        if (traj && result.found)
+            traj->record(examined.load(std::memory_order_relaxed),
+                         result.cost.totalEnergyPj, result.cost.edp,
+                         best_metric);
         result.candidatesExamined = examined.load();
         result.seconds = timer.seconds();
         engine.addPhaseSeconds("sunstone.search", result.seconds);
@@ -333,9 +369,9 @@ class Driver
         // of its own: enumerate s[0] variants first.
         if (k == 0 && ba.arch().levels[0].fanout > 1) {
             UnrollResult ur =
-                unrollCandidates(wl, DimSet::all(nDims), base.remaining,
-                                 ba.arch().levels[0].fanout,
-                                 opts.utilizationThreshold);
+                tracedUnrolls(DimSet::all(nDims), base.remaining,
+                              ba.arch().levels[0].fanout,
+                              opts.utilizationThreshold);
             for (const auto &u : ur.candidates) {
                 Partial v = base;
                 for (DimId d = 0; d < nDims; ++d) {
@@ -357,7 +393,7 @@ class Driver
     {
         absorb(base, k);
         const DimSet active = activeDims(base.remaining);
-        auto orderings = orderingCandidates(wl, active);
+        auto orderings = tracedOrderings(active);
         if (opts.generalistOrdering) {
             // One unconstrained candidate (empty suffix, no assumed
             // reuse): its grow/unroll sets are unrestricted, covering
@@ -403,8 +439,8 @@ class Driver
             for (const auto &ord : orderings) {
                 std::vector<std::vector<std::int64_t>> unrolls;
                 if (fanout_above > 1) {
-                    UnrollResult ur = unrollCandidates(
-                        wl, allowedUnrollDimsFor(ord), base.remaining,
+                    UnrollResult ur = tracedUnrolls(
+                        allowedUnrollDimsFor(ord), base.remaining,
                         fanout_above, utilFor(ord));
                     examined.fetch_add(ur.combosVisited,
                                        std::memory_order_relaxed);
@@ -430,8 +466,8 @@ class Driver
                     for (DimId d = 0; d < nDims; ++d)
                         rem[d] /= u[d];
                     const auto tiles =
-                        growTiles(ba, k, baseShapeFor(base, k), rem,
-                                  growFor(ord));
+                        tracedTiles(k, baseShapeFor(base, k), rem,
+                                    growFor(ord));
                     examined.fetch_add(tiles.nodesVisited,
                                        std::memory_order_relaxed);
                     for (const auto &tile : tiles.maximal)
@@ -446,8 +482,8 @@ class Driver
             // leftover quotient.
             for (const auto &ord : orderings) {
                 const auto tiles =
-                    growTiles(ba, k, baseShapeFor(base, k), base.remaining,
-                              growFor(ord));
+                    tracedTiles(k, baseShapeFor(base, k), base.remaining,
+                                growFor(ord));
                 examined.fetch_add(tiles.nodesVisited,
                                    std::memory_order_relaxed);
                 for (const auto &tile : tiles.maximal)
@@ -466,13 +502,40 @@ class Driver
             allow_union =
                 allow_union.unionWith(allowedUnrollDimsFor(ord));
         }
-        const auto tiles = growTiles(ba, k, baseShapeFor(base, k),
-                                     base.remaining, grow_union);
+        const auto tiles = tracedTiles(k, baseShapeFor(base, k),
+                                       base.remaining, grow_union);
         examined.fetch_add(tiles.nodesVisited, std::memory_order_relaxed);
         for (const auto &tile : tiles.maximal)
             for (const auto &ord : orderings)
                 emitTileUnrolls(base, k, ord, tile, fanout_above,
                                 allow_union, out, mtx);
+    }
+
+    // Span-wrapped enumerators: every (order, tile, unroll) decision in
+    // either inter-level order routes through these, so each per-level
+    // phase shows up as its own named span in the trace.
+
+    std::vector<OrderingCandidate>
+    tracedOrderings(DimSet active) const
+    {
+        SUNSTONE_TRACE_SPAN("sunstone.ordering");
+        return orderingCandidates(wl, active);
+    }
+
+    UnrollResult
+    tracedUnrolls(DimSet allowed, const std::vector<std::int64_t> &rem,
+                  std::int64_t fanout, double util) const
+    {
+        SUNSTONE_TRACE_SPAN("sunstone.unrolling");
+        return unrollCandidates(wl, allowed, rem, fanout, util);
+    }
+
+    TilingTreeResult
+    tracedTiles(int k, const std::vector<std::int64_t> &shape,
+                const std::vector<std::int64_t> &rem, DimSet grow) const
+    {
+        SUNSTONE_TRACE_SPAN("sunstone.tiling");
+        return growTiles(ba, k, shape, rem, grow);
     }
 
     std::vector<std::int64_t>
@@ -492,8 +555,8 @@ class Driver
         for (DimId d = 0; d < nDims; ++d)
             rem[d] /= tile[d];
         if (fanout_above > 1) {
-            UnrollResult ur = unrollCandidates(
-                wl, allowed, rem, fanout_above, opts.utilizationThreshold);
+            UnrollResult ur = tracedUnrolls(
+                allowed, rem, fanout_above, opts.utilizationThreshold);
             examined.fetch_add(ur.combosVisited,
                                std::memory_order_relaxed);
             for (const auto &u : ur.candidates)
@@ -552,13 +615,13 @@ class Driver
                 if (tile[d] > 1)
                     tiled.add(d);
             }
-            auto orderings = orderingCandidates(wl, tiled);
+            auto orderings = tracedOrderings(tiled);
             for (const auto &ord : orderings) {
                 const std::int64_t fanout = ba.arch().levels[k].fanout;
                 std::vector<std::vector<std::int64_t>> unrolls;
                 if (fanout > 1) {
-                    UnrollResult ur = unrollCandidates(
-                        wl, allowedUnrollDimsFor(ord), rem, fanout,
+                    UnrollResult ur = tracedUnrolls(
+                        allowedUnrollDimsFor(ord), rem, fanout,
                         opts.utilizationThreshold);
                     examined.fetch_add(ur.combosVisited,
                                        std::memory_order_relaxed);
@@ -591,6 +654,7 @@ class Driver
     std::vector<std::vector<std::int64_t>>
     firstFitTiles(const std::vector<std::int64_t> &remaining, int k)
     {
+        SUNSTONE_TRACE_SPAN("sunstone.tiling");
         std::vector<std::vector<std::int64_t>> result;
         std::vector<std::int64_t> unit(nDims, 1);
         auto residualFits = [&](const std::vector<std::int64_t> &t) {

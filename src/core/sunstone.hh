@@ -21,12 +21,17 @@
 #define SUNSTONE_CORE_SUNSTONE_HH
 
 #include <cstdint>
+#include <string>
 
 #include "model/cost_model.hh"
 
 namespace sunstone {
 
 class EvalEngine;
+
+namespace obs {
+class ConvergenceRecorder;
+} // namespace obs
 
 /** Search configuration. */
 struct SunstoneOptions
@@ -85,6 +90,16 @@ struct SunstoneOptions
      * (the network scheduler does).
      */
     EvalEngine *engine = nullptr;
+
+    /**
+     * Optional convergence telemetry: when set, the search opens one
+     * trajectory named `searchLabel` and records a point per incumbent
+     * improvement plus one final point equal to the returned result.
+     */
+    obs::ConvergenceRecorder *convergence = nullptr;
+
+    /** Trajectory name used with `convergence`. */
+    std::string searchLabel = "sunstone";
 };
 
 /** Search outcome. */

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 namespace diannao {
@@ -58,6 +60,8 @@ struct Loop
 CompiledProgram
 compileMapping(const BoundArch &ba, const Mapping &m)
 {
+    SUNSTONE_TRACE_SPAN("diannao.compile");
+    obs::metrics().counter("diannao.programs_compiled").add(1);
     const Workload &wl = ba.workload();
     if (ba.numLevels() != 2)
         SUNSTONE_FATAL("DianNao compiler needs a two-level architecture, "
@@ -191,6 +195,8 @@ compileMapping(const BoundArch &ba, const Mapping &m)
 CompiledProgram
 compileNaive(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("diannao.compile");
+    obs::metrics().counter("diannao.programs_compiled").add(1);
     const Workload &wl = ba.workload();
     CompiledProgram out;
     const std::int64_t ops = wl.totalOps();

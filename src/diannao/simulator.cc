@@ -4,6 +4,8 @@
 
 #include "arch/energy_model.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 namespace diannao {
@@ -46,6 +48,7 @@ bufEnergy(const BoundArch &ba, const std::string &partition)
 SimResult
 simulate(const BoundArch &ba, const CompiledProgram &prog)
 {
+    SUNSTONE_TRACE_SPAN("diannao.simulate");
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     SUNSTONE_ASSERT(ba.numLevels() == 2,
@@ -143,12 +146,16 @@ simulate(const BoundArch &ba, const CompiledProgram &prog)
 
     const double lanes = (double)arch.levels[0].fanout;
     r.cycles = std::max((double)r.macs / lanes, dma_words_cycles);
+    obs::metrics().counter("diannao.programs_simulated").add(1);
+    obs::metrics().counter("diannao.instructions_executed")
+        .add(r.instructions);
     return r;
 }
 
 SimResult
 simulateNaiveStreaming(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("diannao.simulate_naive");
     const Workload &wl = ba.workload();
     SimResult r;
     const std::int64_t ops = wl.totalOps();

@@ -7,6 +7,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -86,6 +88,7 @@ CosaMapper::CosaMapper(CosaOptions o, std::string display_name)
 MapperResult
 CosaMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper." + displayName);
     Timer timer;
     MapperResult result;
     const Workload &wl = ba.workload();
@@ -180,6 +183,11 @@ CosaMapper::optimize(const BoundArch &ba)
         result.cost = std::move(cr);
         return result;
     }
+    // One-shot construction: the trajectory is the single point the
+    // solver commits to.
+    if (opts.convergence)
+        opts.convergence->start(displayName)
+            .record(1, cr.totalEnergyPj, cr.edp, cr.edp);
     result.found = true;
     result.cost = std::move(cr);
     return result;

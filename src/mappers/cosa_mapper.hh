@@ -25,6 +25,9 @@ struct CosaOptions
 
     /** Shared evaluation engine; a private one is created when null. */
     EvalEngine *engine = nullptr;
+
+    /** Optional convergence telemetry (see obs/convergence.hh). */
+    obs::ConvergenceRecorder *convergence = nullptr;
 };
 
 /** The mapper. */

@@ -6,6 +6,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -171,8 +173,11 @@ DMazeMapper::DMazeMapper(DMazeOptions o, std::string display_name)
 MapperResult
 DMazeMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper." + displayName);
     Timer timer;
     MapperResult result;
+    obs::ConvergenceTrajectory *traj =
+        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     const int nd = wl.numDims();
@@ -283,6 +288,10 @@ DMazeMapper::optimize(const BoundArch &ba)
                         if (metric < best_metric) {
                             best_metric = metric;
                             best = m;
+                            if (traj)
+                                traj->record(evaluated,
+                                             cr.totalEnergyPj, cr.edp,
+                                             metric);
                             best_cost = std::move(cr);
                             found = true;
                         }
@@ -305,6 +314,9 @@ done:
     }
     result.found = true;
     result.mapping = best;
+    if (traj)
+        traj->record(evaluated, best_cost.totalEnergyPj, best_cost.edp,
+                     best_metric);
     result.cost = std::move(best_cost);
     return result;
 }

@@ -35,6 +35,9 @@ struct DMazeOptions
      */
     EvalEngine *engine = nullptr;
 
+    /** Optional convergence telemetry (see obs/convergence.hh). */
+    obs::ConvergenceRecorder *convergence = nullptr;
+
     /** Table V fast/aggressive configuration (repository default). */
     static DMazeOptions
     fast()

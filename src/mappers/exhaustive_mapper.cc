@@ -7,6 +7,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -17,9 +19,11 @@ namespace {
 class Enumerator
 {
   public:
-    Enumerator(const BoundArch &ba, EvalEngine &eng, bool optimize_edp)
+    Enumerator(const BoundArch &ba, EvalEngine &eng, bool optimize_edp,
+               obs::ConvergenceTrajectory *traj)
         : ba(ba), wl(ba.workload()), eng(eng), ctx(eng.context(ba)),
-          nl(ba.numLevels()), nd(wl.numDims()), optimizeEdp(optimize_edp)
+          nl(ba.numLevels()), nd(wl.numDims()), optimizeEdp(optimize_edp),
+          traj(traj)
     {
         for (int l = 0; l < nl; ++l) {
             slots.push_back({l, false});
@@ -38,6 +42,9 @@ class Enumerator
         if (best_metric < std::numeric_limits<double>::infinity()) {
             r.found = true;
             r.mapping = best;
+            if (traj)
+                traj->record(evaluated, best_cost.totalEnergyPj,
+                             best_cost.edp, best_metric);
             r.cost = std::move(best_cost);
         } else {
             r.invalid = true;
@@ -117,6 +124,9 @@ class Enumerator
         if (metric < best_metric) {
             best_metric = metric;
             best = m;
+            if (traj)
+                traj->record(evaluated, cr.totalEnergyPj, cr.edp,
+                             metric);
             best_cost = std::move(cr);
         }
     }
@@ -128,6 +138,7 @@ class Enumerator
     const int nl;
     const int nd;
     const bool optimizeEdp;
+    obs::ConvergenceTrajectory *const traj;
     std::vector<Slot> slots;
     Mapping m;
     Mapping best;
@@ -143,6 +154,7 @@ ExhaustiveMapper::ExhaustiveMapper(ExhaustiveOptions o) : opts(o) {}
 MapperResult
 ExhaustiveMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper.exhaustive");
     Timer timer;
     const double est = spaceSizeEstimate(ba);
     if (est > opts.maxSpace)
@@ -150,7 +162,10 @@ ExhaustiveMapper::optimize(const BoundArch &ba)
                        " mappings, cap ", opts.maxSpace, ")");
     EvalEngine localEngine;
     EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    Enumerator e(ba, eng, opts.optimizeEdp);
+    obs::ConvergenceTrajectory *traj =
+        opts.convergence ? &opts.convergence->start("exhaustive")
+                         : nullptr;
+    Enumerator e(ba, eng, opts.optimizeEdp, traj);
     MapperResult r = e.run();
     r.seconds = timer.seconds();
     return r;

@@ -27,6 +27,9 @@ struct ExhaustiveOptions
      * canonicalize to the same key, so memoization collapses them.
      */
     EvalEngine *engine = nullptr;
+
+    /** Optional convergence telemetry (see obs/convergence.hh). */
+    obs::ConvergenceRecorder *convergence = nullptr;
 };
 
 /** The mapper. */

@@ -8,6 +8,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -86,8 +88,11 @@ GammaMapper::GammaMapper(GammaOptions o, std::string display_name)
 MapperResult
 GammaMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper." + displayName);
     Timer timer;
     MapperResult result;
+    obs::ConvergenceTrajectory *traj =
+        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
     const Workload &wl = ba.workload();
     const int nd = wl.numDims();
     const auto slots = slotsOf(ba);
@@ -97,12 +102,22 @@ GammaMapper::optimize(const BoundArch &ba)
     EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
     const EvalEngine::Context ctx = eng.context(ba);
 
+    // Every evaluated individual enters a population, and elitism keeps
+    // the population's best monotone, so the best fitness seen here is
+    // exactly the final answer's fitness.
+    double best_seen = std::numeric_limits<double>::infinity();
     auto fitness = [&](const Mapping &m) {
         CostResult cr = eng.evaluate(ctx, m);
         ++result.mappingsEvaluated;
         if (!cr.valid)
             return std::numeric_limits<double>::infinity();
-        return opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+        const double metric = opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+        if (traj && metric < best_seen) {
+            best_seen = metric;
+            traj->record(result.mappingsEvaluated, cr.totalEnergyPj,
+                         cr.edp, metric);
+        }
+        return metric;
     };
 
     struct Individual
@@ -179,6 +194,10 @@ GammaMapper::optimize(const BoundArch &ba)
     result.found = true;
     result.mapping = best_it->m;
     result.cost = eng.evaluate(ctx, best_it->m);
+    if (traj)
+        traj->record(result.mappingsEvaluated,
+                     result.cost.totalEnergyPj, result.cost.edp,
+                     best_it->fit);
     return result;
 }
 

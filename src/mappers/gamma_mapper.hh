@@ -34,6 +34,9 @@ struct GammaOptions
      * repeated individuals — memoization absorbs those.
      */
     EvalEngine *engine = nullptr;
+
+    /** Optional convergence telemetry (see obs/convergence.hh). */
+    obs::ConvergenceRecorder *convergence = nullptr;
 };
 
 /** The mapper. */

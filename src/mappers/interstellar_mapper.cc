@@ -6,6 +6,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -109,8 +111,11 @@ InterstellarMapper::InterstellarMapper(InterstellarOptions o,
 MapperResult
 InterstellarMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper." + displayName);
     Timer timer;
     MapperResult result;
+    obs::ConvergenceTrajectory *traj =
+        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     const int nd = wl.numDims();
@@ -219,6 +224,9 @@ InterstellarMapper::optimize(const BoundArch &ba)
                     if (metric < best_metric) {
                         best_metric = metric;
                         best = m;
+                        if (traj)
+                            traj->record(evaluated, cr.totalEnergyPj,
+                                         cr.edp, metric);
                         best_cost = std::move(cr);
                         found = true;
                     }
@@ -233,6 +241,9 @@ done:
         return bail("no valid mapping with the preset unrolling");
     result.found = true;
     result.mapping = best;
+    if (traj)
+        traj->record(evaluated, best_cost.totalEnergyPj, best_cost.edp,
+                     best_metric);
     result.cost = std::move(best_cost);
     return result;
 }

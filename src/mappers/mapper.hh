@@ -19,6 +19,10 @@ namespace sunstone {
 
 class EvalEngine;
 
+namespace obs {
+class ConvergenceRecorder;
+} // namespace obs
+
 /** Outcome of one mapper invocation. */
 struct MapperResult
 {

@@ -9,6 +9,8 @@
 #include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/trace.hh"
 
 namespace sunstone {
 
@@ -72,8 +74,12 @@ TimeloopMapper::TimeloopMapper(TimeloopOptions o, std::string display_name)
 MapperResult
 TimeloopMapper::optimize(const BoundArch &ba)
 {
+    SUNSTONE_TRACE_SPAN("mapper." + displayName);
     Timer timer;
     MapperResult result;
+
+    obs::ConvergenceTrajectory *traj =
+        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
 
     EvalEngine localEngine(EvalEngineOptions{.threads = opts.threads});
     EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
@@ -119,6 +125,13 @@ TimeloopMapper::optimize(const BoundArch &ba)
             if (metric < best_metric) {
                 best_metric = metric;
                 best_mapping = m;
+                // Improvements are recorded under best_mtx, so the
+                // trajectory is strictly decreasing even with many
+                // sampling threads.
+                if (traj)
+                    traj->record(
+                        evaluated.load(std::memory_order_relaxed),
+                        cr.totalEnergyPj, cr.edp, metric);
                 best_cost = std::move(cr);
                 found = true;
                 consecutive_stale.store(0, std::memory_order_relaxed);
@@ -134,6 +147,11 @@ TimeloopMapper::optimize(const BoundArch &ba)
     result.found = found;
     if (found) {
         result.mapping = best_mapping;
+        if (traj)
+            traj->record(evaluated.load(), best_cost.totalEnergyPj,
+                         best_cost.edp,
+                         opts.optimizeEdp ? best_cost.edp
+                                          : best_cost.totalEnergyPj);
         result.cost = std::move(best_cost);
     } else {
         result.invalid = true;

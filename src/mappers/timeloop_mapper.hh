@@ -37,6 +37,9 @@ struct TimeloopOptions
      */
     EvalEngine *engine = nullptr;
 
+    /** Optional convergence telemetry (see obs/convergence.hh). */
+    obs::ConvergenceRecorder *convergence = nullptr;
+
     /** Table V fast configuration. */
     static TimeloopOptions
     fast()

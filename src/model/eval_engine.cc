@@ -1,5 +1,6 @@
 #include "model/eval_engine.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -89,6 +90,7 @@ SearchStats::toJson() const
     field("invalid_mappings", invalidMappings);
     field("prunes", prunes);
     field("evictions", evictions);
+    out += "\"eval_latency_us\": " + evalLatencyUs.toJson() + ", ";
     out += "\"phase_seconds\": {";
     for (std::size_t i = 0; i < phaseSeconds.size(); ++i) {
         if (i)
@@ -198,11 +200,23 @@ CostResult
 EvalEngine::evaluate(const Context &ctx, const Mapping &m,
                      const CostModelOptions &opts, CachePolicy policy)
 {
-    evaluations_.fetch_add(1, std::memory_order_relaxed);
-    if (!opts_.enableCache || policy == CachePolicy::Bypass) {
+    // Time only analytical-model invocations (cache hits return in
+    // nanoseconds and would swamp the histogram's low buckets).
+    auto timedEval = [&]() {
+        const auto t0 = std::chrono::steady_clock::now();
         CostResult r = evaluateMapping(ctx.boundArch(), m, opts);
+        evalLatencyUs_.record(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        return r;
+    };
+
+    evaluations_.add(1);
+    if (!opts_.enableCache || policy == CachePolicy::Bypass) {
+        CostResult r = timedEval();
         if (!r.valid)
-            invalid_.fetch_add(1, std::memory_order_relaxed);
+            invalid_.add(1);
         return r;
     }
 
@@ -215,22 +229,20 @@ EvalEngine::evaluate(const Context &ctx, const Mapping &m,
         std::lock_guard<std::mutex> lk(shard.mtx);
         auto it = shard.map.find(h);
         if (it != shard.map.end() && it->second.key == key) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            hits_.add(1);
             return it->second.result;
         }
     }
 
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    CostResult r = evaluateMapping(ctx.boundArch(), m, opts);
+    misses_.add(1);
+    CostResult r = timedEval();
     if (!r.valid)
-        invalid_.fetch_add(1, std::memory_order_relaxed);
+        invalid_.add(1);
 
     {
         std::lock_guard<std::mutex> lk(shard.mtx);
         if (shard.map.size() >= opts_.maxEntriesPerShard) {
-            evictions_.fetch_add(
-                static_cast<std::int64_t>(shard.map.size()),
-                std::memory_order_relaxed);
+            evictions_.add(static_cast<std::int64_t>(shard.map.size()));
             shard.map.clear();
         }
         Entry &e = shard.map[h];
@@ -267,12 +279,13 @@ SearchStats
 EvalEngine::stats() const
 {
     SearchStats s;
-    s.evaluations = evaluations_.load(std::memory_order_relaxed);
-    s.cacheHits = hits_.load(std::memory_order_relaxed);
-    s.cacheMisses = misses_.load(std::memory_order_relaxed);
-    s.invalidMappings = invalid_.load(std::memory_order_relaxed);
-    s.prunes = prunes_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.evaluations = evaluations_.value();
+    s.cacheHits = hits_.value();
+    s.cacheMisses = misses_.value();
+    s.invalidMappings = invalid_.value();
+    s.prunes = prunes_.value();
+    s.evictions = evictions_.value();
+    s.evalLatencyUs = evalLatencyUs_.snapshot();
     {
         std::lock_guard<std::mutex> lk(phaseMtx_);
         s.phaseSeconds.assign(phases_.begin(), phases_.end());
@@ -283,12 +296,13 @@ EvalEngine::stats() const
 void
 EvalEngine::resetStats()
 {
-    evaluations_.store(0, std::memory_order_relaxed);
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    invalid_.store(0, std::memory_order_relaxed);
-    prunes_.store(0, std::memory_order_relaxed);
-    evictions_.store(0, std::memory_order_relaxed);
+    evaluations_.reset();
+    hits_.reset();
+    misses_.reset();
+    invalid_.reset();
+    prunes_.reset();
+    evictions_.reset();
+    evalLatencyUs_.reset();
     std::lock_guard<std::mutex> lk(phaseMtx_);
     phases_.clear();
 }

@@ -46,6 +46,7 @@
 
 #include "common/thread_pool.hh"
 #include "model/cost_model.hh"
+#include "obs/metrics.hh"
 
 namespace sunstone {
 
@@ -64,6 +65,8 @@ struct SearchStats
     std::int64_t evictions = 0;
     /** Wall-clock per phase, accumulated via addPhaseSeconds(). */
     std::vector<std::pair<std::string, double>> phaseSeconds;
+    /** Latency of analytical-model invocations (cache hits excluded). */
+    obs::HistogramSnapshot evalLatencyUs;
 
     /** Renders the snapshot as a JSON object. */
     std::string toJson() const;
@@ -150,10 +153,7 @@ class EvalEngine
     unsigned configuredThreads() const { return opts_.threads; }
 
     /** Records alpha-beta (or equivalent) prunes for telemetry. */
-    void notePrune(std::int64_t n = 1)
-    {
-        prunes_.fetch_add(n, std::memory_order_relaxed);
-    }
+    void notePrune(std::int64_t n = 1) { prunes_.add(n); }
 
     /** Accumulates wall-clock into a named phase. */
     void addPhaseSeconds(const std::string &phase, double seconds);
@@ -185,12 +185,16 @@ class EvalEngine
     EvalEngineOptions opts_;
     std::vector<std::unique_ptr<Shard>> shards_;
 
-    std::atomic<std::int64_t> evaluations_{0};
-    std::atomic<std::int64_t> hits_{0};
-    std::atomic<std::int64_t> misses_{0};
-    std::atomic<std::int64_t> invalid_{0};
-    std::atomic<std::int64_t> prunes_{0};
-    std::atomic<std::int64_t> evictions_{0};
+    // Per-engine telemetry uses the obs primitives directly (not the
+    // process-wide registry) so two engines in one process — e.g. the
+    // Sunstone and baseline engines in fig7 — stay separable.
+    obs::Counter evaluations_;
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter invalid_;
+    obs::Counter prunes_;
+    obs::Counter evictions_;
+    obs::Histogram evalLatencyUs_;
 
     mutable std::mutex phaseMtx_;
     std::map<std::string, double> phases_;

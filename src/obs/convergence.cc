@@ -1,0 +1,137 @@
+#include "obs/convergence.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace sunstone {
+namespace obs {
+
+namespace {
+
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // inf/nan are not valid JSON
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+ConvergenceTrajectory::ConvergenceTrajectory(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ConvergenceTrajectory::record(std::int64_t evaluations, double energy_pj,
+                              double edp, double metric)
+{
+    ConvergencePoint p;
+    p.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    p.evaluations = evaluations;
+    p.energyPj = energy_pj;
+    p.edp = edp;
+    p.metric = metric;
+    std::lock_guard<std::mutex> lk(mtx_);
+    points_.push_back(p);
+}
+
+std::vector<ConvergencePoint>
+ConvergenceTrajectory::points() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return points_;
+}
+
+ConvergenceTrajectory &
+ConvergenceRecorder::start(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    trajectories_.push_back(
+        std::make_unique<ConvergenceTrajectory>(name));
+    return *trajectories_.back();
+}
+
+std::size_t
+ConvergenceRecorder::trajectoryCount() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return trajectories_.size();
+}
+
+std::vector<const ConvergenceTrajectory *>
+ConvergenceRecorder::trajectories() const
+{
+    std::vector<const ConvergenceTrajectory *> out;
+    std::lock_guard<std::mutex> lk(mtx_);
+    out.reserve(trajectories_.size());
+    for (const auto &t : trajectories_)
+        out.push_back(t.get());
+    return out;
+}
+
+std::string
+ConvergenceRecorder::toJson() const
+{
+    const auto trajs = trajectories();
+    std::string j = "{\"trajectories\":[";
+    for (std::size_t i = 0; i < trajs.size(); ++i) {
+        if (i)
+            j += ",";
+        j += "{\"name\":\"" + jsonEscape(trajs[i]->name()) +
+             "\",\"points\":[";
+        const auto pts = trajs[i]->points();
+        for (std::size_t k = 0; k < pts.size(); ++k) {
+            const ConvergencePoint &p = pts[k];
+            if (k)
+                j += ",";
+            j += "{\"seconds\":" + num(p.seconds);
+            j += ",\"evaluations\":" + std::to_string(p.evaluations);
+            j += ",\"energy_pj\":" + num(p.energyPj);
+            j += ",\"edp\":" + num(p.edp);
+            j += ",\"metric\":" + num(p.metric);
+            j += "}";
+        }
+        j += "]}";
+    }
+    j += "]}";
+    return j;
+}
+
+bool
+ConvergenceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << toJson() << "\n";
+    return os.good();
+}
+
+} // namespace obs
+} // namespace sunstone

@@ -1,0 +1,72 @@
+#include "obs/thread_registry.hh"
+
+#include <mutex>
+#include <vector>
+
+namespace sunstone {
+namespace obs {
+
+namespace {
+
+std::mutex gMtx;
+std::vector<std::string> gNames;
+
+/** Per-thread cached index; -1 until the thread first registers. */
+thread_local int tIndex = -1;
+
+int
+registerLocked(const std::string &name)
+{
+    if (tIndex < 0) {
+        tIndex = static_cast<int>(gNames.size());
+        gNames.push_back(name);
+    } else {
+        gNames[static_cast<std::size_t>(tIndex)] = name;
+    }
+    return tIndex;
+}
+
+} // anonymous namespace
+
+int
+registerThisThread(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(gMtx);
+    return registerLocked(name);
+}
+
+int
+currentThreadIndex()
+{
+    if (tIndex >= 0)
+        return tIndex;
+    std::lock_guard<std::mutex> lk(gMtx);
+    return registerLocked("thread-" + std::to_string(gNames.size()));
+}
+
+std::string
+currentThreadName()
+{
+    const int idx = currentThreadIndex();
+    std::lock_guard<std::mutex> lk(gMtx);
+    return gNames[static_cast<std::size_t>(idx)];
+}
+
+int
+registeredThreadCount()
+{
+    std::lock_guard<std::mutex> lk(gMtx);
+    return static_cast<int>(gNames.size());
+}
+
+std::string
+threadName(int index)
+{
+    std::lock_guard<std::mutex> lk(gMtx);
+    if (index < 0 || index >= static_cast<int>(gNames.size()))
+        return "";
+    return gNames[static_cast<std::size_t>(index)];
+}
+
+} // namespace obs
+} // namespace sunstone

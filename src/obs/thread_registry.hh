@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Process-wide registry of stable thread names and indices.
+ *
+ * Every thread that touches the observability layer gets a small dense
+ * index (0, 1, 2, ...) assigned on first contact and, optionally, a
+ * human-readable name ("main", "worker-3"). The tracer keys its
+ * per-thread ring buffers and its Chrome-trace `tid` rows on the index,
+ * so a worker's spans land on the same named row across the whole run —
+ * and future debugging can attribute work to the right worker instead
+ * of an opaque pthread id.
+ *
+ * Indices are never reused, even after a thread exits; a registered
+ * name sticks until overwritten by another registerThisThread() call
+ * from the same thread.
+ */
+
+#ifndef SUNSTONE_OBS_THREAD_REGISTRY_HH
+#define SUNSTONE_OBS_THREAD_REGISTRY_HH
+
+#include <string>
+
+namespace sunstone {
+namespace obs {
+
+/**
+ * Names the calling thread, registering it first if needed.
+ * @return the thread's stable index.
+ */
+int registerThisThread(const std::string &name);
+
+/** @return the calling thread's index, registering with a default name
+ *  ("thread-<index>") on first contact. */
+int currentThreadIndex();
+
+/** @return the calling thread's registered name. */
+std::string currentThreadName();
+
+/** @return how many threads have ever registered. */
+int registeredThreadCount();
+
+/** @return the name of thread `index`, or "" when out of range. */
+std::string threadName(int index);
+
+} // namespace obs
+} // namespace sunstone
+
+#endif // SUNSTONE_OBS_THREAD_REGISTRY_HH

@@ -1,0 +1,270 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/thread_registry.hh"
+
+namespace sunstone {
+namespace obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+/** JSON string escaping for span and thread names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::int64_t
+traceNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch())
+        .count();
+}
+
+/** One thread's span ring. The owning thread writes under `mtx`; the
+ *  exporter reads under the same mutex after the work quiesced. */
+struct Tracer::ThreadBuffer
+{
+    mutable std::mutex mtx;
+    int threadIndex = 0;
+    std::size_t capacity = 0;
+    std::vector<SpanRecord> ring;
+    /** Total spans recorded since the last clear (drops included). */
+    std::uint64_t written = 0;
+};
+
+Tracer::ThreadBuffer &
+Tracer::buffer()
+{
+    thread_local ThreadBuffer *buf = nullptr;
+    if (buf)
+        return *buf;
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->threadIndex = currentThreadIndex();
+    owned->capacity = ringCapacity_.load(std::memory_order_relaxed);
+    owned->ring.reserve(owned->capacity);
+    buf = owned.get();
+    std::lock_guard<std::mutex> lk(registryMtx_);
+    buffers_.push_back(std::move(owned));
+    return *buf;
+}
+
+void
+Tracer::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+Tracer::setRingCapacity(std::size_t spans)
+{
+    ringCapacity_.store(spans == 0 ? 1 : spans,
+                        std::memory_order_relaxed);
+}
+
+void
+Tracer::record(const char *name, std::int64_t start_ns,
+               std::int64_t end_ns)
+{
+    ThreadBuffer &buf = buffer();
+    std::lock_guard<std::mutex> lk(buf.mtx);
+    SpanRecord *slot;
+    if (buf.ring.size() < buf.capacity) {
+        buf.ring.emplace_back();
+        slot = &buf.ring.back();
+    } else {
+        // Ring full: overwrite the oldest retained span.
+        slot = &buf.ring[buf.written % buf.capacity];
+    }
+    slot->name.assign(name);
+    slot->threadIndex = buf.threadIndex;
+    slot->startNs = start_ns;
+    slot->durNs = end_ns - start_ns;
+    ++buf.written;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lk(registryMtx_);
+    for (auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mtx);
+        buf->ring.clear();
+        buf->written = 0;
+    }
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::vector<SpanRecord> out;
+    std::lock_guard<std::mutex> lk(registryMtx_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mtx);
+        const std::size_t n = buf->ring.size();
+        // Oldest-first: when the ring has wrapped, the oldest retained
+        // span sits at written % capacity.
+        const std::size_t start =
+            buf->written > n ? buf->written % buf->capacity : 0;
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(buf->ring[(start + i) % n]);
+    }
+    return out;
+}
+
+std::uint64_t
+Tracer::spansRecorded() const
+{
+    std::uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(registryMtx_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mtx);
+        n += buf->written;
+    }
+    return n;
+}
+
+std::uint64_t
+Tracer::spansDropped() const
+{
+    std::uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(registryMtx_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mtx);
+        n += buf->written - buf->ring.size();
+    }
+    return n;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    const std::vector<SpanRecord> all = spans();
+    std::string j = "{\"traceEvents\":[";
+    bool first = true;
+
+    // Thread-name metadata rows, from the thread registry.
+    const int nthreads = registeredThreadCount();
+    for (int t = 0; t < nthreads; ++t) {
+        if (!first)
+            j += ",";
+        first = false;
+        j += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(t) + ",\"args\":{\"name\":\"" +
+             jsonEscape(threadName(t)) + "\"}}";
+    }
+
+    char buf[160];
+    for (const SpanRecord &s : all) {
+        if (!first)
+            j += ",";
+        first = false;
+        // Chrome trace timestamps are microseconds.
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"dur\":%.3f}",
+                      s.threadIndex,
+                      static_cast<double>(s.startNs) / 1e3,
+                      static_cast<double>(s.durNs) / 1e3);
+        j += "{\"name\":\"" + jsonEscape(s.name) + "\",\"cat\":\"sunstone\",";
+        j += buf;
+    }
+    j += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    j += "\"spans_recorded\":" + std::to_string(spansRecorded());
+    j += ",\"spans_dropped\":" + std::to_string(spansDropped());
+    j += ",\"tracing_compiled_in\":";
+    j += tracingCompiledIn() ? "true" : "false";
+    j += "}}";
+    return j;
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << toChromeJson() << "\n";
+    return os.good();
+}
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+namespace {
+
+void
+copyName(char (&dst)[kSpanNameMax + 1], const char *src, std::size_t len)
+{
+    if (len > kSpanNameMax)
+        len = kSpanNameMax;
+    std::memcpy(dst, src, len);
+    dst[len] = '\0';
+}
+
+} // anonymous namespace
+
+TraceSpan::TraceSpan(const char *name)
+{
+    if (!tracer().enabled())
+        return;
+    copyName(name_, name, std::strlen(name));
+    startNs_ = traceNowNs();
+}
+
+TraceSpan::TraceSpan(const std::string &name)
+{
+    if (!tracer().enabled())
+        return;
+    copyName(name_, name.data(), name.size());
+    startNs_ = traceNowNs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (startNs_ < 0)
+        return;
+    tracer().record(name_, startNs_, traceNowNs());
+}
+
+} // namespace obs
+} // namespace sunstone

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Low-overhead span tracer emitting Chrome `trace_event` JSON.
+ *
+ * Design (see DESIGN.md §9):
+ *  - each thread owns a fixed-capacity ring buffer of completed spans;
+ *    recording is one (uncontended) mutex, a clock read, and a memcpy —
+ *    no allocation, no cross-thread contention on the hot path;
+ *  - a span is recorded on scope exit as a Chrome "X" (complete) event,
+ *    so nesting falls out of the timestamps and Perfetto /
+ *    chrome://tracing render the stacks directly;
+ *  - when a ring fills, the oldest spans are overwritten (and counted as
+ *    dropped): a trace always holds the most recent window of work;
+ *  - the whole layer is off by default at runtime (one relaxed atomic
+ *    load per SUNSTONE_TRACE_SPAN when disabled) and can be compiled
+ *    out entirely with -DSUNSTONE_TRACING=OFF, which turns the macros
+ *    into no-ops that do not evaluate their arguments.
+ *
+ * Thread rows are keyed by the stable indices of obs/thread_registry.hh
+ * and carry the registered names as Chrome thread_name metadata.
+ */
+
+#ifndef SUNSTONE_OBS_TRACE_HH
+#define SUNSTONE_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef SUNSTONE_TRACING_ENABLED
+#define SUNSTONE_TRACING_ENABLED 1
+#endif
+
+namespace sunstone {
+namespace obs {
+
+/** Longest span name kept (longer names are truncated, not rejected). */
+constexpr std::size_t kSpanNameMax = 47;
+
+/** One completed span, as exposed to tests and exporters. */
+struct SpanRecord
+{
+    std::string name;
+    int threadIndex = 0;
+    /** Start, nanoseconds since the tracer epoch (process start). */
+    std::int64_t startNs = 0;
+    /** Duration in nanoseconds. */
+    std::int64_t durNs = 0;
+};
+
+/** @return true when the span macros were compiled in. */
+constexpr bool
+tracingCompiledIn()
+{
+    return SUNSTONE_TRACING_ENABLED != 0;
+}
+
+/** @return nanoseconds since the tracer epoch (monotonic). */
+std::int64_t traceNowNs();
+
+/**
+ * The process-wide tracer. Spans are only recorded while enabled();
+ * enable before the work of interest, then export once it quiesces.
+ */
+class Tracer
+{
+  public:
+    /** Turns recording on or off (off by default). */
+    void setEnabled(bool enabled);
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Ring capacity (spans per thread) applied to new thread buffers. */
+    void setRingCapacity(std::size_t spans);
+
+    /** Records one completed span for the calling thread. */
+    void record(const char *name, std::int64_t start_ns,
+                std::int64_t end_ns);
+
+    /** Drops all recorded spans (buffers stay registered). */
+    void clear();
+
+    /** @return every retained span, oldest first per thread. */
+    std::vector<SpanRecord> spans() const;
+
+    /** @return spans recorded since the last clear (drops included). */
+    std::uint64_t spansRecorded() const;
+
+    /** @return spans overwritten by ring wrap-around. */
+    std::uint64_t spansDropped() const;
+
+    /** Renders the retained spans as Chrome trace_event JSON. */
+    std::string toChromeJson() const;
+
+    /**
+     * Writes toChromeJson() to a file.
+     * @return false when the file cannot be written.
+     */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    struct ThreadBuffer;
+
+    ThreadBuffer &buffer();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> ringCapacity_{16384};
+
+    mutable std::mutex registryMtx_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/** @return the process-wide tracer. */
+Tracer &tracer();
+
+/**
+ * RAII span: stamps the start on construction and records the completed
+ * span on destruction. Construction is a no-op while the tracer is
+ * disabled. The name is captured by pointer and copied at record time,
+ * so string temporaries must outlive the scope — both constructors
+ * guarantee that by copying into the member buffer up front.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name);
+    /** Dynamic-name overload ("layer:conv3"); the name is copied. */
+    explicit TraceSpan(const std::string &name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    char name_[kSpanNameMax + 1];
+    /** -1 marks an inactive span (tracer disabled at construction). */
+    std::int64_t startNs_ = -1;
+};
+
+} // namespace obs
+} // namespace sunstone
+
+#if SUNSTONE_TRACING_ENABLED
+#define SUNSTONE_TRACE_CONCAT2(a, b) a##b
+#define SUNSTONE_TRACE_CONCAT(a, b) SUNSTONE_TRACE_CONCAT2(a, b)
+/** Scoped span covering the rest of the enclosing block. */
+#define SUNSTONE_TRACE_SPAN(name)                                           \
+    ::sunstone::obs::TraceSpan SUNSTONE_TRACE_CONCAT(sunstone_trace_span_,  \
+                                                     __LINE__)(name)
+#else
+/** Compiled out: the name expression is never evaluated. */
+#define SUNSTONE_TRACE_SPAN(name) ((void)0)
+#endif
+
+#endif // SUNSTONE_OBS_TRACE_HH

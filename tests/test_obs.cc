@@ -1,0 +1,365 @@
+/** @file
+ * Tests for the observability layer: span tracer (balance, nesting,
+ * Chrome JSON shape, ring overwrite), metrics (exact histogram counts
+ * under concurrent recording, registry stability), convergence
+ * trajectories (monotone, final point matches the search result),
+ * thread registry, and log levels. Every span assertion is guarded on
+ * tracingCompiledIn() so the suite also passes -DSUNSTONE_TRACING=OFF.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/sunstone.hh"
+#include "obs/convergence.hh"
+#include "obs/metrics.hh"
+#include "obs/thread_registry.hh"
+#include "obs/trace.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+/** Structural JSON check: brackets balance outside string literals. */
+bool
+balancedJson(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_str = false, esc = false;
+    for (char c : s) {
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"') {
+            in_str = true;
+        } else if (c == '{' || c == '[') {
+            stack.push_back(c);
+        } else if (c == '}') {
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+        } else if (c == ']') {
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+        }
+    }
+    return !in_str && stack.empty();
+}
+
+/**
+ * Checks that each thread's spans form a proper nesting: any two spans
+ * on one thread are either disjoint or one contains the other (which is
+ * what RAII scoping guarantees and what Perfetto requires to stack).
+ */
+bool
+properlyNested(const std::vector<obs::SpanRecord> &spans)
+{
+    std::map<int, std::vector<obs::SpanRecord>> per_thread;
+    for (const auto &s : spans)
+        per_thread[s.threadIndex].push_back(s);
+    for (auto &[tid, v] : per_thread) {
+        std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+            return a.startNs != b.startNs ? a.startNs < b.startNs
+                                          : a.durNs > b.durNs;
+        });
+        std::vector<std::int64_t> open_ends;
+        for (const auto &s : v) {
+            while (!open_ends.empty() && open_ends.back() < s.startNs)
+                open_ends.pop_back();
+            if (!open_ends.empty() &&
+                s.startNs + s.durNs > open_ends.back())
+                return false;
+            open_ends.push_back(s.startNs + s.durNs);
+        }
+    }
+    return true;
+}
+
+TEST(Tracer, BalancedNestedSpansUnderConcurrentParallelFor)
+{
+    if (!obs::tracingCompiledIn())
+        GTEST_SKIP() << "tracing compiled out";
+    auto &tr = obs::tracer();
+    tr.clear();
+    tr.setEnabled(true);
+    ThreadPool pool(4);
+    parallelFor(pool, 64, [](std::size_t) {
+        SUNSTONE_TRACE_SPAN("outer");
+        {
+            SUNSTONE_TRACE_SPAN("inner");
+            volatile int sink = 0;
+            for (int j = 0; j < 1000; ++j)
+                sink = sink + j;
+        }
+    });
+    tr.setEnabled(false);
+
+    const auto spans = tr.spans();
+    int outer = 0, inner = 0;
+    for (const auto &s : spans) {
+        if (s.name == "outer")
+            ++outer;
+        else if (s.name == "inner")
+            ++inner;
+    }
+    // Ring capacity (16384/thread) far exceeds 128 spans: none dropped.
+    EXPECT_EQ(outer, 64);
+    EXPECT_EQ(inner, 64);
+    EXPECT_TRUE(properlyNested(spans));
+}
+
+TEST(Tracer, SpansLandOnDistinctRegisteredThreads)
+{
+    if (!obs::tracingCompiledIn())
+        GTEST_SKIP() << "tracing compiled out";
+    auto &tr = obs::tracer();
+    tr.clear();
+    tr.setEnabled(true);
+    auto work = [] { SUNSTONE_TRACE_SPAN("per-thread"); };
+    std::thread a(work), b(work);
+    a.join();
+    b.join();
+    tr.setEnabled(false);
+
+    std::vector<int> tids;
+    for (const auto &s : tr.spans())
+        if (s.name == "per-thread")
+            tids.push_back(s.threadIndex);
+    ASSERT_EQ(tids.size(), 2u);
+    EXPECT_NE(tids[0], tids[1]);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed)
+{
+    if (!obs::tracingCompiledIn())
+        GTEST_SKIP() << "tracing compiled out";
+    auto &tr = obs::tracer();
+    tr.clear();
+    tr.setEnabled(true);
+    {
+        SUNSTONE_TRACE_SPAN("json-span");
+    }
+    tr.setEnabled(false);
+
+    const std::string json = tr.toChromeJson();
+    EXPECT_TRUE(balancedJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"json-span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    auto &tr = obs::tracer();
+    tr.clear();
+    tr.setEnabled(false);
+    {
+        SUNSTONE_TRACE_SPAN("should-not-appear");
+    }
+    EXPECT_EQ(tr.spansRecorded(), 0u);
+    EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Tracer, RingOverwriteKeepsMostRecentWindow)
+{
+    if (!obs::tracingCompiledIn())
+        GTEST_SKIP() << "tracing compiled out";
+    auto &tr = obs::tracer();
+    tr.clear();
+    tr.setRingCapacity(8);
+    tr.setEnabled(true);
+    // A fresh thread gets a fresh (capacity-8) buffer.
+    std::thread([] {
+        for (int i = 0; i < 20; ++i) {
+            SUNSTONE_TRACE_SPAN("ring");
+        }
+    }).join();
+    tr.setEnabled(false);
+    tr.setRingCapacity(16384);
+
+    int ring_spans = 0;
+    for (const auto &s : tr.spans())
+        if (s.name == "ring")
+            ++ring_spans;
+    EXPECT_EQ(ring_spans, 8);
+    EXPECT_EQ(tr.spansDropped(), 12u);
+    EXPECT_EQ(tr.spansRecorded(), 20u);
+}
+
+TEST(Metrics, HistogramCountsExactUnderConcurrentRecording)
+{
+    obs::Histogram h({10.0, 20.0, 30.0});
+    constexpr int kPerThread = 10000;
+    const double values[4] = {5, 15, 25, 35}; // one per bucket
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&h, &values, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(values[t]);
+        });
+    for (auto &th : threads)
+        th.join();
+
+    const auto snap = h.snapshot();
+    ASSERT_EQ(snap.counts.size(), 4u); // 3 finite buckets + inf
+    for (int b = 0; b < 4; ++b)
+        EXPECT_EQ(snap.counts[b], kPerThread) << "bucket " << b;
+    EXPECT_EQ(snap.count, 4 * kPerThread);
+    // All values are small integers, so the atomic sum is exact.
+    EXPECT_EQ(snap.sum, (5.0 + 15.0 + 25.0 + 35.0) * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketBoundaries)
+{
+    obs::Histogram h({10.0, 20.0});
+    h.record(10.0);  // on the bound -> first bucket
+    h.record(10.5);  // above -> second bucket
+    h.record(1e9);   // above every bound -> +inf bucket
+    const auto snap = h.snapshot();
+    ASSERT_EQ(snap.counts.size(), 3u);
+    EXPECT_EQ(snap.counts[0], 1);
+    EXPECT_EQ(snap.counts[1], 1);
+    EXPECT_EQ(snap.counts[2], 1);
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences)
+{
+    auto &c1 = obs::metrics().counter("test.stable");
+    c1.add(3);
+    auto &c2 = obs::metrics().counter("test.stable");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(c2.value(), 3);
+
+    auto &g = obs::metrics().gauge("test.gauge");
+    g.set(1.5);
+    g.set(2.5);
+    EXPECT_EQ(obs::metrics().gauge("test.gauge").value(), 2.5);
+
+    obs::metrics().histogram("test.hist", {1.0, 2.0}).record(1.5);
+    const std::string json = obs::metrics().toJson();
+    EXPECT_TRUE(balancedJson(json)) << json;
+    EXPECT_NE(json.find("\"test.stable\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.hist\""), std::string::npos);
+}
+
+TEST(Convergence, TrajectoryStampsMonotoneClockAndPoints)
+{
+    obs::ConvergenceRecorder rec;
+    auto &traj = rec.start("manual");
+    traj.record(1, 100.0, 10.0, 10.0);
+    traj.record(5, 80.0, 8.0, 8.0);
+    traj.record(9, 60.0, 6.0, 6.0);
+    const auto pts = traj.points();
+    ASSERT_EQ(pts.size(), 3u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].seconds, pts[i - 1].seconds);
+        EXPECT_GE(pts[i].evaluations, pts[i - 1].evaluations);
+        EXPECT_LE(pts[i].metric, pts[i - 1].metric);
+    }
+    const std::string json = rec.toJson();
+    EXPECT_TRUE(balancedJson(json)) << json;
+    EXPECT_NE(json.find("\"trajectories\""), std::string::npos);
+    EXPECT_NE(json.find("\"manual\""), std::string::npos);
+}
+
+TEST(Convergence, SunstoneSearchEmitsMonotoneTrajectory)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 8;
+    sh.c = 8;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    BoundArch ba(makeConventional(), wl);
+
+    obs::ConvergenceRecorder rec;
+    SunstoneOptions opts;
+    opts.convergence = &rec;
+    opts.searchLabel = "test-search";
+    SunstoneResult r = sunstoneOptimize(ba, opts);
+    ASSERT_TRUE(r.found);
+
+    ASSERT_EQ(rec.trajectoryCount(), 1u);
+    const auto *traj = rec.trajectories()[0];
+    EXPECT_EQ(traj->name(), "test-search");
+    const auto pts = traj->points();
+    ASSERT_GE(pts.size(), 2u);
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        EXPECT_LE(pts[i].metric, pts[i - 1].metric) << "point " << i;
+    // The last point is the reported result (EDP objective by default).
+    EXPECT_DOUBLE_EQ(pts.back().metric, r.cost.edp);
+    EXPECT_DOUBLE_EQ(pts.back().energyPj, r.cost.totalEnergyPj);
+}
+
+TEST(ThreadRegistry, AssignsStableIndicesAndNames)
+{
+    const int idx = obs::registerThisThread("test-main");
+    EXPECT_EQ(obs::currentThreadIndex(), idx);
+    EXPECT_EQ(obs::currentThreadName(), "test-main");
+    EXPECT_EQ(obs::threadName(idx), "test-main");
+
+    int other = -1;
+    std::thread([&other] {
+        other = obs::registerThisThread("test-worker");
+    }).join();
+    EXPECT_NE(other, idx);
+    EXPECT_EQ(obs::threadName(other), "test-worker");
+    EXPECT_GE(obs::registeredThreadCount(), 2);
+}
+
+TEST(LogLevels, ThresholdGatesEachSeverity)
+{
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    SUNSTONE_INFORM("hidden-info");
+    SUNSTONE_WARN("shown-warn");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden-info"), std::string::npos);
+    EXPECT_NE(out.find("shown-warn"), std::string::npos);
+
+    setLogLevel(LogLevel::Debug);
+    ::testing::internal::CaptureStderr();
+    SUNSTONE_DEBUG("shown-debug");
+    out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("debug: shown-debug"), std::string::npos);
+    // Timestamped "[HH:MM:SS.mmm] " prefix.
+    ASSERT_GE(out.size(), 15u);
+    EXPECT_EQ(out[0], '[');
+    EXPECT_EQ(out[3], ':');
+    EXPECT_EQ(out[6], ':');
+    EXPECT_EQ(out[9], '.');
+    EXPECT_EQ(out[13], ']');
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(LogLevels, SetQuietShimMapsToLevels)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+}
+
+} // namespace
+} // namespace sunstone

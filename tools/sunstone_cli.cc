@@ -8,15 +8,28 @@
  *   sunstone map [workload opts] [--arch NAME|--arch-file F]
  *                [--mapper sunstone|timeloop|dmaze|inter|cosa|gamma]
  *                [--energy] [--save-mapping F] [--save-workload F]
- *                [--stats-json F]
+ *                [--stats-json F] [--trace-json F] [--metrics-json F]
+ *                [--convergence-json F] [--threads N]
  *       Search for a dataflow and print it with its cost breakdown.
  *
  *   sunstone map --net NAME [--batch N] [--arch ...] [--stats-json F]
+ *                [--trace-json F] [--metrics-json F]
+ *                [--convergence-json F]
  *       Schedule a whole network (resnet18, inception, inception-wu,
  *       alexnet, vgg16, nondnn, tcl, attention, depthwise) through the
  *       network scheduler: identical layers are deduplicated and the
- *       per-net aggregate energy/delay/EDP is reported. --stats-json
- *       dumps the full result (per-layer plus engine telemetry).
+ *       per-net aggregate energy/delay/EDP is reported.
+ *
+ * Observability sinks (both map modes; see DESIGN.md §9):
+ *   --stats-json F        one document {"result": ..., "engine": ...}
+ *                         with the search outcome and the evaluation
+ *                         engine's cache/latency statistics
+ *   --trace-json F        Chrome trace_event JSON of the search's spans
+ *                         (load into https://ui.perfetto.dev)
+ *   --metrics-json F      {"engine": ..., "registry": ...} counters,
+ *                         gauges, and histograms
+ *   --convergence-json F  incumbent-vs-evaluations trajectories
+ * --threads defaults to hardware_concurrency clamped to [2, 8].
  *
  *   sunstone eval --mapping F [workload opts] [--arch ...]
  *       Re-evaluate a saved mapping.
@@ -30,11 +43,14 @@
  * or --arch-file with a config in the arch_config format.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "arch/arch_config.hh"
 #include "arch/presets.hh"
@@ -47,6 +63,10 @@
 #include "mappers/interstellar_mapper.hh"
 #include "mappers/timeloop_mapper.hh"
 #include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/metrics.hh"
+#include "obs/thread_registry.hh"
+#include "obs/trace.hh"
 #include "workload/nets.hh"
 #include "workload/zoo.hh"
 
@@ -223,6 +243,83 @@ writeStatsJson(const std::string &path, const std::string &json)
     std::printf("wrote %s\n", path.c_str());
 }
 
+unsigned
+threadsFromArgs(const Args &a)
+{
+    if (a.has("threads"))
+        return static_cast<unsigned>(std::stoi(a.get("threads")));
+    // Default to a small pool so traces show real parallelism even on
+    // boxes where hardware_concurrency() reports 1 (CI containers).
+    return std::clamp(std::thread::hardware_concurrency(), 2u, 8u);
+}
+
+/**
+ * Shared handling of the three observability sinks. Construction enables
+ * the tracer when --trace-json is given; write() renders every requested
+ * file once the search has quiesced.
+ */
+struct ObsSinks
+{
+    std::string tracePath, metricsPath, convergencePath;
+    obs::ConvergenceRecorder recorder;
+
+    explicit ObsSinks(const Args &a)
+        : tracePath(a.get("trace-json")),
+          metricsPath(a.get("metrics-json")),
+          convergencePath(a.get("convergence-json"))
+    {
+        if (!tracePath.empty())
+            obs::tracer().setEnabled(true);
+    }
+
+    /** @return the recorder, or nullptr when no sink was requested. */
+    obs::ConvergenceRecorder *
+    convergence()
+    {
+        return convergencePath.empty() ? nullptr : &recorder;
+    }
+
+    void
+    write(const EvalEngine &engine)
+    {
+        if (!tracePath.empty()) {
+            obs::tracer().setEnabled(false);
+            if (!obs::tracer().writeChromeJson(tracePath))
+                SUNSTONE_FATAL("cannot write '", tracePath, "'");
+            std::printf("wrote %s\n", tracePath.c_str());
+        }
+        if (!metricsPath.empty())
+            writeStatsJson(metricsPath,
+                           "{\"engine\": " + engine.stats().toJson() +
+                               ", \"registry\": " +
+                               obs::metrics().toJson() + "}");
+        if (!convergencePath.empty()) {
+            if (!recorder.writeJson(convergencePath))
+                SUNSTONE_FATAL("cannot write '", convergencePath, "'");
+            std::printf("wrote %s\n", convergencePath.c_str());
+        }
+    }
+};
+
+/** The "result" half of the --stats-json document for single-layer map. */
+std::string
+mapperResultJson(const std::string &mapper, const MapperResult &mr)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"mapper\": \"" << mapper << "\", \"found\": "
+       << (mr.found ? "true" : "false")
+       << ", \"seconds\": " << mr.seconds
+       << ", \"mappings_evaluated\": " << mr.mappingsEvaluated;
+    if (mr.found)
+        os << ", \"energy_pj\": " << mr.cost.totalEnergyPj
+           << ", \"delay_seconds\": " << mr.cost.delaySeconds
+           << ", \"edp\": " << mr.cost.edp
+           << ", \"utilization\": " << mr.cost.utilization;
+    os << "}";
+    return os.str();
+}
+
 std::vector<Layer>
 netFromArgs(const Args &a)
 {
@@ -262,12 +359,13 @@ cmdMapNet(const Args &a)
         for (auto &l : layers)
             applySimbaPrecisions(l.workload);
 
+    ObsSinks sinks(a);
     NetSchedulerOptions opts;
     opts.sunstone.optimizeEdp = !a.has("energy");
     if (a.has("beam"))
         opts.sunstone.beamWidth = std::stoi(a.get("beam"));
-    if (a.has("threads"))
-        opts.sunstone.threads = std::stoi(a.get("threads"));
+    opts.sunstone.threads = threadsFromArgs(a);
+    opts.sunstone.convergence = sinks.convergence();
     EvalEngine engine(
         EvalEngineOptions{.threads = opts.sunstone.threads});
     opts.engine = &engine;
@@ -299,7 +397,10 @@ cmdMapNet(const Args &a)
                 static_cast<long long>(r.stats.cacheMisses),
                 static_cast<long long>(r.stats.prunes), r.seconds);
     if (a.has("stats-json"))
-        writeStatsJson(a.get("stats-json"), r.toJson());
+        writeStatsJson(a.get("stats-json"),
+                       "{\"result\": " + r.toJson() + ", \"engine\": " +
+                           engine.stats().toJson() + "}");
+    sinks.write(engine);
     return r.allFound ? 0 : 1;
 }
 
@@ -323,8 +424,8 @@ cmdMap(const Args &a)
 
     const std::string mapper = a.get("mapper", "sunstone");
     const bool edp = !a.has("energy");
-    const unsigned threads =
-        a.has("threads") ? std::stoi(a.get("threads")) : 1;
+    const unsigned threads = threadsFromArgs(a);
+    ObsSinks sinks(a);
     EvalEngine engine(EvalEngineOptions{.threads = threads});
     MapperResult mr;
     if (mapper == "sunstone") {
@@ -334,6 +435,7 @@ cmdMap(const Args &a)
         if (a.has("beam"))
             opts.beamWidth = std::stoi(a.get("beam"));
         opts.threads = threads;
+        opts.convergence = sinks.convergence();
         SunstoneResult r = sunstoneOptimize(ba, opts);
         mr.found = r.found;
         mr.mapping = r.mapping;
@@ -345,31 +447,40 @@ cmdMap(const Args &a)
         opts.optimizeEdp = edp;
         opts.engine = &engine;
         opts.threads = threads;
+        opts.convergence = sinks.convergence();
         if (a.has("budget"))
             opts.maxSeconds = std::stod(a.get("budget"));
         mr = TimeloopMapper(opts).optimize(ba);
     } else if (mapper == "dmaze") {
         DMazeOptions opts = DMazeOptions::slow();
         opts.engine = &engine;
+        opts.convergence = sinks.convergence();
         mr = DMazeMapper(opts).optimize(ba);
     } else if (mapper == "inter") {
         InterstellarOptions opts;
         opts.engine = &engine;
+        opts.convergence = sinks.convergence();
         mr = InterstellarMapper(opts).optimize(ba);
     } else if (mapper == "cosa") {
         CosaOptions opts;
         opts.engine = &engine;
+        opts.convergence = sinks.convergence();
         mr = CosaMapper(opts).optimize(ba);
     } else if (mapper == "gamma") {
         GammaOptions opts;
         opts.optimizeEdp = edp;
         opts.engine = &engine;
+        opts.convergence = sinks.convergence();
         mr = GammaMapper(opts).optimize(ba);
     } else {
         SUNSTONE_FATAL("unknown mapper '", mapper, "'");
     }
     if (a.has("stats-json"))
-        writeStatsJson(a.get("stats-json"), engine.stats().toJson());
+        writeStatsJson(a.get("stats-json"),
+                       "{\"result\": " + mapperResultJson(mapper, mr) +
+                           ", \"engine\": " + engine.stats().toJson() +
+                           "}");
+    sinks.write(engine);
 
     if (!mr.found) {
         std::printf("no valid mapping found: %s\n",
@@ -435,6 +546,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    obs::registerThisThread("main");
     Args a = parseArgs(argc, argv);
     if (a.command == "describe")
         return cmdDescribe(a);
