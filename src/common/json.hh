@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal JSON output helpers shared by every component that renders
+ * JSON by hand (the tracer, the network scheduler, the evaluation
+ * engine). Centralizing the escaping guarantees that a name containing
+ * a quote, a backslash, or a control character can never corrupt an
+ * emitted document. Header-only so the bottom-most layers (obs) can
+ * use it without a link dependency.
+ */
+
+#ifndef SUNSTONE_COMMON_JSON_HH
+#define SUNSTONE_COMMON_JSON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace sunstone {
+
+/**
+ * Escapes a string for embedding inside a JSON string literal: quotes,
+ * backslashes, and all control characters below 0x20 (newline and tab as
+ * the usual two-character sequences, the rest as \\u00XX).
+ */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_JSON_HH

@@ -1,0 +1,24 @@
+#include "common/parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace sunstone {
+
+bool
+tryParseInt64(const std::string &s, std::int64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE)
+        return false;
+    if (end != s.c_str() + s.size())
+        return false; // trailing garbage (or no digits at all)
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+} // namespace sunstone

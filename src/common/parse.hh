@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Checked text-to-number parsing. std::stoll throws on malformed or
+ * overflowing input, which turns a typo in a mapping/workload file into
+ * an uncaught exception; these helpers report failure through the
+ * return value so callers can raise a proper fatal() with context.
+ */
+
+#ifndef SUNSTONE_COMMON_PARSE_HH
+#define SUNSTONE_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sunstone {
+
+/**
+ * Parses a whole string as a signed 64-bit decimal integer.
+ *
+ * @param s text to parse (leading/trailing whitespace not allowed)
+ * @param out receives the value on success
+ * @return false when `s` is empty, contains trailing garbage, or does
+ *         not fit an int64
+ */
+bool tryParseInt64(const std::string &s, std::int64_t &out);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_PARSE_HH

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
 #include "obs/metrics.hh"
@@ -14,39 +15,6 @@
 namespace sunstone {
 
 namespace {
-
-/** JSON string escaping for layer names (quotes, backslashes, control). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 std::string
 num(double v)

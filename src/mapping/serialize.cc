@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace sunstone {
 
@@ -41,7 +42,15 @@ factorsFromText(const Workload &wl, const std::string &text, int lineno)
             SUNSTONE_FATAL("mapping line ", lineno, ": expected d=N in '",
                            item, "'");
         const DimId d = wl.dimByName(item.substr(0, eq));
-        f[d] = std::stoll(item.substr(eq + 1));
+        std::int64_t v;
+        if (!tryParseInt64(item.substr(eq + 1), v))
+            SUNSTONE_FATAL("mapping line ", lineno,
+                           ": factor in '", item,
+                           "' is not a valid integer");
+        if (v < 1)
+            SUNSTONE_FATAL("mapping line ", lineno, ": factor in '",
+                           item, "' must be >= 1");
+        f[d] = v;
     }
     return f;
 }
@@ -214,14 +223,25 @@ workloadFromText(const std::string &text)
                     SUNSTONE_FATAL("workload line ", lineno,
                                    ": expected name=value in '", item,
                                    "'");
-                if (key == "dims")
-                    dims.emplace_back(item.substr(0, eq),
-                                      std::stoll(item.substr(eq + 1)));
-                else
-                    bits.emplace_back(
-                        item.substr(0, eq),
-                        static_cast<int>(
-                            std::stoi(item.substr(eq + 1))));
+                std::int64_t v;
+                if (!tryParseInt64(item.substr(eq + 1), v))
+                    SUNSTONE_FATAL("workload line ", lineno,
+                                   ": value in '", item,
+                                   "' is not a valid integer");
+                if (v < 1)
+                    SUNSTONE_FATAL("workload line ", lineno,
+                                   ": value in '", item,
+                                   "' must be >= 1");
+                if (key == "dims") {
+                    dims.emplace_back(item.substr(0, eq), v);
+                } else {
+                    if (v > 4096)
+                        SUNSTONE_FATAL("workload line ", lineno,
+                                       ": implausible word width in '",
+                                       item, "'");
+                    bits.emplace_back(item.substr(0, eq),
+                                      static_cast<int>(v));
+                }
             }
         } else {
             SUNSTONE_FATAL("workload line ", lineno,

@@ -1,6 +1,7 @@
 #include "model/cost_model.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -88,6 +89,103 @@ multicastRange(const ArchSpec &arch, int lo, int hi)
     return true;
 }
 
+/**
+ * Clamped accumulation-read count: `arriving` partials minus the
+ * `distinct` words that absorb a first write for free. Exotic output
+ * chains (e.g. strided output ranks whose dense footprint exceeds the
+ * operation count) can make the difference negative; clamping keeps an
+ * underflow from ever *reducing* the energy sum.
+ */
+std::int64_t
+accumReadsFor(std::int64_t arriving, std::int64_t distinct)
+{
+    // Negative inputs would mean an upstream counter already
+    // underflowed; catch that loudly in debug builds.
+    assert(arriving >= 0 && distinct >= 0);
+    return std::max<std::int64_t>(0, arriving - distinct);
+}
+
+/**
+ * Distinct words of tensor `ts` delivered per tile-change event to the
+ * whole multicast group: the union, over every spatial instance in
+ * (c, l], of the dense per-rank tile boxes (Eq. 5 with exact halo
+ * sharing).
+ *
+ * Per rank the child boxes are intervals of length extent(shape_c)
+ * whose starts form the lattice {sum_d coeff_d * i_d * shape_c[d]}
+ * with i_d < spatial_up[d]. When adjacent starts are no further apart
+ * than the interval length the union is contiguous and this reproduces
+ * the paper's enlarged-tile footprint exactly; when a stride opens gaps
+ * (e.g. strided convolution with no halo in the consumer tile) the
+ * enlarged-tile formula overcounts and the interval merge below is the
+ * correct count. Ranks are combined as a product, mirroring the dense
+ * per-rank box storage convention used by footprint().
+ */
+std::int64_t
+multicastDistinctWords(const TensorSpec &ts,
+                       const std::vector<std::int64_t> &shape_c,
+                       const std::vector<std::int64_t> &spatial_up)
+{
+    std::int64_t words = 1;
+    for (const auto &rank : ts.ranks) {
+        const std::int64_t ext = rank.extent(shape_c);
+
+        // Per-dim start stride within this rank (a dim may appear in
+        // several terms; their coefficients add).
+        std::vector<std::pair<std::int64_t, std::int64_t>> split;
+        for (DimId d : rank.dims()) {
+            if (spatial_up[d] <= 1)
+                continue;
+            std::int64_t coeff = 0;
+            for (const auto &term : rank.terms)
+                if (term.dim == d)
+                    coeff += term.coeff;
+            split.emplace_back(satMul(coeff, shape_c[d]), spatial_up[d]);
+        }
+
+        std::int64_t rank_words;
+        if (split.empty()) {
+            // Every instance holds the same interval along this rank.
+            rank_words = ext;
+        } else if (split.size() == 1) {
+            // Arithmetic progression of starts: closed-form merge.
+            const auto [stride, count] = split[0];
+            rank_words = stride <= ext
+                             ? satMul(stride, count - 1) + ext
+                             : satMul(ext, count);
+        } else {
+            // Several spatially split dims feed one rank: enumerate the
+            // start lattice and merge intervals. The lattice size is
+            // bounded by the spatial product of the range, which is at
+            // most the machine's total fanout.
+            std::vector<std::int64_t> starts{0};
+            for (const auto &[stride, count] : split) {
+                std::vector<std::int64_t> next;
+                next.reserve(starts.size() *
+                             static_cast<std::size_t>(count));
+                for (std::int64_t s : starts)
+                    for (std::int64_t i = 0; i < count; ++i)
+                        next.push_back(s + satMul(i, stride));
+                starts = std::move(next);
+            }
+            std::sort(starts.begin(), starts.end());
+            rank_words = 0;
+            std::int64_t covered_to =
+                std::numeric_limits<std::int64_t>::min();
+            for (std::int64_t s : starts) {
+                const std::int64_t b = std::max(s, covered_to);
+                const std::int64_t e = s + ext;
+                if (e > b) {
+                    rank_words += e - b;
+                    covered_to = e;
+                }
+            }
+        }
+        words = satMul(words, rank_words);
+    }
+    return words;
+}
+
 /** Physical fanout product of the networks in (lo, hi]. */
 std::int64_t
 physicalFanRange(const ArchSpec &arch, int lo, int hi)
@@ -141,7 +239,7 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
             inner.reads += ops;
         } else {
             inner.updates += ops;
-            inner.accumReads += ops - problem_fp;
+            inner.accumReads += accumReadsFor(ops, problem_fp);
         }
 
         // Transfers between consecutive storing levels.
@@ -159,15 +257,16 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
             if (!ts.isOutput) {
                 std::int64_t distinct;
                 if (multicastRange(arch, c, l)) {
-                    // Enlarge the consumer tile by the spatial factors in
-                    // (c, l]; footprint() then reproduces halo sharing
-                    // across neighbouring consumers (Eq. 5).
-                    auto shape_up = shape_c;
+                    // Union of the consumer tiles across the spatial
+                    // instances in (c, l]: halo overlap is shared, and
+                    // strided gaps are not charged (Eq. 5, exact).
+                    std::vector<std::int64_t> spatial_up(wl.numDims(), 1);
                     for (int j = c + 1; j <= l; ++j)
                         for (DimId d = 0; d < wl.numDims(); ++d)
-                            shape_up[d] = satMul(shape_up[d],
-                                                 m.level(j).spatial[d]);
-                    distinct = ts.footprint(shape_up);
+                            spatial_up[d] = satMul(spatial_up[d],
+                                                   m.level(j).spatial[d]);
+                    distinct =
+                        multicastDistinctWords(ts, shape_c, spatial_up);
                 } else {
                     distinct = satMul(spatial_all, tile_c);
                 }
@@ -195,7 +294,8 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
                     satMul(ev, satMul(spatial_all, tile_c)), n_above);
                 res.access[l][t].updates += upd_l;
                 res.access[c][t].drains += upd_l;
-                res.access[l][t].accumReads += upd_l - problem_fp;
+                res.access[l][t].accumReads +=
+                    accumReadsFor(upd_l, problem_fp);
 
                 if (opts.modelNoc) {
                     const std::int64_t fan = physicalFanRange(arch, c, l);
@@ -238,12 +338,24 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
             reads += (double)res.access[l][t].totalReads();
             writes += (double)res.access[l][t].totalWrites();
         }
+        // A non-positive bandwidth with pending traffic is an infinite
+        // bottleneck, not a division hazard: 0/0 would yield NaN, and a
+        // NaN never compares greater, silently hiding the stall.
+        auto dir_cycles = [inst](double words, double bw) {
+            if (words <= 0)
+                return 0.0;
+            if (bw <= 0)
+                return std::numeric_limits<double>::infinity();
+            return words / (bw * inst);
+        };
         const double level_cycles =
-            std::max(reads / (lv.readBwWordsPerCycle * inst),
-                     writes / (lv.writeBwWordsPerCycle * inst));
+            std::max(dir_cycles(reads, lv.readBwWordsPerCycle),
+                     dir_cycles(writes, lv.writeBwWordsPerCycle));
         if (level_cycles > cycles) {
             cycles = level_cycles;
-            res.bottleneck = lv.name;
+            res.bottleneck = std::isinf(level_cycles)
+                                 ? lv.name + " (zero bandwidth)"
+                                 : lv.name;
         }
     }
     res.cycles = cycles;

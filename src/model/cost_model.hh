@@ -16,10 +16,17 @@
  *    of the paper's Eqs. 1-3: the number of tile-change events is the
  *    product of all temporal loop factors above C, skipping the trailing
  *    run of loops over non-indexing dimensions.
- *  - Spatial factors between C and L multicast: the distinct data per
- *    event is the footprint of the consumer tile enlarged by the
- *    indexing-dimension spatial factors (this reproduces the halo sharing
- *    of Eq. 5 exactly). Every consumer instance is still *filled*.
+ *  - Spatial factors between C and L multicast (when every fanout
+ *    network in the range supports it): the distinct data per event is
+ *    the exact union of the consumer-tile boxes across the spatial
+ *    instances, computed per rank by merging start intervals. For
+ *    contiguous tilings this equals the footprint of the spatially
+ *    enlarged tile (Eq. 5); for strided sliding windows whose consumer
+ *    tile carries no halo the merge also accounts for the gaps the
+ *    enlarged-tile formula would overcount. Every consumer instance is
+ *    still *filled*. Validated against the multicast-aware oracle in
+ *    nest_simulator.hh, which derives the same counts by enumerating
+ *    coordinates.
  *  - Outputs flow upward: every consumer drains its partial tile per
  *    event (spatial reduction sends every partial), and each arriving
  *    partial beyond the first visit of a distinct word performs a

@@ -1,0 +1,384 @@
+#include "model/diffcheck.hh"
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "arch/arch_config.hh"
+#include "mapping/serialize.hh"
+#include "model/nest_simulator.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Stateless mixer so per-trial streams are independent of each other. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::int64_t
+pickSize(std::mt19937_64 &rng)
+{
+    // Smooth sizes keep factorizations rich and the oracle's
+    // brute-force walk cheap.
+    static const std::int64_t sizes[] = {1, 2, 3, 4, 6, 8};
+    return sizes[rng() % (sizeof(sizes) / sizeof(sizes[0]))];
+}
+
+Workload
+randomWorkload(std::mt19937_64 &rng)
+{
+    const auto s = [&] { return pickSize(rng); };
+    switch (rng() % 5) {
+    case 0:
+        return parseEinsum("fuzz-gemm", "out[m,n] = a[m,k] * b[k,n]",
+                           {{"m", s()}, {"n", s()}, {"k", s()}});
+    case 1:
+        return parseEinsum("fuzz-conv1d",
+                           "out[k,p] = w[k,c,r] * in[c,p+r]",
+                           {{"k", s()}, {"c", s()}, {"p", s()},
+                            {"r", 1 + static_cast<std::int64_t>(rng() % 3)}});
+    case 2:
+        // Strided sliding window: the case where the enlarged-tile
+        // closed form historically overcounted multicast words.
+        return parseEinsum("fuzz-strided-conv1d",
+                           "out[k,p] = w[k,c,r] * in[c,2*p+r]",
+                           {{"k", s()}, {"c", s()}, {"p", s()},
+                            {"r", 1 + static_cast<std::int64_t>(rng() % 3)}});
+    case 3:
+        return parseEinsum("fuzz-mttkrp",
+                           "out[i,j] = A[i,k,l] * B[k,j] * C[l,j]",
+                           {{"i", s()}, {"j", s()}, {"k", s()},
+                            {"l", s()}});
+    default:
+        return parseEinsum("fuzz-depthwise",
+                           "out[c,p] = w[c,r] * in[c,p+r]",
+                           {{"c", s()}, {"p", s()},
+                            {"r", 1 + static_cast<std::int64_t>(rng() % 3)}});
+    }
+}
+
+/**
+ * Random three-level machine. Partition names equal tensor names, so
+ * bypass lists and the binding rules behave identically for unified
+ * and partitioned variants.
+ */
+ArchSpec
+randomArch(const Workload &wl, std::mt19937_64 &rng)
+{
+    const auto partitioned = [&](LevelSpec &lv, std::int64_t bits,
+                                 const std::string &skip) {
+        for (const auto &t : wl.tensors())
+            if (t.name != skip)
+                lv.partitions.push_back({t.name, bits});
+    };
+
+    ArchSpec a;
+    a.name = "fuzz-arch";
+
+    LevelSpec l1;
+    l1.name = "L1";
+    l1.fanout = 16;
+    l1.multicast = rng() % 2 == 0;
+    const bool l1_partitioned = rng() % 2 == 0;
+    if (l1_partitioned)
+        partitioned(l1, 1 << 20, "");
+    else
+        l1.capacityBits = 1 << 20;
+
+    LevelSpec glb;
+    glb.name = "GLB";
+    glb.fanout = 8;
+    glb.multicast = rng() % 2 == 0;
+    // Optionally bypass one input tensor at the middle level so the
+    // storage chain DRAM -> L1 skips it.
+    std::string skip;
+    if (rng() % 2 == 0) {
+        std::vector<std::string> inputs;
+        for (const auto &t : wl.tensors())
+            if (!t.isOutput)
+                inputs.push_back(t.name);
+        skip = inputs[rng() % inputs.size()];
+    }
+    if (rng() % 2 == 0) {
+        // A partitioned level may skip a tensor either implicitly (no
+        // partition for it) or via the bypass list. The implicit form
+        // requires the tensor's partition name to exist elsewhere in
+        // the hierarchy, else auto-binding has nothing to match.
+        if (!skip.empty() && l1_partitioned && rng() % 2 == 0) {
+            partitioned(glb, 1 << 26, skip);
+        } else {
+            partitioned(glb, 1 << 26, "");
+            if (!skip.empty())
+                glb.bypass.push_back(skip);
+        }
+    } else {
+        glb.capacityBits = 1 << 26;
+        if (!skip.empty())
+            glb.bypass.push_back(skip);
+    }
+
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+
+    a.levels = {l1, glb, dram};
+    return a;
+}
+
+/** Valid-by-construction random factorization (fanout respected). */
+Mapping
+randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
+{
+    const Workload &wl = ba.workload();
+    const int nl = ba.numLevels();
+    const int nd = wl.numDims();
+    Mapping m(nl, nd);
+    struct Slot
+    {
+        int level;
+        bool spatial;
+    };
+    std::vector<Slot> slots;
+    for (int l = 0; l < nl; ++l) {
+        slots.push_back({l, false});
+        if (ba.arch().levels[l].fanout > 1)
+            slots.push_back({l, true});
+    }
+    const auto place = [&](DimId d, std::int64_t f) {
+        const auto &s = slots[rng() % slots.size()];
+        auto &lm = m.level(s.level);
+        if (s.spatial &&
+            lm.spatialProduct() * f <= ba.arch().levels[s.level].fanout)
+            lm.spatial[d] *= f;
+        else
+            lm.temporal[d] *= f;
+    };
+    for (DimId d = 0; d < nd; ++d) {
+        std::int64_t rem = wl.dimSize(d);
+        for (std::int64_t f = 2; f * f <= rem; ++f)
+            while (rem % f == 0) {
+                place(d, f);
+                rem /= f;
+            }
+        if (rem > 1)
+            place(d, rem);
+    }
+    for (int l = 0; l < nl; ++l)
+        std::shuffle(m.level(l).order.begin(), m.level(l).order.end(),
+                     rng);
+    return m;
+}
+
+/** One candidate reproducer. */
+struct Repro
+{
+    Workload wl;
+    ArchSpec arch;
+    Mapping m;
+};
+
+struct CoreMismatch
+{
+    int level;
+    int tensor;
+    std::string field;
+    std::int64_t model;
+    std::int64_t oracle;
+};
+
+/** Evaluates both sides and returns the first diverging counter. */
+std::optional<CoreMismatch>
+compareOnce(const Repro &r, DiffcheckOptions::Fault fault)
+{
+    BoundArch ba(r.arch, r.wl);
+    CostModelOptions opts;
+    opts.assumeValid = true; // capacity/fanout play no role in counts
+    opts.modelNoc = false;
+    CostResult res = evaluateMapping(ba, r.m, opts);
+    if (fault == DiffcheckOptions::Fault::TopLevelReads)
+        res.access[ba.numLevels() - 1][0].reads += 1;
+    const auto sim = simulateAccessCounts(ba, r.m, NestOracleOptions{});
+    for (int l = 0; l < ba.numLevels(); ++l) {
+        for (TensorId t = 0; t < ba.numTensors(); ++t) {
+            const AccessCounts &a = res.access[l][t];
+            const AccessCounts &b = sim[l][t];
+            const std::pair<const char *, std::pair<std::int64_t,
+                                                    std::int64_t>>
+                fields[] = {
+                    {"reads", {a.reads, b.reads}},
+                    {"fills", {a.fills, b.fills}},
+                    {"updates", {a.updates, b.updates}},
+                    {"accumReads", {a.accumReads, b.accumReads}},
+                    {"drains", {a.drains, b.drains}},
+                };
+            for (const auto &[name, v] : fields)
+                if (v.first != v.second)
+                    return CoreMismatch{l, t, name, v.first, v.second};
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * Greedy lock-step shrinking: divide a problem dimension and one
+ * mapping factor by the same prime while the disagreement persists,
+ * then try structural architecture simplifications. Every accepted
+ * step strictly reduces the reproducer, so the loop terminates.
+ */
+Repro
+shrinkRepro(Repro r, DiffcheckOptions::Fault fault)
+{
+    const auto fails = [&](const Repro &cand) {
+        return compareOnce(cand, fault).has_value();
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Dimension / factor shrinking.
+        for (DimId d = 0; d < r.wl.numDims() && !changed; ++d) {
+            const std::int64_t size = r.wl.dimSize(d);
+            for (std::int64_t p = 2; p <= size && !changed; ++p) {
+                if (size % p != 0)
+                    continue;
+                for (int l = 0; l < r.m.numLevels() && !changed; ++l) {
+                    for (int sp = 0; sp < 2 && !changed; ++sp) {
+                        auto &fac = sp ? r.m.level(l).spatial
+                                       : r.m.level(l).temporal;
+                        if (fac[d] % p != 0)
+                            continue;
+                        Repro cand = r;
+                        auto shape = r.wl.shape();
+                        shape[d] /= p;
+                        cand.wl = r.wl.withShape(shape);
+                        auto &cf = sp ? cand.m.level(l).spatial
+                                      : cand.m.level(l).temporal;
+                        cf[d] /= p;
+                        if (fails(cand)) {
+                            r = std::move(cand);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Architecture simplifications (accepted only when the
+        // disagreement survives them).
+        for (std::size_t l = 0;
+             l + 1 < r.arch.levels.size() && !changed; ++l) {
+            LevelSpec &lv = r.arch.levels[l];
+            if (lv.multicast) {
+                Repro cand = r;
+                cand.arch.levels[l].multicast = false;
+                if (fails(cand)) {
+                    r = std::move(cand);
+                    changed = true;
+                    continue;
+                }
+            }
+            if (!lv.bypass.empty()) {
+                Repro cand = r;
+                cand.arch.levels[l].bypass.clear();
+                if (fails(cand)) {
+                    r = std::move(cand);
+                    changed = true;
+                    continue;
+                }
+            }
+            if (!lv.partitions.empty()) {
+                Repro cand = r;
+                auto &clv = cand.arch.levels[l];
+                std::int64_t cap = 0;
+                for (const auto &p : clv.partitions)
+                    cap += p.capacityBits;
+                clv.partitions.clear();
+                clv.capacityBits = cap;
+                if (fails(cand)) {
+                    r = std::move(cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+DiffcheckReport
+runDiffcheck(const DiffcheckOptions &opts)
+{
+    DiffcheckReport rep;
+    const auto say = [&](const std::string &s) {
+        if (opts.log)
+            opts.log(s);
+    };
+
+    for (int i = 0; i < opts.trials; ++i) {
+        // seed + i makes any trial replayable in isolation:
+        // `--seed <trialSeed> --trials 1` regenerates the same triple.
+        const std::uint64_t trial_seed = opts.seed + i;
+        std::mt19937_64 rng(splitmix64(trial_seed));
+
+        Repro r;
+        r.wl = randomWorkload(rng);
+        r.arch = randomArch(r.wl, rng);
+        BoundArch ba(r.arch, r.wl);
+        r.m = randomMapping(ba, rng);
+
+        ++rep.trialsRun;
+        auto mm = compareOnce(r, opts.fault);
+        if (!mm) {
+            if (opts.trials >= 10 && (i + 1) % (opts.trials / 10) == 0)
+                say("diffcheck: " + std::to_string(i + 1) + "/" +
+                    std::to_string(opts.trials) + " trials clean");
+            continue;
+        }
+
+        ++rep.mismatches;
+        say("diffcheck: mismatch at trial " + std::to_string(i) +
+            (opts.shrink ? ", shrinking..." : ""));
+        if (opts.shrink) {
+            r = shrinkRepro(r, opts.fault);
+            mm = compareOnce(r, opts.fault);
+        }
+
+        DiffcheckMismatch &f = rep.first;
+        f.trial = i;
+        f.trialSeed = trial_seed;
+        f.level = mm->level;
+        f.tensor = mm->tensor;
+        f.tensorName = r.wl.tensor(mm->tensor).name;
+        f.field = mm->field;
+        f.modelValue = mm->model;
+        f.oracleValue = mm->oracle;
+        f.workloadText = workloadToText(r.wl);
+        f.archText = archToText(r.arch);
+        {
+            BoundArch rba(r.arch, r.wl);
+            f.mappingText = mappingToText(r.m, rba);
+        }
+        std::ostringstream os;
+        os << "model/oracle mismatch: level "
+           << r.arch.levels[mm->level].name << ", tensor " << f.tensorName
+           << ", field " << f.field << ": model=" << f.modelValue
+           << " oracle=" << f.oracleValue << " (trial " << i
+           << ", replay with --seed " << trial_seed << " --trials 1)";
+        f.summary = os.str();
+        return rep; // stop at the first (now minimized) failure
+    }
+    return rep;
+}
+
+} // namespace sunstone

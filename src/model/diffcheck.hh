@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Differential fuzzing of the analytical cost model against the
+ * loop-nest oracle (`sunstone check` and tools/diffcheck). Each trial
+ * draws a random workload, a random three-level architecture (multicast
+ * on/off, unified or per-datatype buffers, optional mid-level bypass)
+ * and a random valid-by-construction mapping, then compares every
+ * per-(level, tensor) access counter produced by evaluateMapping()
+ * against simulateAccessCounts(). The first mismatch is shrunk to a
+ * minimal reproducer — problem dimensions and mapping factors are
+ * divided down in lock step while the disagreement persists — and
+ * reported as ready-to-save workload/arch/mapping text.
+ *
+ * Everything is seeded and deterministic: the same (seed, trials) pair
+ * replays the same sequence of triples bit for bit, so a failure found
+ * in CI reproduces locally from its printed seed.
+ */
+
+#ifndef SUNSTONE_MODEL_DIFFCHECK_HH
+#define SUNSTONE_MODEL_DIFFCHECK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "model/cost_model.hh"
+
+namespace sunstone {
+
+/** Configuration for one differential-fuzz run. */
+struct DiffcheckOptions
+{
+    /** Base seed; trial i derives its own stream from (seed, i). */
+    std::uint64_t seed = 1;
+
+    /** Number of random (workload, arch, mapping) triples to try. */
+    int trials = 200;
+
+    /** Shrink the first mismatch to a minimal reproducer. */
+    bool shrink = true;
+
+    /**
+     * Deliberate perturbations of the model-side counts, used to prove
+     * the harness detects and minimizes a planted cost-model bug.
+     */
+    enum class Fault
+    {
+        None,
+        /** Adds one word to the outermost level's reads of tensor 0. */
+        TopLevelReads,
+    };
+    Fault fault = Fault::None;
+
+    /** Optional progress sink (one line per message); may be empty. */
+    std::function<void(const std::string &)> log;
+};
+
+/** A single model/oracle disagreement, with a saved reproducer. */
+struct DiffcheckMismatch
+{
+    /** Trial index (0-based) and the per-trial derived seed. */
+    int trial = -1;
+    std::uint64_t trialSeed = 0;
+
+    /** Where the counters diverged. */
+    int level = -1;
+    int tensor = -1;
+    std::string tensorName;
+    std::string field; // "reads" | "fills" | "updates" | ...
+    std::int64_t modelValue = 0;
+    std::int64_t oracleValue = 0;
+
+    /** Minimal reproducer (after shrinking, when enabled). */
+    std::string workloadText;
+    std::string archText;
+    std::string mappingText;
+
+    /** Human-readable one-paragraph description. */
+    std::string summary;
+};
+
+/** Outcome of a run. */
+struct DiffcheckReport
+{
+    int trialsRun = 0;
+    int mismatches = 0;
+    /** First mismatch found (valid when mismatches > 0). */
+    DiffcheckMismatch first;
+
+    bool ok() const { return mismatches == 0; }
+};
+
+/**
+ * Runs the differential fuzzer. Stops at the first mismatch (after
+ * shrinking it); a clean run executes all opts.trials trials.
+ */
+DiffcheckReport runDiffcheck(const DiffcheckOptions &opts);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_MODEL_DIFFCHECK_HH

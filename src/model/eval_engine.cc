@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/json.hh"
+
 namespace sunstone {
 
 namespace {
@@ -95,7 +97,7 @@ SearchStats::toJson() const
     for (std::size_t i = 0; i < phaseSeconds.size(); ++i) {
         if (i)
             out += ", ";
-        out += "\"" + phaseSeconds[i].first + "\": ";
+        out += "\"" + jsonEscape(phaseSeconds[i].first) + "\": ";
         appendJsonDouble(out, phaseSeconds[i].second);
     }
     out += "}}";

@@ -1,5 +1,7 @@
 #include "model/nest_simulator.hh"
 
+#include <algorithm>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
@@ -86,13 +88,98 @@ spatialProductRange(const Mapping &m, int lo, int hi)
     return p;
 }
 
+/** True when every fanout network in (lo, hi] supports multicast. */
+bool
+multicastRange(const ArchSpec &arch, int lo, int hi)
+{
+    for (int l = lo + 1; l <= hi; ++l)
+        if (arch.levels[l].fanout > 1 && !arch.levels[l].multicast)
+            return false;
+    return true;
+}
+
+/**
+ * Distinct words one multicast delivery carries to the whole spatial
+ * group, found by brute force: for every combination of per-dim spatial
+ * instance indices in (c, l], every rank coordinate of the instance's
+ * dense tile box is marked in a set; rank set sizes multiply (the dense
+ * per-rank box storage convention of footprint()).
+ *
+ * The per-dim instance offset is i_d * shape_c[d] with i_d running over
+ * the combined spatial factor of the range — spatial distribution is
+ * innermost at every level, so at a fixed temporal instant the group
+ * covers per-dim-contiguous consumer tiles. Event (temporal) changes
+ * translate every instance identically and cannot change the union's
+ * cardinality, so one enumeration serves all events.
+ */
+std::int64_t
+enumerateDistinctWords(const TensorSpec &ts,
+                       const std::vector<std::int64_t> &shape_c,
+                       const std::vector<std::int64_t> &spatial_up,
+                       std::int64_t max_marks)
+{
+    std::int64_t words = 1;
+    std::int64_t marks = 0;
+    for (const auto &rank : ts.ranks) {
+        // Dims of this rank that are spatially split, with the summed
+        // coefficient a dim contributes to the rank coordinate.
+        std::vector<std::int64_t> strides, counts;
+        for (DimId d : rank.dims()) {
+            if (spatial_up[d] <= 1)
+                continue;
+            std::int64_t coeff = 0;
+            for (const auto &term : rank.terms)
+                if (term.dim == d)
+                    coeff += term.coeff;
+            strides.push_back(satMul(coeff, shape_c[d]));
+            counts.push_back(spatial_up[d]);
+        }
+        const std::int64_t ext = rank.extent(shape_c);
+
+        std::int64_t instances = 1;
+        for (std::int64_t c : counts)
+            instances = satMul(instances, c);
+        marks += satMul(instances, ext);
+        SUNSTONE_ASSERT(marks <= max_marks,
+                        "oracle multicast enumeration too large: ",
+                        marks);
+
+        std::unordered_set<std::int64_t> coords;
+        const int n = static_cast<int>(counts.size());
+        std::vector<std::int64_t> idx(n, 0);
+        for (std::int64_t inst = 0; inst < instances; ++inst) {
+            std::int64_t start = 0;
+            for (int i = 0; i < n; ++i)
+                start += idx[i] * strides[i];
+            for (std::int64_t x = 0; x < ext; ++x)
+                coords.insert(start + x);
+            for (int i = n - 1; i >= 0; --i) {
+                if (++idx[i] < counts[i])
+                    break;
+                idx[i] = 0;
+            }
+        }
+        words = satMul(words,
+                       static_cast<std::int64_t>(coords.size()));
+    }
+    return words;
+}
+
+/** Clamped accumulation reads (same rule as the analytical model). */
+std::int64_t
+accumReadsFor(std::int64_t arriving, std::int64_t distinct)
+{
+    return std::max<std::int64_t>(0, arriving - distinct);
+}
+
 } // anonymous namespace
 
 std::vector<std::vector<AccessCounts>>
 simulateAccessCounts(const BoundArch &ba, const Mapping &m,
-                     std::int64_t max_steps)
+                     const NestOracleOptions &opts)
 {
     const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
     const int nl = ba.numLevels();
     const int nt = ba.numTensors();
     std::vector<std::vector<AccessCounts>> access(
@@ -112,7 +199,8 @@ simulateAccessCounts(const BoundArch &ba, const Mapping &m,
             inner.reads += ops;
         } else {
             inner.updates += ops;
-            inner.accumReads += ops - ts.footprint(wl.shape());
+            inner.accumReads +=
+                accumReadsFor(ops, ts.footprint(wl.shape()));
         }
 
         for (std::size_t i = 1; i < chain.size(); ++i) {
@@ -120,25 +208,50 @@ simulateAccessCounts(const BoundArch &ba, const Mapping &m,
             const int l = chain[i];
             const auto loops = loopsAboveOuterFirst(m, c);
             const std::int64_t ev =
-                walkEvents(loops, wl.reuse(t).indexing, max_steps);
-            const std::int64_t instances =
-                satMul(spatialProductRange(m, c, l),
-                       spatialProductRange(m, l, nl - 1));
-            const std::int64_t tile_c = ts.footprint(m.tileShape(c));
-            const std::int64_t words =
-                satMul(satMul(ev, instances), tile_c);
+                walkEvents(loops, wl.reuse(t).indexing, opts.maxSteps);
+            const std::int64_t spatial_in = spatialProductRange(m, c, l);
+            const std::int64_t n_above =
+                spatialProductRange(m, l, nl - 1);
+            const auto shape_c = m.tileShape(c);
+            const std::int64_t tile_c = ts.footprint(shape_c);
+            const std::int64_t per_instance =
+                satMul(satMul(ev, satMul(spatial_in, tile_c)), n_above);
             if (!ts.isOutput) {
-                access[l][t].reads += words;
-                access[c][t].fills += words;
+                std::int64_t reads_l;
+                if (multicastRange(arch, c, l)) {
+                    std::vector<std::int64_t> spatial_up(wl.numDims(),
+                                                         1);
+                    for (int j = c + 1; j <= l; ++j)
+                        for (DimId d = 0; d < wl.numDims(); ++d)
+                            spatial_up[d] =
+                                satMul(spatial_up[d],
+                                       m.level(j).spatial[d]);
+                    const std::int64_t distinct = enumerateDistinctWords(
+                        ts, shape_c, spatial_up, opts.maxWordMarks);
+                    reads_l = satMul(satMul(ev, distinct), n_above);
+                } else {
+                    reads_l = per_instance;
+                }
+                access[l][t].reads += reads_l;
+                access[c][t].fills += per_instance;
             } else {
-                access[l][t].updates += words;
-                access[c][t].drains += words;
-                access[l][t].accumReads +=
-                    words - ts.footprint(wl.shape());
+                access[l][t].updates += per_instance;
+                access[c][t].drains += per_instance;
+                access[l][t].accumReads += accumReadsFor(
+                    per_instance, ts.footprint(wl.shape()));
             }
         }
     }
     return access;
+}
+
+std::vector<std::vector<AccessCounts>>
+simulateAccessCounts(const BoundArch &ba, const Mapping &m,
+                     std::int64_t max_steps)
+{
+    NestOracleOptions opts;
+    opts.maxSteps = max_steps;
+    return simulateAccessCounts(ba, m, opts);
 }
 
 } // namespace sunstone

@@ -4,13 +4,25 @@
  * it literally walks the temporal loop nest of a mapping, tracks the tile
  * of each tensor resident at each consumer level, and counts the fetch /
  * drain events that the analytical cost model predicts with its
- * stationarity formula. Property tests assert both agree on randomized
- * mappings, which pins down the trickiest logic in the repository.
+ * stationarity formula. Property tests and the `sunstone check`
+ * differential fuzzer assert both agree on randomized mappings, which
+ * pins down the trickiest logic in the repository.
  *
- * The simulator counts with per-instance tiles (no multicast halo
- * sharing), so comparisons should use architectures whose networks have
- * multicast disabled. accumReads is not independently derived here and is
- * excluded from comparisons.
+ * The oracle is multicast aware: when every fanout network between two
+ * storing levels supports multicast, the words delivered per tile-change
+ * event are counted by *enumerating the actual rank coordinates* each
+ * spatial child tile touches and collecting them into a set, so halo
+ * sharing between neighbouring consumers (and the gaps of strided
+ * sliding windows) emerge from brute force rather than from the model's
+ * closed form. Ranks are combined as a product — the same dense
+ * per-rank box convention TensorSpec::footprint() uses — so a tensor
+ * that indexes one problem dimension in two different ranks is counted
+ * under the storage convention, not as the exact multidimensional
+ * union.
+ *
+ * accumReads is not independently derived here (it uses the same
+ * arriving-minus-footprint rule as the model, clamped at zero), so
+ * comparisons of that field check wiring rather than the formula.
  */
 
 #ifndef SUNSTONE_MODEL_NEST_SIMULATOR_HH
@@ -20,12 +32,31 @@
 
 namespace sunstone {
 
+/** Budgets for the oracle's brute-force enumerations. */
+struct NestOracleOptions
+{
+    /** Panic if the temporal walk above any level exceeds this. */
+    std::int64_t maxSteps = 20'000'000;
+
+    /**
+     * Panic if a single multicast group's coordinate enumeration would
+     * mark more than this many (instance, word) pairs.
+     */
+    std::int64_t maxWordMarks = 50'000'000;
+};
+
 /**
  * Walks the loop nest and returns per-(level, tensor) access counters
- * with the same semantics as evaluateMapping() under multicast-free
- * networks. Intended for small problems; panics if the temporal
- * iteration space above any storing level exceeds `max_steps`.
+ * with the same semantics as evaluateMapping(), including multicast
+ * halo sharing. Intended for small problems; panics when a budget in
+ * `opts` is exceeded.
  */
+std::vector<std::vector<AccessCounts>>
+simulateAccessCounts(const BoundArch &ba, const Mapping &m,
+                     const NestOracleOptions &opts);
+
+/** Convenience overload with default budgets (optionally overriding
+ *  the temporal-walk bound only). */
 std::vector<std::vector<AccessCounts>>
 simulateAccessCounts(const BoundArch &ba, const Mapping &m,
                      std::int64_t max_steps = 20'000'000);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/json.hh"
 #include "obs/thread_registry.hh"
 
 namespace sunstone {
@@ -17,33 +18,6 @@ epoch()
 {
     static const auto start = std::chrono::steady_clock::now();
     return start;
-}
-
-/** JSON string escaping for span and thread names. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
 }
 
 } // anonymous namespace

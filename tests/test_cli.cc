@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace sunstone {
@@ -120,6 +121,36 @@ TEST(Cli, BaselineMapperSelectable)
     // must terminate cleanly with a meaningful message.
     EXPECT_TRUE(r.exitCode == 0 || r.exitCode == 1) << r.output;
     EXPECT_FALSE(r.output.empty());
+}
+
+TEST(Cli, CheckCleanRunAgreesAndIsDeterministic)
+{
+    auto a = runCli("check --trials 25 --seed 5");
+    EXPECT_EQ(a.exitCode, 0) << a.output;
+    EXPECT_NE(a.output.find("model and oracle agree"), std::string::npos);
+
+    // Same seed => bit-identical output, so CI failures replay locally.
+    auto b = runCli("check --trials 25 --seed 5");
+    EXPECT_EQ(b.exitCode, 0);
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Cli, CheckCatchesInjectedFaultAndWritesRepro)
+{
+    const std::string prefix = ::testing::TempDir() + "/check_repro";
+    auto r = runCli("check --trials 5 --seed 1 "
+                    "--inject-fault top-level-reads --repro-prefix " +
+                    prefix);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("mismatch"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("minimized mapping"), std::string::npos);
+    // The minimized reproducer collapses every dimension to 1.
+    EXPECT_NE(r.output.find("dims k=1,c=1,p=1,r=1"), std::string::npos)
+        << r.output;
+    for (const char *ext : {".workload", ".arch", ".mapping"}) {
+        std::ifstream f(prefix + ext);
+        EXPECT_TRUE(f.good()) << prefix << ext;
+    }
 }
 
 TEST(Cli, UnknownCommandFails)

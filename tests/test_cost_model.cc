@@ -283,5 +283,78 @@ TEST(CostModelBasics, NocToggleOnlyAffectsNocEnergy)
                 1e-9 * b.totalEnergyPj);
 }
 
+TEST(CostModelMulticast, StridedWindowGapsAreNotOvercounted)
+{
+    // in[c, 2*p+r] with r=1 and an L1 tile of P=2: each child tile
+    // spans 3 ifmap words, but spatially adjacent tiles start 4 words
+    // apart (stride 2 * tile 2), leaving a one-word gap. The multicast
+    // union is therefore 2 * 3 = 6 distinct words -- enlarging the
+    // consumer tile to P=4 would claim 2*3+1 = 7 and bill the provider
+    // for a word nobody reads.
+    Workload wl = parseEinsum("strided", "out[k,p] = w[k,c,r] * in[c,2*p+r]",
+                              {{"k", 1}, {"c", 1}, {"p", 8}, {"r", 1}});
+    ArchSpec arch = makeToyArch(4096, 4);
+    BoundArch ba(arch, wl);
+    const DimId p = wl.dimByName("p");
+    Mapping m(3, 4);
+    m.level(0).temporal[p] = 2;
+    m.level(1).spatial[p] = 2;
+    m.level(1).temporal[p] = 2;
+    auto res = evaluateMapping(ba, m);
+    ASSERT_TRUE(res.valid) << res.invalidReason;
+    // Tile-change events above L1: the remaining p loop at L2 (2).
+    // reads = events * union = 2 * 6 = 12 (the gap makes sharing nil,
+    // so this equals the per-instance total; the old enlarged-tile
+    // formula would have charged 2 * 7 = 14).
+    EXPECT_EQ(res.access[1][wl.tensorByName("in")].reads, 12);
+}
+
+TEST(CostModelLatency, ZeroBandwidthIsAnInfiniteBottleneckNotNaN)
+{
+    Workload wl = makeConv1D(8, 4, 12, 3);
+    ArchSpec arch = makeToyArch(4096, 4);
+    arch.levels[1].readBwWordsPerCycle = 0; // broken datapath
+    BoundArch ba(arch, wl);
+    auto res = evaluateMapping(ba, naiveMapping(ba));
+    ASSERT_TRUE(res.valid) << res.invalidReason;
+    EXPECT_TRUE(std::isinf(res.cycles));
+    EXPECT_FALSE(std::isnan(res.cycles));
+    EXPECT_FALSE(std::isnan(res.edp));
+    EXPECT_NE(res.bottleneck.find("zero bandwidth"), std::string::npos)
+        << res.bottleneck;
+}
+
+TEST(CostModelLatency, ZeroBandwidthWithZeroTrafficIsHarmless)
+{
+    // A zero-bandwidth direction that carries no words must not poison
+    // the latency with 0/0 = NaN.
+    Workload wl = makeGemm(4, 4, 4);
+    ArchSpec arch = makeToyArch(4096, 4);
+    arch.levels[1].writeBwWordsPerCycle = 0;
+    arch.levels[1].bypass = {"a", "b"}; // only the output remains
+    BoundArch ba(arch, wl);
+    auto res = evaluateMapping(ba, naiveMapping(ba));
+    ASSERT_TRUE(res.valid) << res.invalidReason;
+    EXPECT_FALSE(std::isnan(res.cycles));
+    EXPECT_FALSE(std::isnan(res.edp));
+}
+
+TEST(CostModelOutputs, AccumReadsClampAtZeroForStridedOutputs)
+{
+    // out[2*p] touches 2*8-1 = 15 words, but only 8 partials ever
+    // arrive at the outer levels; arriving - footprint is negative and
+    // must clamp to zero rather than produce negative energy.
+    Workload wl = parseEinsum("scatter", "out[2*p] = in[p]", {{"p", 8}});
+    BoundArch ba(makeToyArch(4096, 4), wl);
+    auto res = evaluateMapping(ba, naiveMapping(ba));
+    ASSERT_TRUE(res.valid) << res.invalidReason;
+    const TensorId out = wl.tensorByName("out");
+    for (int l = 0; l < ba.numLevels(); ++l) {
+        EXPECT_GE(res.access[l][out].accumReads, 0) << "level " << l;
+    }
+    EXPECT_EQ(res.access[ba.numLevels() - 1][out].accumReads, 0);
+    EXPECT_GE(res.totalEnergyPj, 0);
+}
+
 } // namespace
 } // namespace sunstone

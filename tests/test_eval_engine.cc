@@ -263,5 +263,15 @@ TEST(NetScheduler, SurfacesUnschedulableLayers)
     EXPECT_EQ(empty.totalEdp, 0.0);
 }
 
+TEST(SearchStatsJson, PhaseNamesAreEscaped)
+{
+    EvalEngine engine;
+    engine.addPhaseSeconds("quoted\"phase\nname", 1.5);
+    const std::string j = engine.stats().toJson();
+    // The quote and newline must appear as JSON escapes, never raw.
+    EXPECT_NE(j.find("quoted\\\"phase\\nname"), std::string::npos) << j;
+    EXPECT_EQ(j.find('\n'), std::string::npos) << j;
+}
+
 } // anonymous namespace
 } // namespace sunstone

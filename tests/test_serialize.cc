@@ -132,6 +132,62 @@ TEST(MappingText, RejectsTruncatedFiles)
                 "expected 3");
 }
 
+TEST(MappingText, RejectsMalformedFactors)
+{
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeConventional(), wl);
+    const char *bad = "mapping\n"
+                      "level L1 temporal k=x spatial - order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(bad, ba), ::testing::ExitedWithCode(1),
+                "mapping line 2.*not a valid integer");
+}
+
+TEST(MappingText, RejectsOverflowingFactors)
+{
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeConventional(), wl);
+    const char *bad =
+        "mapping\n"
+        "level L1 temporal k=99999999999999999999 spatial - order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(bad, ba), ::testing::ExitedWithCode(1),
+                "mapping line 2.*not a valid integer");
+}
+
+TEST(MappingText, RejectsNonPositiveFactors)
+{
+    Workload wl = makeGemm(4, 4, 4);
+    BoundArch ba(makeConventional(), wl);
+    const char *zero = "mapping\n"
+                       "level L1 temporal k=0 spatial - order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(zero, ba), ::testing::ExitedWithCode(1),
+                "mapping line 2.*must be >= 1");
+    const char *neg = "mapping\n"
+                      "level L1 temporal - spatial k=-4 order m,n,k\n";
+    EXPECT_EXIT(mappingFromText(neg, ba), ::testing::ExitedWithCode(1),
+                "mapping line 2.*must be >= 1");
+}
+
+TEST(WorkloadText, RejectsMalformedDimsAndBits)
+{
+    const char *bad_dim = "workload w\n"
+                          "einsum out[m] = a[m]\n"
+                          "dims m=abc\n";
+    EXPECT_EXIT(workloadFromText(bad_dim), ::testing::ExitedWithCode(1),
+                "workload line 3.*not a valid integer");
+    const char *neg_dim = "workload w\n"
+                          "einsum out[m] = a[m]\n"
+                          "dims m=-8\n";
+    EXPECT_EXIT(workloadFromText(neg_dim), ::testing::ExitedWithCode(1),
+                "workload line 3.*must be >= 1");
+    const char *huge_bits = "workload w\n"
+                            "einsum out[m] = a[m]\n"
+                            "dims m=8\n"
+                            "bits out=1000000\n";
+    EXPECT_EXIT(workloadFromText(huge_bits),
+                ::testing::ExitedWithCode(1),
+                "workload line 4.*implausible word width");
+}
+
 TEST(Files, SaveAndLoadThroughDisk)
 {
     Workload wl = makeGemm(8, 8, 8);

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Standalone differential fuzzer: model vs loop-nest oracle. A thin
+ * wrapper over runDiffcheck() for soak runs that don't need the full
+ * CLI (`sunstone check` exposes the same engine with repro-file
+ * output). Usage:
+ *
+ *   diffcheck [trials] [seed]
+ *
+ * Exits 0 when every trial agrees, 1 with a minimized reproducer on
+ * stdout otherwise.
+ */
+
+#include <cstdio>
+
+#include "common/parse.hh"
+#include "model/diffcheck.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sunstone;
+
+    DiffcheckOptions opts;
+    std::int64_t v;
+    if (argc > 1) {
+        if (!tryParseInt64(argv[1], v) || v < 1) {
+            std::fprintf(stderr, "usage: diffcheck [trials] [seed]\n");
+            return 2;
+        }
+        opts.trials = static_cast<int>(v);
+    }
+    if (argc > 2) {
+        if (!tryParseInt64(argv[2], v) || v < 0) {
+            std::fprintf(stderr, "usage: diffcheck [trials] [seed]\n");
+            return 2;
+        }
+        opts.seed = static_cast<std::uint64_t>(v);
+    }
+    opts.log = [](const std::string &s) {
+        std::printf("%s\n", s.c_str());
+    };
+
+    const DiffcheckReport rep = runDiffcheck(opts);
+    if (rep.ok()) {
+        std::printf("diffcheck: %d trials, model and oracle agree\n",
+                    rep.trialsRun);
+        return 0;
+    }
+    const DiffcheckMismatch &mm = rep.first;
+    std::printf("diffcheck: FAILED -- %s\n", mm.summary.c_str());
+    std::printf("--- minimized workload ---\n%s", mm.workloadText.c_str());
+    std::printf("--- minimized arch ---\n%s", mm.archText.c_str());
+    std::printf("--- minimized mapping ---\n%s", mm.mappingText.c_str());
+    return 1;
+}

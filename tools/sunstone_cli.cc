@@ -37,6 +37,16 @@
  *   sunstone arch --arch NAME [--save F]
  *       Print (or save) a preset architecture config.
  *
+ *   sunstone check [--trials N] [--seed S] [--no-shrink]
+ *                  [--repro-prefix P] [--inject-fault top-level-reads]
+ *       Differential-fuzz the analytical cost model against the
+ *       loop-nest oracle on random (workload, arch, mapping) triples.
+ *       On a mismatch the reproducer is shrunk to a minimal triple,
+ *       printed, optionally saved as P.workload/P.arch/P.mapping, and
+ *       the exit status is 1. Runs are deterministic per seed;
+ *       --inject-fault plants a known model-side perturbation so the
+ *       harness itself can be tested.
+ *
  * Workload options: --einsum/--dims/--bits, or --workload-file F, or a
  * preset: --conv n=16,k=64,c=64,p=56,q=56,r=3,s=3[,stride=1].
  * Architectures: conventional (default), simba, eyeriss, diannao, toy,
@@ -53,10 +63,12 @@
 #include <thread>
 
 #include "arch/arch_config.hh"
+#include "common/parse.hh"
 #include "arch/presets.hh"
 #include "core/net_scheduler.hh"
 #include "core/sunstone.hh"
 #include "mapping/serialize.hh"
+#include "model/diffcheck.hh"
 #include "mappers/cosa_mapper.hh"
 #include "mappers/dmaze_mapper.hh"
 #include "mappers/gamma_mapper.hh"
@@ -120,8 +132,11 @@ parsePairs(const std::string &text)
         const auto eq = item.find('=');
         if (eq == std::string::npos)
             SUNSTONE_FATAL("expected name=value in '", item, "'");
-        out.emplace_back(item.substr(0, eq),
-                         std::stoll(item.substr(eq + 1)));
+        std::int64_t v;
+        if (!tryParseInt64(item.substr(eq + 1), v))
+            SUNSTONE_FATAL("value in '", item,
+                           "' is not a valid integer");
+        out.emplace_back(item.substr(0, eq), v);
     }
     return out;
 }
@@ -532,11 +547,69 @@ cmdArch(const Args &a)
     return 0;
 }
 
+int
+cmdCheck(const Args &a)
+{
+    DiffcheckOptions opts;
+    std::int64_t v;
+    if (a.has("trials")) {
+        if (!tryParseInt64(a.get("trials"), v) || v < 1)
+            SUNSTONE_FATAL("--trials needs a positive integer");
+        opts.trials = static_cast<int>(v);
+    }
+    if (a.has("seed")) {
+        if (!tryParseInt64(a.get("seed"), v) || v < 0)
+            SUNSTONE_FATAL("--seed needs a non-negative integer");
+        opts.seed = static_cast<std::uint64_t>(v);
+    }
+    opts.shrink = !a.has("no-shrink");
+    if (a.has("inject-fault")) {
+        const std::string f = a.get("inject-fault");
+        if (f == "top-level-reads")
+            opts.fault = DiffcheckOptions::Fault::TopLevelReads;
+        else
+            SUNSTONE_FATAL("unknown fault '", f,
+                           "' (known: top-level-reads)");
+    }
+    opts.log = [](const std::string &s) {
+        std::printf("%s\n", s.c_str());
+    };
+
+    const DiffcheckReport rep = runDiffcheck(opts);
+    if (rep.ok()) {
+        std::printf("check: %d trials, model and oracle agree\n",
+                    rep.trialsRun);
+        return 0;
+    }
+
+    const DiffcheckMismatch &mm = rep.first;
+    std::printf("check: FAILED -- %s\n", mm.summary.c_str());
+    std::printf("--- minimized workload ---\n%s", mm.workloadText.c_str());
+    std::printf("--- minimized arch ---\n%s", mm.archText.c_str());
+    std::printf("--- minimized mapping ---\n%s", mm.mappingText.c_str());
+    if (a.has("repro-prefix")) {
+        const std::string p = a.get("repro-prefix");
+        const auto dump = [](const std::string &path,
+                             const std::string &text) {
+            std::ofstream f(path);
+            if (!f)
+                SUNSTONE_FATAL("cannot write '", path, "'");
+            f << text;
+        };
+        dump(p + ".workload", mm.workloadText);
+        dump(p + ".arch", mm.archText);
+        dump(p + ".mapping", mm.mappingText);
+        std::printf("repro written to %s.{workload,arch,mapping}\n",
+                    p.c_str());
+    }
+    return 1;
+}
+
 void
 usage()
 {
     std::printf(
-        "usage: sunstone <describe|map|eval|arch> [options]\n"
+        "usage: sunstone <describe|map|eval|arch|check> [options]\n"
         "see the header of tools/sunstone_cli.cc for the full option "
         "list\n");
 }
@@ -556,6 +629,8 @@ main(int argc, char **argv)
         return cmdEval(a);
     if (a.command == "arch")
         return cmdArch(a);
+    if (a.command == "check")
+        return cmdCheck(a);
     usage();
     return a.command.empty() ? 1 : 2;
 }
