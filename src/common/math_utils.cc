@@ -1,7 +1,12 @@
 #include "common/math_utils.hh"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -21,6 +26,96 @@ divisors(std::int64_t n)
     }
     low.insert(low.end(), high.rbegin(), high.rend());
     return low;
+}
+
+namespace {
+
+/**
+ * Interning table behind cachedDivisors() / cachedPrimeFactors().
+ * Entries are unique_ptrs so a returned reference survives rehashing,
+ * and nothing is ever evicted, so references stay valid for the process
+ * lifetime. A read acquires the shared lock only; the exclusive lock is
+ * taken just to insert. Past kMaxEntries distinct keys (adversarial
+ * value churn) new results are handed out from a per-thread ring whose
+ * depth comfortably exceeds any nesting of factor loops in the codebase
+ * (bounded by the dimension count).
+ */
+template <typename V>
+struct InternTable
+{
+    static constexpr std::size_t kMaxEntries = 1 << 16;
+
+    std::shared_mutex mtx;
+    std::unordered_map<std::int64_t, std::unique_ptr<const V>> map;
+
+    template <typename Fn>
+    const V &
+    get(std::int64_t n, Fn &&compute)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lk(mtx);
+            auto it = map.find(n);
+            if (it != map.end())
+                return *it->second;
+        }
+        auto computed = std::make_unique<const V>(compute(n));
+        {
+            std::unique_lock<std::shared_mutex> lk(mtx);
+            if (map.size() < kMaxEntries) {
+                auto [it, inserted] = map.emplace(n, std::move(computed));
+                return *it->second;
+            }
+        }
+        thread_local std::array<V, 64> overflow;
+        thread_local std::size_t next = 0;
+        auto &slot = overflow[next];
+        next = (next + 1) % overflow.size();
+        slot = *computed;
+        return slot;
+    }
+
+    std::size_t
+    size()
+    {
+        std::shared_lock<std::shared_mutex> lk(mtx);
+        return map.size();
+    }
+};
+
+InternTable<std::vector<std::int64_t>> &
+divisorCache()
+{
+    static InternTable<std::vector<std::int64_t>> cache;
+    return cache;
+}
+
+InternTable<std::vector<std::pair<std::int64_t, int>>> &
+primeFactorCache()
+{
+    static InternTable<std::vector<std::pair<std::int64_t, int>>> cache;
+    return cache;
+}
+
+} // anonymous namespace
+
+const std::vector<std::int64_t> &
+cachedDivisors(std::int64_t n)
+{
+    return divisorCache().get(n,
+                              [](std::int64_t v) { return divisors(v); });
+}
+
+std::size_t
+divisorCacheSize()
+{
+    return divisorCache().size();
+}
+
+const std::vector<std::pair<std::int64_t, int>> &
+cachedPrimeFactors(std::int64_t n)
+{
+    return primeFactorCache().get(
+        n, [](std::int64_t v) { return primeFactors(v); });
 }
 
 std::vector<std::pair<std::int64_t, int>>
@@ -94,7 +189,7 @@ countFactorSplits(std::int64_t n, int k)
 std::int64_t
 smallestDivisorAtLeast(std::int64_t n, std::int64_t lo)
 {
-    for (std::int64_t d : divisors(n))
+    for (std::int64_t d : cachedDivisors(n))
         if (d >= lo)
             return d;
     return n;
@@ -104,7 +199,7 @@ std::int64_t
 largestDivisorAtMost(std::int64_t n, std::int64_t hi)
 {
     std::int64_t best = 1;
-    for (std::int64_t d : divisors(n)) {
+    for (std::int64_t d : cachedDivisors(n)) {
         if (d <= hi)
             best = d;
         else
@@ -116,21 +211,9 @@ largestDivisorAtMost(std::int64_t n, std::int64_t hi)
 std::int64_t
 nextDivisor(std::int64_t n, std::int64_t d)
 {
-    auto divs = divisors(n);
+    const auto &divs = cachedDivisors(n);
     auto it = std::upper_bound(divs.begin(), divs.end(), d);
     return it == divs.end() ? 0 : *it;
-}
-
-std::int64_t
-satMul(std::int64_t a, std::int64_t b)
-{
-    SUNSTONE_ASSERT(a >= 0 && b >= 0, "satMul() expects non-negative args");
-    if (a == 0 || b == 0)
-        return 0;
-    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
-    if (a > max / b)
-        return max;
-    return a * b;
 }
 
 } // namespace sunstone

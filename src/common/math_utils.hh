@@ -9,7 +9,10 @@
 #define SUNSTONE_COMMON_MATH_UTILS_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace sunstone {
 
@@ -24,10 +27,29 @@ ceilDiv(std::int64_t a, std::int64_t b)
 std::vector<std::int64_t> divisors(std::int64_t n);
 
 /**
+ * Memoized divisor table: like divisors(), but the result is interned in
+ * a process-wide thread-safe cache, so hot enumeration loops (tiling
+ * trees, mapper factor sweeps) stop refactorizing the same dimension
+ * sizes. The returned reference stays valid for the process lifetime.
+ * The table is bounded: past ~64k distinct values new queries fall back
+ * to a small per-thread ring of scratch entries (still reference-stable
+ * across the nesting depths that occur in practice).
+ */
+const std::vector<std::int64_t> &cachedDivisors(std::int64_t n);
+
+/** @return number of interned entries in the cachedDivisors() table. */
+std::size_t divisorCacheSize();
+
+/**
  * @return the prime factorization of n as (prime, exponent) pairs in
  *         ascending prime order.
  */
 std::vector<std::pair<std::int64_t, int>> primeFactors(std::int64_t n);
+
+/** Memoized primeFactors() with the same interning/bounding rules as
+ *  cachedDivisors(). */
+const std::vector<std::pair<std::int64_t, int>> &
+cachedPrimeFactors(std::int64_t n);
 
 /**
  * Enumerates every ordered way of writing n as a product of k positive
@@ -55,8 +77,29 @@ std::int64_t largestDivisorAtMost(std::int64_t n, std::int64_t hi);
  */
 std::int64_t nextDivisor(std::int64_t n, std::int64_t d);
 
-/** Saturating multiply guarding against int64 overflow. */
-std::int64_t satMul(std::int64_t a, std::int64_t b);
+/**
+ * Saturating multiply guarding against int64 overflow. Inline and
+ * branch-cheap (hardware overflow flag, no division) because the cost
+ * model folds access counts through it millions of times per search.
+ */
+inline std::int64_t
+satMul(std::int64_t a, std::int64_t b)
+{
+    SUNSTONE_ASSERT(a >= 0 && b >= 0, "satMul() expects non-negative args");
+#if defined(__GNUC__) || defined(__clang__)
+    std::int64_t r;
+    if (__builtin_mul_overflow(a, b, &r))
+        return std::numeric_limits<std::int64_t>::max();
+    return r;
+#else
+    if (a == 0 || b == 0)
+        return 0;
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    if (a > max / b)
+        return max;
+    return a * b;
+#endif
+}
 
 } // namespace sunstone
 

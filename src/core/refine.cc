@@ -15,23 +15,35 @@ namespace {
 /** Objective of a mapping; infinity when invalid. */
 double
 objective(EvalEngine &engine, const EvalEngine::Context &ctx,
-          const Mapping &m, bool edp, RefineStats *stats)
+          const EvalEngine::PrefixHandle &ph, const Mapping &m, bool edp,
+          RefineStats *stats)
 {
     if (stats)
         ++stats->evaluated;
-    CostResult r = engine.evaluate(ctx, m);
+    CostResult r = engine.evaluateWithPrefix(ctx, ph, m);
     if (!r.valid)
         return std::numeric_limits<double>::infinity();
     return edp ? r.edp : r.totalEnergyPj;
 }
 
+/**
+ * A candidate move plus the lowest level it touched: levels below
+ * `prefixLevels` are identical to the round's base mapping, so the
+ * evaluation can reuse the base's cached prefix terms.
+ */
+struct Neighbour
+{
+    Mapping m;
+    int prefixLevels = 0;
+};
+
 /** Generates all single-prime-factor move neighbours of m. */
-std::vector<Mapping>
+std::vector<Neighbour>
 neighbours(const BoundArch &ba, const Mapping &m)
 {
     const int nl = m.numLevels();
     const int nd = m.numDims();
-    std::vector<Mapping> out;
+    std::vector<Neighbour> out;
 
     // Every (level, temporal|spatial) slot is a possible source and
     // destination for one prime factor of each dim.
@@ -62,7 +74,7 @@ neighbours(const BoundArch &ba, const Mapping &m)
             const std::int64_t f = factorOf(m, src, d);
             if (f <= 1)
                 continue;
-            for (auto [p, e] : primeFactors(f)) {
+            for (auto [p, e] : cachedPrimeFactors(f)) {
                 (void)e;
                 for (const auto &dst : slots) {
                     if (src.level == dst.level &&
@@ -72,7 +84,8 @@ neighbours(const BoundArch &ba, const Mapping &m)
                     factorRef(n, src, d) /= p;
                     factorRef(n, dst, d) =
                         satMul(factorRef(n, dst, d), p);
-                    out.push_back(std::move(n));
+                    out.push_back(
+                        {std::move(n), std::min(src.level, dst.level)});
                 }
             }
         }
@@ -90,7 +103,7 @@ neighbours(const BoundArch &ba, const Mapping &m)
             auto &order = n.level(l).order;
             order.erase(std::find(order.begin(), order.end(), d));
             order.push_back(d);
-            out.push_back(std::move(n));
+            out.push_back({std::move(n), l});
         }
     }
     return out;
@@ -107,14 +120,23 @@ polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
     EvalEngine &eng = engine ? *engine : localEngine;
     const EvalEngine::Context ctx = eng.context(ba);
     Mapping best = m;
-    double best_obj = objective(eng, ctx, best, optimize_edp, stats);
+    double best_obj = objective(eng, ctx, EvalEngine::PrefixHandle{}, best,
+                                optimize_edp, stats);
     for (int round = 0; round < max_rounds; ++round) {
         bool improved = false;
-        for (auto &n : neighbours(ba, best)) {
-            const double obj = objective(eng, ctx, n, optimize_edp, stats);
+        // Neighbours are generated from the round's base mapping, and
+        // each shares that base's levels below its lowest changed one:
+        // evaluate through the memoized prefix terms of the base so only
+        // the touched levels are recomputed.
+        const Mapping base = best;
+        for (auto &n : neighbours(ba, base)) {
+            const EvalEngine::PrefixHandle ph =
+                eng.prefix(ctx, base, n.prefixLevels);
+            const double obj =
+                objective(eng, ctx, ph, n.m, optimize_edp, stats);
             if (obj < best_obj) {
                 best_obj = obj;
-                best = std::move(n);
+                best = std::move(n.m);
                 improved = true;
             }
         }

@@ -105,13 +105,25 @@ class Driver
         std::vector<std::pair<double, const Partial *>> ranked;
         {
             SUNSTONE_TRACE_SPAN("sunstone.rank");
-            for (const auto &p : beam) {
-                CostResult cr = engine.evaluate(ctx, p.m);
+            // Rank the survivors as one batch across the pool; results
+            // come back in beam order, so the recorded trajectory and
+            // tie-breaking match the historical serial loop exactly.
+            std::vector<Mapping> ms;
+            ms.reserve(beam.size());
+            for (const auto &p : beam)
+                ms.push_back(p.m);
+            std::vector<CostResult> results;
+            engine.evaluateBatch(ctx, ms, {},
+                                 EvalEngine::CachePolicy::UseCache,
+                                 results);
+            for (std::size_t i = 0; i < beam.size(); ++i) {
+                const CostResult &cr = results[i];
                 if (!cr.valid)
                     continue;
                 recordImprovement(cr);
                 ranked.emplace_back(
-                    opts.optimizeEdp ? cr.edp : cr.totalEnergyPj, &p);
+                    opts.optimizeEdp ? cr.edp : cr.totalEnergyPj,
+                    &beam[i]);
             }
         }
         std::sort(ranked.begin(), ranked.end(),
@@ -227,7 +239,7 @@ class Driver
         auto &lm = p.m.level(k);
         for (DimId d : p.pendingSuffix) {
             auto shape = p.m.tileShape(k);
-            const auto divs = divisors(p.remaining[d]);
+            const auto &divs = cachedDivisors(p.remaining[d]);
             for (auto it = divs.rbegin(); it != divs.rend(); ++it) {
                 auto candidate = shape;
                 candidate[d] = satMul(candidate[d], *it);
@@ -250,15 +262,22 @@ class Driver
      * energy — the paper's approximated-energy alpha-beta surrogate.
      */
     double
-    scoreCompletion(const Partial &p, const std::vector<DimId> &suffix,
-                    bool bottom_up) const
+    scoreCompletion(Partial &p, const std::vector<DimId> &suffix,
+                    bool bottom_up,
+                    const EvalEngine::PrefixHandle &ph) const
     {
-        Mapping m = p.m;
         const int fill = bottom_up ? nLevels - 1 : 0;
-        auto &lm = m.level(fill);
+        auto &lm = p.m.level(fill);
+        // Complete in place and restore afterwards: the fill level's
+        // factors (and order, for bottom-up) are stashed in per-thread
+        // buffers so scoring performs no Mapping copy.
+        thread_local std::vector<std::int64_t> saved_temporal;
+        thread_local std::vector<DimId> saved_order;
+        saved_temporal.assign(lm.temporal.begin(), lm.temporal.end());
         for (DimId d = 0; d < nDims; ++d)
             lm.temporal[d] = satMul(lm.temporal[d], p.remaining[d]);
         if (bottom_up) {
+            saved_order.assign(lm.order.begin(), lm.order.end());
             OrderingCandidate oc;
             oc.suffix = suffix;
             lm.order = oc.fullOrder(nDims);
@@ -271,19 +290,23 @@ class Driver
         // too noisy to rank by EDP. Parallelism diversity is preserved
         // by the stratified beam (see expandBeam), and the final pick
         // over the surviving beam uses the real objective. Completions
-        // are nearly all distinct, so the cache is bypassed: caching
-        // them would only churn entries the rank/polish phases reuse.
-        return engine
-            .evaluate(ctx, m, cmo, EvalEngine::CachePolicy::Bypass)
-            .totalEnergyPj;
+        // are nearly all distinct, so scoring goes through the
+        // allocation-free fast path (never cached); the decided-level
+        // prefix terms come from the step's shared handle.
+        const double e = engine.scoreEnergy(ctx, ph, p.m, cmo);
+        lm.temporal.assign(saved_temporal.begin(), saved_temporal.end());
+        if (bottom_up)
+            lm.order.assign(saved_order.begin(), saved_order.end());
+        return e;
     }
 
     /** Pushes a finished step candidate through alpha-beta + collection. */
     void
     emit(std::vector<Partial> &out, std::mutex &mtx, Partial &&cand,
-         bool bottom_up)
+         bool bottom_up, const EvalEngine::PrefixHandle &ph)
     {
-        cand.score = scoreCompletion(cand, cand.pendingSuffix, bottom_up);
+        cand.score =
+            scoreCompletion(cand, cand.pendingSuffix, bottom_up, ph);
         examined.fetch_add(1, std::memory_order_relaxed);
         if (opts.alphaBeta) {
             double inc = incumbent.load();
@@ -392,6 +415,10 @@ class Driver
                         std::mutex &mtx)
     {
         absorb(base, k);
+        // All candidates emitted below share the absorbed base's decided
+        // levels [0, k): build (or fetch) their contribution terms once,
+        // so every completion score only walks the undecided suffix.
+        const EvalEngine::PrefixHandle ph = engine.prefix(ctx, base.m, k);
         const DimSet active = activeDims(base.remaining);
         auto orderings = tracedOrderings(active);
         if (opts.generalistOrdering) {
@@ -471,7 +498,8 @@ class Driver
                     examined.fetch_add(tiles.nodesVisited,
                                        std::memory_order_relaxed);
                     for (const auto &tile : tiles.maximal)
-                        emitCandidate(base, k, ord, tile, u, out, mtx);
+                        emitCandidate(base, k, ord, tile, u, ph, out,
+                                      mtx);
                 }
             }
             return;
@@ -488,7 +516,8 @@ class Driver
                                    std::memory_order_relaxed);
                 for (const auto &tile : tiles.maximal)
                     emitTileUnrolls(base, k, ord, tile, fanout_above,
-                                    allowedUnrollDimsFor(ord), out, mtx);
+                                    allowedUnrollDimsFor(ord), ph, out,
+                                    mtx);
             }
             return;
         }
@@ -508,7 +537,7 @@ class Driver
         for (const auto &tile : tiles.maximal)
             for (const auto &ord : orderings)
                 emitTileUnrolls(base, k, ord, tile, fanout_above,
-                                allow_union, out, mtx);
+                                allow_union, ph, out, mtx);
     }
 
     // Span-wrapped enumerators: every (order, tile, unroll) decision in
@@ -549,6 +578,7 @@ class Driver
                     const OrderingCandidate &ord,
                     const std::vector<std::int64_t> &tile,
                     std::int64_t fanout_above, DimSet allowed,
+                    const EvalEngine::PrefixHandle &ph,
                     std::vector<Partial> &out, std::mutex &mtx)
     {
         std::vector<std::int64_t> rem = base.remaining;
@@ -560,10 +590,11 @@ class Driver
             examined.fetch_add(ur.combosVisited,
                                std::memory_order_relaxed);
             for (const auto &u : ur.candidates)
-                emitCandidate(base, k, ord, tile, u, out, mtx);
+                emitCandidate(base, k, ord, tile, u, ph, out, mtx);
         } else {
             emitCandidate(base, k, ord, tile,
-                          std::vector<std::int64_t>(nDims, 1), out, mtx);
+                          std::vector<std::int64_t>(nDims, 1), ph, out,
+                          mtx);
         }
     }
 
@@ -572,6 +603,7 @@ class Driver
     emitCandidate(const Partial &base, int k, const OrderingCandidate &ord,
                   const std::vector<std::int64_t> &tile,
                   const std::vector<std::int64_t> &unroll,
+                  const EvalEngine::PrefixHandle &ph,
                   std::vector<Partial> &out, std::mutex &mtx)
     {
         Partial cand = base;
@@ -594,7 +626,7 @@ class Driver
                 return;
         }
         cand.pendingSuffix = ord.suffix;
-        emit(out, mtx, std::move(cand), /*bottom_up=*/true);
+        emit(out, mtx, std::move(cand), /*bottom_up=*/true, ph);
     }
 
     /**
@@ -639,7 +671,8 @@ class Driver
                     }
                     lm.order = ord.fullOrder(nDims);
                     cand.pendingSuffix = ord.suffix;
-                    emit(out, mtx, std::move(cand), /*bottom_up=*/false);
+                    emit(out, mtx, std::move(cand), /*bottom_up=*/false,
+                         EvalEngine::PrefixHandle{});
                 }
             }
         }

@@ -1,25 +1,30 @@
 #include "core/tiling_tree.hh"
 
-#include <map>
+#include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
+#include "model/eval_engine.hh"
 
 namespace sunstone {
 
 namespace {
 
-/** Capacity check for a factor vector on top of the base shape. */
+/** Capacity check for a factor vector on top of the base shape. The
+ *  caller provides the shape/footprint scratch so the BFS inner loop
+ *  performs no allocations. */
 bool
 fits(const BoundArch &ba, int level,
      const std::vector<std::int64_t> &base_shape,
-     const std::vector<std::int64_t> &factors)
+     const std::vector<std::int64_t> &factors,
+     std::vector<std::int64_t> &shape, std::vector<std::int64_t> &fp)
 {
     const Workload &wl = ba.workload();
-    std::vector<std::int64_t> shape(base_shape);
+    shape.resize(base_shape.size());
     for (std::size_t d = 0; d < shape.size(); ++d)
-        shape[d] = satMul(shape[d], factors[d]);
-    std::vector<std::int64_t> fp(wl.numTensors());
+        shape[d] = satMul(base_shape[d], factors[d]);
+    fp.resize(wl.numTensors());
     for (TensorId t = 0; t < wl.numTensors(); ++t)
         fp[t] = ba.stores(level, t) ? wl.tensor(t).footprint(shape) : 0;
     return ba.fits(level, fp);
@@ -35,26 +40,40 @@ growTiles(const BoundArch &ba, int level,
     const int nd = static_cast<int>(remaining.size());
     TilingTreeResult res;
 
+    std::vector<std::int64_t> shape_scratch, fp_scratch;
     std::vector<std::int64_t> unit(nd, 1);
-    if (!fits(ba, level, base_shape, unit)) {
+    if (!fits(ba, level, base_shape, unit, shape_scratch, fp_scratch)) {
         // Even the unit tile overflows (the base shape is too large);
         // no candidates at this level.
         return res;
     }
+
+    // Hoist each grow dim's divisor list out of the BFS: the interned
+    // table is looked up once per dim instead of once per probe, and the
+    // references stay valid for the whole walk.
+    std::vector<const std::vector<std::int64_t> *> divs(nd, nullptr);
+    for (DimId d : grow_dims)
+        divs[d] = &cachedDivisors(remaining[d]);
 
     // Count the unpruned grow-dim space for reporting: every combination
     // of divisors along the grow dims.
     res.unprunedSpace = 1;
     for (DimId d : grow_dims)
         res.unprunedSpace = satMul(
-            res.unprunedSpace,
-            static_cast<std::int64_t>(divisors(remaining[d]).size()));
+            res.unprunedSpace, static_cast<std::int64_t>(divs[d]->size()));
 
     // BFS over factor vectors with memoization; a node is pruned when it
-    // has at least one fitting child (Tiling Principle).
-    std::map<std::vector<std::int64_t>, bool> visited;
+    // has at least one fitting child (Tiling Principle). The lattice is
+    // a diamond (a child is reachable from one parent per grown dim), so
+    // the fit verdict is memoized per node hash: the first probe pays
+    // the footprint check and enqueues fitting children, later probes
+    // reuse the verdict. Keys are 64-bit hashes of the factor vectors,
+    // not the vectors (same rationale as the top-down frontier: an FNV
+    // collision only drops a duplicate candidate, never corrupts a
+    // mapping).
+    std::unordered_map<std::uint64_t, bool> probed;
     std::vector<std::vector<std::int64_t>> frontier{unit};
-    visited[unit] = true;
+    probed.emplace(hashFactors(unit), true);
 
     while (!frontier.empty()) {
         std::vector<std::vector<std::int64_t>> next;
@@ -62,20 +81,28 @@ growTiles(const BoundArch &ba, int level,
             ++res.nodesVisited;
             bool any_fitting_child = false;
             for (DimId d : grow_dims) {
-                std::int64_t nf = nextDivisor(remaining[d], node[d]);
-                if (nf == 0)
+                const auto &dd = *divs[d];
+                auto di = std::upper_bound(dd.begin(), dd.end(), node[d]);
+                if (di == dd.end())
                     continue; // dim exhausted
-                auto child = node;
-                child[d] = nf;
-                if (!fits(ba, level, base_shape, child)) {
+                const std::int64_t nf = *di;
+                // Probe the child in place; copy only when it is kept.
+                const std::int64_t old = node[d];
+                node[d] = nf;
+                auto [it, first_probe] =
+                    probed.emplace(hashFactors(node), false);
+                if (first_probe)
+                    it->second = fits(ba, level, base_shape, node,
+                                      shape_scratch, fp_scratch);
+                if (!it->second) {
                     ++res.nodesVisited; // examined and rejected
+                    node[d] = old;
                     continue;
                 }
                 any_fitting_child = true;
-                if (!visited[child]) {
-                    visited[child] = true;
-                    next.push_back(std::move(child));
-                }
+                if (first_probe)
+                    next.push_back(node);
+                node[d] = old;
             }
             if (!any_fitting_child)
                 res.maximal.push_back(node);

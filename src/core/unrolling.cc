@@ -21,7 +21,7 @@ enumerate(const std::vector<DimId> &dims,
         return;
     }
     const DimId d = dims[pos];
-    for (std::int64_t f : divisors(remaining[d])) {
+    for (std::int64_t f : cachedDivisors(remaining[d])) {
         if (satMul(product, f) > fanout)
             break;
         current[d] = f;
@@ -45,7 +45,7 @@ unrollCandidates(const Workload &wl, DimSet allowed,
     for (DimId d = 0; d < nd; ++d)
         res.unprunedSpace = satMul(
             res.unprunedSpace,
-            static_cast<std::int64_t>(divisors(remaining[d]).size()));
+            static_cast<std::int64_t>(cachedDivisors(remaining[d]).size()));
 
     std::vector<DimId> dims;
     for (DimId d : allowed)

@@ -67,7 +67,7 @@ nearestDivisor(std::int64_t n, double target)
         return 1;
     std::int64_t best = 1;
     double best_dist = std::numeric_limits<double>::infinity();
-    for (std::int64_t d : divisors(n)) {
+    for (std::int64_t d : cachedDivisors(n)) {
         const double dist = std::abs(std::log(static_cast<double>(d)) -
                                      std::log(target));
         if (dist < best_dist) {

@@ -88,7 +88,7 @@ enumerateTiles(const BoundArch &ba, int level,
                 found.emplace_back(util, current);
             return;
         }
-        for (std::int64_t f : divisors(remaining[d])) {
+        for (std::int64_t f : cachedDivisors(remaining[d])) {
             current[d] = f;
             if (!fits(shapeOf(current))) {
                 current[d] = 1;
@@ -131,7 +131,7 @@ enumerateSpatial(const Workload &wl, DimSet allowed,
                 found.emplace_back(prod, current);
             return;
         }
-        for (std::int64_t f : divisors(remaining[dims[i]])) {
+        for (std::int64_t f : cachedDivisors(remaining[dims[i]])) {
             if (satMul(prod, f) > fanout)
                 break;
             current[dims[i]] = f;
@@ -238,6 +238,8 @@ DMazeMapper::optimize(const BoundArch &ba)
 
     bool l1_candidates_seen = false, l2_candidates_seen = false;
 
+    std::vector<Mapping> batch;
+    std::vector<CostResult> batch_res;
     for (const auto &sp : spatials) {
         std::vector<std::int64_t> rem = wl.shape();
         for (int d = 0; d < nd; ++d)
@@ -264,10 +266,19 @@ DMazeMapper::optimize(const BoundArch &ba)
             l2_candidates_seen = true;
 
             for (const auto &t2 : l2_tiles) {
+                if (evaluated >= opts.maxEvaluations)
+                    goto done;
+                // One batched engine call per tile pair covering all
+                // nd*nd loop-order variants; the budget truncates the
+                // batch exactly where the serial loop would stop.
+                const std::int64_t room =
+                    opts.maxEvaluations - evaluated;
+                batch.clear();
                 for (DimId in2 = 0; in2 < nd; ++in2) {
                     for (DimId in3 = 0; in3 < nd; ++in3) {
-                        if (evaluated >= opts.maxEvaluations)
-                            goto done;
+                        if (static_cast<std::int64_t>(batch.size()) >=
+                            room)
+                            break;
                         Mapping m(3, nd);
                         for (int d = 0; d < nd; ++d) {
                             m.level(0).temporal[d] = t1[d];
@@ -278,23 +289,28 @@ DMazeMapper::optimize(const BoundArch &ba)
                         }
                         m.level(1).order = rotatedOrder(nd, in2);
                         m.level(2).order = rotatedOrder(nd, in3);
-                        CostResult cr = eng.evaluate(ctx, m);
-                        ++evaluated;
-                        if (!cr.valid)
-                            continue;
-                        const double metric = opts.optimizeEdp
-                                                  ? cr.edp
-                                                  : cr.totalEnergyPj;
-                        if (metric < best_metric) {
-                            best_metric = metric;
-                            best = m;
-                            if (traj)
-                                traj->record(evaluated,
-                                             cr.totalEnergyPj, cr.edp,
-                                             metric);
-                            best_cost = std::move(cr);
-                            found = true;
-                        }
+                        batch.push_back(std::move(m));
+                    }
+                }
+                eng.evaluateBatch(ctx, batch, {},
+                                  EvalEngine::CachePolicy::UseCache,
+                                  batch_res);
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    CostResult &cr = batch_res[i];
+                    ++evaluated;
+                    if (!cr.valid)
+                        continue;
+                    const double metric = opts.optimizeEdp
+                                              ? cr.edp
+                                              : cr.totalEnergyPj;
+                    if (metric < best_metric) {
+                        best_metric = metric;
+                        best = batch[i];
+                        if (traj)
+                            traj->record(evaluated, cr.totalEnergyPj,
+                                         cr.edp, metric);
+                        best_cost = std::move(cr);
+                        found = true;
                     }
                 }
             }

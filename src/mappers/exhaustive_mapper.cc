@@ -37,6 +37,7 @@ class Enumerator
     {
         m = Mapping(nl, nd);
         assignDim(0);
+        flush();
         MapperResult r;
         r.mappingsEvaluated = evaluated;
         if (best_metric < std::numeric_limits<double>::infinity()) {
@@ -79,7 +80,7 @@ class Enumerator
             apply(slots[slot], d, 1);
             return;
         }
-        for (std::int64_t f : divisors(rem)) {
+        for (std::int64_t f : cachedDivisors(rem)) {
             apply(slots[slot], d, f);
             splitRec(d, slot + 1, rem / f);
             apply(slots[slot], d, 1);
@@ -113,22 +114,42 @@ class Enumerator
         } while (std::next_permutation(perm.begin(), perm.end()));
     }
 
+    /** Buffers the current mapping; batches amortize engine overhead
+     *  and let the evaluations run across the shared pool. */
     void
     evaluate()
     {
-        CostResult cr = eng.evaluate(ctx, m);
-        ++evaluated;
-        if (!cr.valid)
+        pending.push_back(m);
+        if (pending.size() >= kBatch)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        if (pending.empty())
             return;
-        const double metric = optimizeEdp ? cr.edp : cr.totalEnergyPj;
-        if (metric < best_metric) {
-            best_metric = metric;
-            best = m;
-            if (traj)
-                traj->record(evaluated, cr.totalEnergyPj, cr.edp,
-                             metric);
-            best_cost = std::move(cr);
+        eng.evaluateBatch(ctx, pending, {},
+                          EvalEngine::CachePolicy::UseCache, pendingRes);
+        // Results are consumed in enumeration order, so the running best
+        // and the convergence trajectory match the serial scan exactly.
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            CostResult &cr = pendingRes[i];
+            ++evaluated;
+            if (!cr.valid)
+                continue;
+            const double metric =
+                optimizeEdp ? cr.edp : cr.totalEnergyPj;
+            if (metric < best_metric) {
+                best_metric = metric;
+                best = pending[i];
+                if (traj)
+                    traj->record(evaluated, cr.totalEnergyPj, cr.edp,
+                                 metric);
+                best_cost = std::move(cr);
+            }
         }
+        pending.clear();
     }
 
     const BoundArch &ba;
@@ -139,7 +160,10 @@ class Enumerator
     const int nd;
     const bool optimizeEdp;
     obs::ConvergenceTrajectory *const traj;
+    static constexpr std::size_t kBatch = 64;
     std::vector<Slot> slots;
+    std::vector<Mapping> pending;
+    std::vector<CostResult> pendingRes;
     Mapping m;
     Mapping best;
     CostResult best_cost;

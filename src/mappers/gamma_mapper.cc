@@ -42,7 +42,7 @@ randomizeDim(Mapping &m, const BoundArch &ba, const std::vector<Slot> &slots,
         m.level(l).temporal[d] = 1;
         m.level(l).spatial[d] = 1;
     }
-    for (auto [p, e] : primeFactors(ba.workload().dimSize(d))) {
+    for (auto [p, e] : cachedPrimeFactors(ba.workload().dimSize(d))) {
         for (int i = 0; i < e; ++i) {
             const Slot &s = slots[rng() % slots.size()];
             auto &lm = m.level(s.level);

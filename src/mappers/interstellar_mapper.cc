@@ -18,7 +18,7 @@ std::pair<std::int64_t, std::int64_t>
 bestChannelUnroll(std::int64_t c, std::int64_t k, std::int64_t fanout)
 {
     std::int64_t best_fc = 1, best_fk = 1, best = 1;
-    for (std::int64_t fc : divisors(c)) {
+    for (std::int64_t fc : cachedDivisors(c)) {
         if (fc > fanout)
             break;
         const std::int64_t fk = largestDivisorAtMost(k, fanout / fc);
@@ -76,7 +76,7 @@ fittingTiles(const BoundArch &ba, int level,
                 found.emplace_back(vol, current);
             return;
         }
-        for (std::int64_t f : divisors(remaining[d])) {
+        for (std::int64_t f : cachedDivisors(remaining[d])) {
             current[d] = f;
             if (!fits().first) {
                 current[d] = 1;
@@ -193,6 +193,8 @@ InterstellarMapper::optimize(const BoundArch &ba)
     Mapping best;
     CostResult best_cost;
 
+    std::vector<Mapping> batch;
+    std::vector<CostResult> batch_res;
     for (const auto &t1 : l1_tiles) {
         std::vector<std::int64_t> rem2 = rem;
         std::vector<std::int64_t> base1(nd);
@@ -202,10 +204,17 @@ InterstellarMapper::optimize(const BoundArch &ba)
         }
         auto l2_tiles = fittingTiles(ba, 1, base1, rem2, 40);
         for (const auto &t2 : l2_tiles) {
+            if (evaluated >= opts.maxEvaluations)
+                goto done;
+            // Score all nd*nd loop-order variants of this tile pair in
+            // one batched engine call; the evaluation budget truncates
+            // the batch exactly where the serial loop would have stopped.
+            const std::int64_t room = opts.maxEvaluations - evaluated;
+            batch.clear();
             for (DimId in2 = 0; in2 < nd; ++in2) {
                 for (DimId in3 = 0; in3 < nd; ++in3) {
-                    if (evaluated >= opts.maxEvaluations)
-                        goto done;
+                    if (static_cast<std::int64_t>(batch.size()) >= room)
+                        break;
                     Mapping m(3, nd);
                     for (int d = 0; d < nd; ++d) {
                         m.level(0).temporal[d] = t1[d];
@@ -215,21 +224,27 @@ InterstellarMapper::optimize(const BoundArch &ba)
                     }
                     m.level(1).order = rotatedOrder(nd, in2);
                     m.level(2).order = rotatedOrder(nd, in3);
-                    CostResult cr = eng.evaluate(ctx, m);
-                    ++evaluated;
-                    if (!cr.valid)
-                        continue;
-                    const double metric =
-                        opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-                    if (metric < best_metric) {
-                        best_metric = metric;
-                        best = m;
-                        if (traj)
-                            traj->record(evaluated, cr.totalEnergyPj,
-                                         cr.edp, metric);
-                        best_cost = std::move(cr);
-                        found = true;
-                    }
+                    batch.push_back(std::move(m));
+                }
+            }
+            eng.evaluateBatch(ctx, batch, {},
+                              EvalEngine::CachePolicy::UseCache,
+                              batch_res);
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                CostResult &cr = batch_res[i];
+                ++evaluated;
+                if (!cr.valid)
+                    continue;
+                const double metric =
+                    opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+                if (metric < best_metric) {
+                    best_metric = metric;
+                    best = batch[i];
+                    if (traj)
+                        traj->record(evaluated, cr.totalEnergyPj, cr.edp,
+                                     metric);
+                    best_cost = std::move(cr);
+                    found = true;
                 }
             }
         }

@@ -45,7 +45,7 @@ randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
     }
 
     for (DimId d = 0; d < nd; ++d) {
-        for (auto [p, e] : primeFactors(wl.dimSize(d))) {
+        for (auto [p, e] : cachedPrimeFactors(wl.dimSize(d))) {
             for (int i = 0; i < e; ++i) {
                 const Slot &s =
                     slots[rng() % slots.size()];

@@ -11,72 +11,108 @@
 
 namespace sunstone {
 
+void
+EvalScratch::prepare(const BoundArch &ba)
+{
+    const int want_nl = ba.numLevels();
+    const int want_nt = ba.numTensors();
+    const int want_nd = ba.workload().numDims();
+    if (want_nl == nl && want_nt == nt && want_nd == nd) {
+        ++reuses;
+        return;
+    }
+    nl = want_nl;
+    nt = want_nt;
+    nd = want_nd;
+    access.assign(static_cast<std::size_t>(nl) * nt, AccessCounts{});
+    shapes.resize(nl);
+    for (auto &row : shapes)
+        row.assign(nd, 1);
+    levelSpatial.assign(nl, 1);
+    loopBegin.assign(nl + 1, 0);
+    spatialUp.assign(nd, 1);
+    loopDim.clear();
+    loopFactor.clear();
+    chain.clear();
+    chain.reserve(nl);
+}
+
+EvalScratch &
+threadEvalScratch()
+{
+    thread_local EvalScratch scratch;
+    return scratch;
+}
+
 namespace {
 
-/** One temporal loop in the linearized (inner-to-outer) nest. */
-struct TemporalLoop
-{
-    int level;
-    DimId dim;
-    std::int64_t factor;
-};
-
 /**
- * Linearizes the temporal loops of every level strictly above
- * `consumer_level`, innermost first (ascending levels; within a level the
- * mapping order is outermost-first, so it is walked in reverse).
+ * Fills the per-mapping tables: cumulative tile shapes, per-level spatial
+ * products, and the linearized temporal loop nest (innermost first;
+ * within a level the mapping order is outermost-first, so it is walked
+ * in reverse, exactly like the historical loopsAbove()).
  */
-std::vector<TemporalLoop>
-loopsAbove(const Mapping &m, int consumer_level)
+void
+fillTables(const Mapping &m, EvalScratch &s)
 {
-    std::vector<TemporalLoop> loops;
-    for (int l = consumer_level + 1; l < m.numLevels(); ++l) {
+    s.loopDim.clear();
+    s.loopFactor.clear();
+    for (int l = 0; l < s.nl; ++l) {
         const auto &lm = m.level(l);
+        auto &row = s.shapes[l];
+        for (DimId d = 0; d < s.nd; ++d) {
+            const std::int64_t own = satMul(lm.temporal[d], lm.spatial[d]);
+            row[d] = l == 0 ? satMul(std::int64_t{1}, own)
+                            : satMul(s.shapes[l - 1][d], own);
+        }
+        s.levelSpatial[l] = lm.spatialProduct();
+        s.loopBegin[l] = static_cast<int>(s.loopDim.size());
         for (auto it = lm.order.rbegin(); it != lm.order.rend(); ++it) {
             DimId d = *it;
-            if (lm.temporal[d] > 1)
-                loops.push_back({l, d, lm.temporal[d]});
+            if (lm.temporal[d] > 1) {
+                s.loopDim.push_back(d);
+                s.loopFactor.push_back(lm.temporal[d]);
+            }
         }
     }
-    return loops;
+    s.loopBegin[s.nl] = static_cast<int>(s.loopDim.size());
 }
 
 /**
- * Tile-change events for tensor t: product of all counted temporal loop
- * factors above the consumer, where the trailing (innermost) run of loops
- * over non-indexing dimensions is skipped (paper Eqs. 1-3).
+ * Tile-change events for a tensor (paper Eqs. 1-3): continues the
+ * counted-loop product from `events`/`counting` over the linearized
+ * loops of levels [from_level, nl), skipping the trailing (innermost)
+ * run of loops over non-indexing dimensions.
  */
 std::int64_t
-tileChangeEvents(const Workload &wl, TensorId t,
-                 const std::vector<TemporalLoop> &loops)
+tileChangeEventsFrom(const EvalScratch &s, DimSet idx, int from_level,
+                     std::int64_t events, bool counting)
 {
-    const DimSet idx = wl.reuse(t).indexing;
-    std::int64_t events = 1;
-    bool counting = false;
-    for (const auto &loop : loops) {
-        if (!counting && !idx.contains(loop.dim))
+    const int begin = s.loopBegin[from_level];
+    const int end = s.loopBegin[s.nl];
+    for (int i = begin; i < end; ++i) {
+        if (!counting && !idx.contains(s.loopDim[i]))
             continue; // reused across this loop
         counting = true;
-        events = satMul(events, loop.factor);
+        events = satMul(events, s.loopFactor[i]);
     }
     return events;
 }
 
-/** Product of all spatial factors at levels in (lo, hi]. */
+/** Continues the spatial-factor product over levels [from, hi]. */
 std::int64_t
-spatialProductRange(const Mapping &m, int lo, int hi)
+spatialRangeFrom(const EvalScratch &s, int from, int hi, std::int64_t p)
 {
-    std::int64_t p = 1;
-    for (int l = lo + 1; l <= hi; ++l)
-        p = satMul(p, m.level(l).spatialProduct());
+    for (int l = from; l <= hi; ++l)
+        p = satMul(p, s.levelSpatial[l]);
     return p;
 }
 
-/** Number of parallel instances of (the subtree rooted at) level l. */
+/** Product of all spatial factors at levels in (lo, hi]. */
 std::int64_t
-instancesOf(const Mapping &m, int level)
+spatialRange(const EvalScratch &s, int lo, int hi)
 {
-    return spatialProductRange(m, level, m.numLevels() - 1);
+    return spatialRangeFrom(s, lo + 1, hi, 1);
 }
 
 /** True when every fanout network in (lo, hi] supports multicast. */
@@ -124,7 +160,8 @@ accumReadsFor(std::int64_t arriving, std::int64_t distinct)
 std::int64_t
 multicastDistinctWords(const TensorSpec &ts,
                        const std::vector<std::int64_t> &shape_c,
-                       const std::vector<std::int64_t> &spatial_up)
+                       const std::vector<std::int64_t> &spatial_up,
+                       EvalScratch &s)
 {
     std::int64_t words = 1;
     for (const auto &rank : ts.ranks) {
@@ -132,7 +169,8 @@ multicastDistinctWords(const TensorSpec &ts,
 
         // Per-dim start stride within this rank (a dim may appear in
         // several terms; their coefficients add).
-        std::vector<std::pair<std::int64_t, std::int64_t>> split;
+        auto &split = s.split;
+        split.clear();
         for (DimId d : rank.dims()) {
             if (spatial_up[d] <= 1)
                 continue;
@@ -158,23 +196,25 @@ multicastDistinctWords(const TensorSpec &ts,
             // start lattice and merge intervals. The lattice size is
             // bounded by the spatial product of the range, which is at
             // most the machine's total fanout.
-            std::vector<std::int64_t> starts{0};
+            auto &starts = s.starts;
+            starts.assign(1, 0);
             for (const auto &[stride, count] : split) {
-                std::vector<std::int64_t> next;
+                auto &next = s.startsNext;
+                next.clear();
                 next.reserve(starts.size() *
                              static_cast<std::size_t>(count));
-                for (std::int64_t s : starts)
+                for (std::int64_t st : starts)
                     for (std::int64_t i = 0; i < count; ++i)
-                        next.push_back(s + satMul(i, stride));
-                starts = std::move(next);
+                        next.push_back(st + satMul(i, stride));
+                starts.swap(next);
             }
             std::sort(starts.begin(), starts.end());
             rank_words = 0;
             std::int64_t covered_to =
                 std::numeric_limits<std::int64_t>::min();
-            for (std::int64_t s : starts) {
-                const std::int64_t b = std::max(s, covered_to);
-                const std::int64_t e = s + ext;
+            for (std::int64_t st : starts) {
+                const std::int64_t b = std::max(st, covered_to);
+                const std::int64_t e = st + ext;
                 if (e > b) {
                     rank_words += e - b;
                     covered_to = e;
@@ -196,37 +236,80 @@ physicalFanRange(const ArchSpec &arch, int lo, int hi)
     return f;
 }
 
-} // anonymous namespace
+/** Resets `res` to the state a freshly constructed CostResult holds,
+ *  reusing its buffer capacity (sized for nl levels x nt tensors). */
+void
+resetResult(CostResult &res, int nl, int nt)
+{
+    res.valid = false;
+    res.invalidReason.clear();
+    res.access.resize(nl);
+    for (auto &row : res.access)
+        row.assign(nt, AccessCounts{});
+    res.levelEnergyPj.assign(nl, 0.0);
+    res.macEnergyPj = 0;
+    res.nocEnergyPj = 0;
+    res.totalEnergyPj = 0;
+    res.cycles = 0;
+    res.delaySeconds = 0;
+    res.edp = 0;
+    res.utilization = 0;
+    res.bottleneck.clear();
+}
 
-CostResult
-evaluateMapping(const BoundArch &ba, const Mapping &m,
-                const CostModelOptions &opts)
+/**
+ * The one true evaluation: computes every per-(level, tensor) access
+ * contribution into the scratch arena and finalizes energy/latency/EDP
+ * into `res`. When `prefix` is non-null, chain pairs lying entirely
+ * below prefix->prefixLevels reuse the cached contribution terms and
+ * only the undecided suffix is walked.
+ *
+ * Bit-identity contract: both paths execute the same satMul chains on
+ * the same operands (satMul is a left-fold over factors >= 1, so a
+ * cached prefix product continued over the suffix reproduces the full
+ * fold exactly), and all floating-point accumulation (level energy,
+ * NoC energy, latency) happens in finalization loops shared verbatim
+ * with the historical evaluateMapping(), in the same order.
+ */
+void
+evaluateCore(const BoundArch &ba, const Mapping &m,
+             const CostModelOptions &opts, const PrefixTerms *prefix,
+             EvalScratch &s, CostResult &res)
 {
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
-    const int nl = ba.numLevels();
-    const int nt = ba.numTensors();
 
-    CostResult res;
-    res.access.assign(nl, std::vector<AccessCounts>(nt));
-    res.levelEnergyPj.assign(nl, 0.0);
+    s.prepare(ba);
+    const int nl = s.nl;
+    const int nt = s.nt;
+    const int nd = s.nd;
+    resetResult(res, nl, nt);
 
     if (!opts.assumeValid && !m.valid(ba, &res.invalidReason)) {
         res.valid = false;
         res.edp = std::numeric_limits<double>::infinity();
         res.totalEnergyPj = std::numeric_limits<double>::infinity();
-        return res;
+        return;
     }
     res.valid = true;
 
+    fillTables(m, s);
+    std::fill(s.access.begin(), s.access.end(), AccessCounts{});
+    SUNSTONE_ASSERT(prefix == nullptr ||
+                        static_cast<int>(prefix->tensors.size()) == nt,
+                    "prefix terms built for a different workload");
+
     const std::int64_t ops = wl.totalOps();
+    const int prefix_levels = prefix ? prefix->prefixLevels : 0;
 
     for (TensorId t = 0; t < nt; ++t) {
         const TensorSpec &ts = wl.tensor(t);
         const std::int64_t problem_fp = ts.footprint(wl.shape());
+        const DimSet idx = wl.reuse(t).indexing;
 
         // Storage chain, innermost first.
-        std::vector<int> chain;
+        auto &chain = s.chain;
+        chain.clear();
         for (int l = 0; l < nl; ++l)
             if (ba.stores(l, t))
                 chain.push_back(l);
@@ -234,7 +317,7 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
 
         // MAC-level consumption at the innermost storing level: one word
         // per operand per operation; outputs are read-modify-written.
-        auto &inner = res.access[chain[0]][t];
+        auto &inner = s.access[static_cast<std::size_t>(chain[0]) * nt + t];
         if (!ts.isOutput) {
             inner.reads += ops;
         } else {
@@ -246,73 +329,91 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
         for (std::size_t i = 1; i < chain.size(); ++i) {
             const int c = chain[i - 1];
             const int l = chain[i];
-            const auto loops = loopsAbove(m, c);
-            const std::int64_t ev = tileChangeEvents(wl, t, loops);
-            const std::int64_t n_above = instancesOf(m, l);
-            const std::int64_t spatial_all = spatialProductRange(m, c, l);
+            const PrefixTerms::Pair *pp = nullptr;
+            if (prefix && l < prefix_levels) {
+                pp = &prefix->tensors[t].pairs[i - 1];
+                SUNSTONE_ASSERT(pp->cached, "prefix pair not cached");
+            }
 
-            auto shape_c = m.tileShape(c);
-            const std::int64_t tile_c = ts.footprint(shape_c);
+            std::int64_t ev, n_above, fill_unit, fan;
+            if (pp) {
+                ev = tileChangeEventsFrom(s, idx, prefix_levels,
+                                          pp->evPrefix, pp->evStarted);
+                n_above = spatialRangeFrom(s, prefix_levels, nl - 1,
+                                           pp->nAbovePrefix);
+                fill_unit = pp->fillUnit;
+                fan = pp->fan;
+            } else {
+                ev = tileChangeEventsFrom(s, idx, c + 1, 1, false);
+                n_above = spatialRange(s, l, nl - 1);
+                const std::int64_t spatial_all = spatialRange(s, c, l);
+                const std::int64_t tile_c = ts.footprint(s.shapes[c]);
+                fill_unit = satMul(spatial_all, tile_c);
+                fan = opts.modelNoc ? physicalFanRange(arch, c, l) : 1;
+            }
+
+            auto &at_l = s.access[static_cast<std::size_t>(l) * nt + t];
+            auto &at_c = s.access[static_cast<std::size_t>(c) * nt + t];
 
             if (!ts.isOutput) {
                 std::int64_t distinct;
-                if (multicastRange(arch, c, l)) {
+                if (pp) {
+                    distinct = pp->distinct;
+                } else if (multicastRange(arch, c, l)) {
                     // Union of the consumer tiles across the spatial
                     // instances in (c, l]: halo overlap is shared, and
                     // strided gaps are not charged (Eq. 5, exact).
-                    std::vector<std::int64_t> spatial_up(wl.numDims(), 1);
+                    auto &spatial_up = s.spatialUp;
+                    std::fill(spatial_up.begin(), spatial_up.end(),
+                              std::int64_t{1});
                     for (int j = c + 1; j <= l; ++j)
-                        for (DimId d = 0; d < wl.numDims(); ++d)
+                        for (DimId d = 0; d < nd; ++d)
                             spatial_up[d] = satMul(spatial_up[d],
                                                    m.level(j).spatial[d]);
-                    distinct =
-                        multicastDistinctWords(ts, shape_c, spatial_up);
+                    distinct = multicastDistinctWords(ts, s.shapes[c],
+                                                      spatial_up, s);
                 } else {
-                    distinct = satMul(spatial_all, tile_c);
+                    distinct = fill_unit;
                 }
                 const std::int64_t reads_l =
                     satMul(satMul(ev, distinct), n_above);
-                const std::int64_t fills_c = satMul(
-                    satMul(ev, satMul(spatial_all, tile_c)), n_above);
-                res.access[l][t].reads += reads_l;
-                res.access[c][t].fills += fills_c;
+                const std::int64_t fills_c =
+                    satMul(satMul(ev, fill_unit), n_above);
+                at_l.reads += reads_l;
+                at_c.fills += fills_c;
 
-                if (opts.modelNoc) {
-                    const std::int64_t fan = physicalFanRange(arch, c, l);
-                    if (fan > 1) {
-                        const double hops = std::sqrt((double)fan);
-                        res.nocEnergyPj += (double)reads_l * ts.wordBits *
-                                           energy::nocHopPjPerBit() * hops;
-                        res.nocEnergyPj += (double)fills_c *
-                                           energy::tagCheckPjPerWord();
-                    }
+                if (opts.modelNoc && fan > 1) {
+                    const double hops = std::sqrt((double)fan);
+                    res.nocEnergyPj += (double)reads_l * ts.wordBits *
+                                       energy::nocHopPjPerBit() * hops;
+                    res.nocEnergyPj +=
+                        (double)fills_c * energy::tagCheckPjPerWord();
                 }
             } else {
                 // Partial-sum drain: every consumer instance sends its
                 // tile per event; the provider read-modify-writes.
-                const std::int64_t upd_l = satMul(
-                    satMul(ev, satMul(spatial_all, tile_c)), n_above);
-                res.access[l][t].updates += upd_l;
-                res.access[c][t].drains += upd_l;
-                res.access[l][t].accumReads +=
-                    accumReadsFor(upd_l, problem_fp);
+                const std::int64_t upd_l =
+                    satMul(satMul(ev, fill_unit), n_above);
+                at_l.updates += upd_l;
+                at_c.drains += upd_l;
+                at_l.accumReads += accumReadsFor(upd_l, problem_fp);
 
-                if (opts.modelNoc) {
-                    const std::int64_t fan = physicalFanRange(arch, c, l);
-                    if (fan > 1) {
-                        const double hops = std::sqrt((double)fan);
-                        res.nocEnergyPj += (double)upd_l * ts.wordBits *
-                                           energy::nocHopPjPerBit() * hops;
-                    }
+                if (opts.modelNoc && fan > 1) {
+                    const double hops = std::sqrt((double)fan);
+                    res.nocEnergyPj += (double)upd_l * ts.wordBits *
+                                       energy::nocHopPjPerBit() * hops;
                 }
             }
         }
     }
 
-    // Energy.
+    // Energy (copying the flat counters into the public nested layout in
+    // the same (level, tensor) order the accumulation has always used).
     for (int l = 0; l < nl; ++l) {
+        auto &row = res.access[l];
         for (TensorId t = 0; t < nt; ++t) {
-            const auto &a = res.access[l][t];
+            const auto &a = s.access[static_cast<std::size_t>(l) * nt + t];
+            row[t] = a;
             res.levelEnergyPj[l] +=
                 (double)a.totalReads() * ba.readEnergyPj(l, t) +
                 (double)a.totalWrites() * ba.writeEnergyPj(l, t);
@@ -327,12 +428,13 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
 
     // Latency: double buffering overlaps compute with every level's
     // transfers, so delay is the max of all of them.
-    const std::int64_t lanes = std::max<std::int64_t>(1, m.totalSpatial());
+    const std::int64_t lanes =
+        std::max<std::int64_t>(1, spatialRangeFrom(s, 0, nl - 1, 1));
     double cycles = (double)ops / (double)lanes;
     res.bottleneck = "compute";
     for (int l = 0; l < nl; ++l) {
         const auto &lv = arch.levels[l];
-        const double inst = (double)instancesOf(m, l);
+        const double inst = (double)spatialRange(s, l, nl - 1);
         double reads = 0, writes = 0;
         for (TensorId t = 0; t < nt; ++t) {
             reads += (double)res.access[l][t].totalReads();
@@ -364,7 +466,119 @@ evaluateMapping(const BoundArch &ba, const Mapping &m,
         (double)lanes / (double)std::max<std::int64_t>(1,
                                                        arch.totalFanout());
     res.edp = res.totalEnergyPj * 1e-12 * res.delaySeconds;
+}
+
+} // anonymous namespace
+
+CostResult
+evaluateMapping(const BoundArch &ba, const Mapping &m,
+                const CostModelOptions &opts)
+{
+    CostResult res;
+    evaluateCore(ba, m, opts, nullptr, threadEvalScratch(), res);
     return res;
+}
+
+void
+evaluateMappingInto(const BoundArch &ba, const Mapping &m,
+                    const CostModelOptions &opts, EvalScratch &scratch,
+                    CostResult &res)
+{
+    evaluateCore(ba, m, opts, nullptr, scratch, res);
+}
+
+void
+evaluateMappingWithPrefixInto(const BoundArch &ba, const PrefixTerms &prefix,
+                              const Mapping &m,
+                              const CostModelOptions &opts,
+                              EvalScratch &scratch, CostResult &res)
+{
+    evaluateCore(ba, m, opts, &prefix, scratch, res);
+}
+
+void
+buildPrefixTerms(const BoundArch &ba, const Mapping &base, int prefix_levels,
+                 EvalScratch &scratch, PrefixTerms &out)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    EvalScratch &s = scratch;
+    s.prepare(ba);
+    fillTables(base, s);
+
+    const int nl = s.nl;
+    const int nt = s.nt;
+    const int nd = s.nd;
+    SUNSTONE_ASSERT(prefix_levels >= 0 && prefix_levels <= nl,
+                    "prefix_levels out of range");
+    out.prefixLevels = prefix_levels;
+    out.tensors.resize(nt);
+
+    for (TensorId t = 0; t < nt; ++t) {
+        const TensorSpec &ts = wl.tensor(t);
+        const DimSet idx = wl.reuse(t).indexing;
+
+        auto &chain = s.chain;
+        chain.clear();
+        for (int l = 0; l < nl; ++l)
+            if (ba.stores(l, t))
+                chain.push_back(l);
+        SUNSTONE_ASSERT(!chain.empty(), "tensor stored nowhere");
+
+        auto &pairs = out.tensors[t].pairs;
+        pairs.assign(chain.size() > 1 ? chain.size() - 1 : 0,
+                     PrefixTerms::Pair{});
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+            const int c = chain[i - 1];
+            const int l = chain[i];
+            auto &p = pairs[i - 1];
+            p.cached = l < prefix_levels;
+            if (!p.cached)
+                continue;
+
+            // Tile-change skip-rule state over the decided levels
+            // (c, prefix_levels): same walk the full evaluation does,
+            // truncated at the prefix boundary.
+            std::int64_t events = 1;
+            bool counting = false;
+            const int begin = s.loopBegin[c + 1];
+            const int end = s.loopBegin[prefix_levels];
+            for (int j = begin; j < end; ++j) {
+                if (!counting && !idx.contains(s.loopDim[j]))
+                    continue;
+                counting = true;
+                events = satMul(events, s.loopFactor[j]);
+            }
+            p.evPrefix = events;
+            p.evStarted = counting;
+
+            p.nAbovePrefix = spatialRangeFrom(s, l + 1, prefix_levels - 1, 1);
+
+            const std::int64_t spatial_all = spatialRange(s, c, l);
+            const std::int64_t tile_c = ts.footprint(s.shapes[c]);
+            p.fillUnit = satMul(spatial_all, tile_c);
+            p.fan = physicalFanRange(arch, c, l);
+
+            if (!ts.isOutput) {
+                if (multicastRange(arch, c, l)) {
+                    auto &spatial_up = s.spatialUp;
+                    std::fill(spatial_up.begin(), spatial_up.end(),
+                              std::int64_t{1});
+                    for (int j = c + 1; j <= l; ++j)
+                        for (DimId d = 0; d < nd; ++d)
+                            spatial_up[d] =
+                                satMul(spatial_up[d],
+                                       base.level(j).spatial[d]);
+                    p.distinct = multicastDistinctWords(ts, s.shapes[c],
+                                                        spatial_up, s);
+                } else {
+                    p.distinct = p.fillUnit;
+                }
+            } else {
+                p.distinct = 0;
+            }
+        }
+    }
 }
 
 double

@@ -107,11 +107,136 @@ struct CostModelOptions
 };
 
 /**
+ * Per-thread scratch arena for the cost model's hot path. All temporaries
+ * the model needs (linearized temporal loops, cumulative tile shapes,
+ * per-level spatial products, flattened access counters, multicast
+ * interval-merge buffers) live here, so repeated evaluations against the
+ * same (workload, arch) pair allocate nothing in steady state.
+ *
+ * Lifetime rules: a scratch may be reused across different bound pairs
+ * (prepare() resizes when the shape changes) but must not be shared
+ * between threads; use threadEvalScratch() for the common case. Buffers
+ * are only valid during a single evaluateMappingInto() call — nothing in
+ * here outlives the call it serves.
+ */
+struct EvalScratch
+{
+    /** (Re)sizes every buffer for the bound pair; cheap when unchanged. */
+    void prepare(const BoundArch &ba);
+
+    /** @return evaluations served without resizing (telemetry). */
+    std::int64_t reuseCount() const { return reuses; }
+
+    // Bound shape the buffers are sized for.
+    int nl = -1;
+    int nt = -1;
+    int nd = -1;
+    std::int64_t reuses = 0;
+
+    /** Flattened access[l * nt + t] counters (SoA-style single block). */
+    std::vector<AccessCounts> access;
+    /** Cumulative tile shape per level (rows reused across evals). */
+    std::vector<std::vector<std::int64_t>> shapes;
+    /** Per-level spatial factor product. */
+    std::vector<std::int64_t> levelSpatial;
+    /** Linearized temporal loops, innermost first, grouped by level. */
+    std::vector<DimId> loopDim;
+    std::vector<std::int64_t> loopFactor;
+    /** loopBegin[l]..loopBegin[l+1] delimit level l's loops (size nl+1). */
+    std::vector<int> loopBegin;
+    /** Per-dim spatial product of a (c, l] range (multicast helper). */
+    std::vector<std::int64_t> spatialUp;
+    /** Storage-chain scratch for the tensor being processed. */
+    std::vector<int> chain;
+    /** Multicast interval-merge buffers. */
+    std::vector<std::pair<std::int64_t, std::int64_t>> split;
+    std::vector<std::int64_t> starts;
+    std::vector<std::int64_t> startsNext;
+};
+
+/** @return this thread's lazily constructed scratch arena. */
+EvalScratch &threadEvalScratch();
+
+/**
+ * Cached per-(tensor, chain-pair) contribution terms of a decided-level
+ * prefix. For every storage-chain pair (consumer c, provider l) that lies
+ * entirely below `prefixLevels` the mapping-dependent factors of the
+ * access-count formulas are precomputed, so an evaluation against a
+ * mapping sharing that prefix only walks the undecided suffix.
+ *
+ * The terms are a pure function of the canonical prefix: the temporal and
+ * spatial factors of levels [0, prefixLevels) plus the relative order of
+ * their factor>1 temporal loops (level 0's order never matters — no
+ * consumer sits below it). Two mappings that agree on those fields may
+ * share one PrefixTerms; this is the same canonicalization rule the
+ * EvalEngine memo cache uses.
+ */
+struct PrefixTerms
+{
+    int prefixLevels = 0;
+
+    /** Terms for chain pair i (consumer chain[i-1], provider chain[i]). */
+    struct Pair
+    {
+        /** True when the provider level lies below prefixLevels. */
+        bool cached = false;
+        /** Tile-change skip-rule state after the decided levels. */
+        bool evStarted = false;
+        /** Counted loop-factor product within levels (c, prefixLevels). */
+        std::int64_t evPrefix = 1;
+        /** Spatial product of levels (l, prefixLevels). */
+        std::int64_t nAbovePrefix = 1;
+        /** satMul(spatial product of (c, l], consumer tile footprint). */
+        std::int64_t fillUnit = 1;
+        /** Distinct words delivered per event (inputs; 0 for outputs). */
+        std::int64_t distinct = 0;
+        /** Physical fanout product of the networks in (c, l]. */
+        std::int64_t fan = 1;
+    };
+
+    struct TensorTerms
+    {
+        std::vector<Pair> pairs;
+    };
+
+    std::vector<TensorTerms> tensors;
+};
+
+/**
  * Evaluates a mapping. Invalid mappings return valid=false with a reason
  * and infinite EDP so searches can rank them last.
  */
 CostResult evaluateMapping(const BoundArch &ba, const Mapping &m,
                            const CostModelOptions &opts = {});
+
+/**
+ * Allocation-free variant of evaluateMapping(): writes the result into
+ * `res` (reusing its buffers) using the caller-provided scratch arena.
+ * Bit-identical to evaluateMapping() — same arithmetic in the same order.
+ */
+void evaluateMappingInto(const BoundArch &ba, const Mapping &m,
+                         const CostModelOptions &opts, EvalScratch &scratch,
+                         CostResult &res);
+
+/**
+ * Precomputes the contribution terms of levels [0, prefix_levels) of
+ * `base` into `out`. The result is only valid for mappings whose
+ * canonical prefix (see PrefixTerms) equals base's.
+ */
+void buildPrefixTerms(const BoundArch &ba, const Mapping &base,
+                      int prefix_levels, EvalScratch &scratch,
+                      PrefixTerms &out);
+
+/**
+ * Like evaluateMappingInto() but combines the cached prefix terms with
+ * freshly computed terms for the undecided levels. Bit-identical to the
+ * full evaluation for any mapping sharing the prefix's canonical form.
+ */
+void evaluateMappingWithPrefixInto(const BoundArch &ba,
+                                   const PrefixTerms &prefix,
+                                   const Mapping &m,
+                                   const CostModelOptions &opts,
+                                   EvalScratch &scratch, CostResult &res);
 
 /**
  * Cheap partial objective used by searches: total access energy of levels

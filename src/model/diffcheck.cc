@@ -316,6 +316,30 @@ shrinkRepro(Repro r, DiffcheckOptions::Fault fault)
 
 } // anonymous namespace
 
+std::mt19937_64
+diffcheckTrialRng(std::uint64_t trial_seed)
+{
+    return std::mt19937_64(splitmix64(trial_seed));
+}
+
+Workload
+randomDiffcheckWorkload(std::mt19937_64 &rng)
+{
+    return randomWorkload(rng);
+}
+
+ArchSpec
+randomDiffcheckArch(const Workload &wl, std::mt19937_64 &rng)
+{
+    return randomArch(wl, rng);
+}
+
+Mapping
+randomDiffcheckMapping(const BoundArch &ba, std::mt19937_64 &rng)
+{
+    return randomMapping(ba, rng);
+}
+
 DiffcheckReport
 runDiffcheck(const DiffcheckOptions &opts)
 {
@@ -329,7 +353,7 @@ runDiffcheck(const DiffcheckOptions &opts)
         // seed + i makes any trial replayable in isolation:
         // `--seed <trialSeed> --trials 1` regenerates the same triple.
         const std::uint64_t trial_seed = opts.seed + i;
-        std::mt19937_64 rng(splitmix64(trial_seed));
+        std::mt19937_64 rng = diffcheckTrialRng(trial_seed);
 
         Repro r;
         r.wl = randomWorkload(rng);

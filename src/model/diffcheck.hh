@@ -21,11 +21,31 @@
 
 #include <cstdint>
 #include <functional>
+#include <random>
 #include <string>
 
 #include "model/cost_model.hh"
 
 namespace sunstone {
+
+/**
+ * Seeded generators behind the fuzz harness, exported so the
+ * equivalence tests and the benchmark tool draw from the same
+ * distribution of (workload, arch, mapping) triples. Trial i of a run
+ * seeds its stream as `diffcheckTrialRng(seed + i)`; the same seed
+ * replays the same triple bit for bit.
+ */
+std::mt19937_64 diffcheckTrialRng(std::uint64_t trial_seed);
+
+/** Random small einsum (GEMM, conv1d, strided conv1d, MTTKRP, depthwise). */
+Workload randomDiffcheckWorkload(std::mt19937_64 &rng);
+
+/** Random three-level machine (multicast on/off, partitioned or unified
+ *  buffers, optional mid-level bypass). */
+ArchSpec randomDiffcheckArch(const Workload &wl, std::mt19937_64 &rng);
+
+/** Random valid-by-construction mapping (fanouts respected). */
+Mapping randomDiffcheckMapping(const BoundArch &ba, std::mt19937_64 &rng);
 
 /** Configuration for one differential-fuzz run. */
 struct DiffcheckOptions

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "common/json.hh"
 
@@ -92,7 +93,12 @@ SearchStats::toJson() const
     field("invalid_mappings", invalidMappings);
     field("prunes", prunes);
     field("evictions", evictions);
+    field("prefix_hits", prefixHits);
+    field("prefix_misses", prefixMisses);
+    field("scratch_reuses", scratchReuses);
+    field("batches", batches);
     out += "\"eval_latency_us\": " + evalLatencyUs.toJson() + ", ";
+    out += "\"batch_size\": " + batchSize.toJson() + ", ";
     out += "\"phase_seconds\": {";
     for (std::size_t i = 0; i < phaseSeconds.size(); ++i) {
         if (i)
@@ -198,31 +204,67 @@ EvalEngine::canonicalKey(const Mapping &m, const CostModelOptions &opts,
     }
 }
 
+void
+EvalEngine::canonicalPrefixKey(const Mapping &m, int prefix_levels,
+                               std::vector<std::int64_t> &out) const
+{
+    // Same canonicalization rules as canonicalKey(), restricted to the
+    // decided levels and without the options bit (prefix terms are a
+    // pure function of factors and reduced orders — see PrefixTerms).
+    const int nd = m.numDims();
+    out.clear();
+    out.reserve(static_cast<std::size_t>(prefix_levels) * (3 * nd + 1) + 1);
+    out.push_back(prefix_levels);
+    for (int l = 0; l < prefix_levels; ++l) {
+        const auto &lm = m.level(l);
+        for (DimId d = 0; d < nd; ++d)
+            out.push_back(lm.temporal[d]);
+        for (DimId d = 0; d < nd; ++d)
+            out.push_back(lm.spatial[d]);
+        if (l == 0)
+            continue;
+        out.push_back(-1);
+        for (DimId d : lm.order)
+            if (lm.temporal[d] > 1)
+                out.push_back(d);
+    }
+}
+
 CostResult
-EvalEngine::evaluate(const Context &ctx, const Mapping &m,
-                     const CostModelOptions &opts, CachePolicy policy)
+EvalEngine::evaluateImpl(const Context &ctx, const Mapping &m,
+                         const CostModelOptions &opts, CachePolicy policy,
+                         const PrefixTerms *prefix)
 {
     // Time only analytical-model invocations (cache hits return in
     // nanoseconds and would swamp the histogram's low buckets).
-    auto timedEval = [&]() {
+    auto timedEval = [&](CostResult &out) {
         const auto t0 = std::chrono::steady_clock::now();
-        CostResult r = evaluateMapping(ctx.boundArch(), m, opts);
+        EvalScratch &scratch = threadEvalScratch();
+        const std::int64_t reuse0 = scratch.reuseCount();
+        if (prefix)
+            evaluateMappingWithPrefixInto(ctx.boundArch(), *prefix, m,
+                                          opts, scratch, out);
+        else
+            evaluateMappingInto(ctx.boundArch(), m, opts, scratch, out);
+        scratchReuses_.add(scratch.reuseCount() - reuse0);
         evalLatencyUs_.record(
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - t0)
                 .count());
-        return r;
     };
 
     evaluations_.add(1);
     if (!opts_.enableCache || policy == CachePolicy::Bypass) {
-        CostResult r = timedEval();
+        CostResult r;
+        timedEval(r);
         if (!r.valid)
             invalid_.add(1);
         return r;
     }
 
-    std::vector<std::int64_t> key;
+    // The lookup key lives in a per-thread buffer so cache hits (the
+    // common case in ranking and hill-climb revisits) allocate nothing.
+    thread_local std::vector<std::int64_t> key;
     canonicalKey(m, opts, key);
     const std::uint64_t h = hashFactors(key, ctx.fingerprint());
     Shard &shard = *shards_[h & (shards_.size() - 1)];
@@ -237,7 +279,8 @@ EvalEngine::evaluate(const Context &ctx, const Mapping &m,
     }
 
     misses_.add(1);
-    CostResult r = timedEval();
+    CostResult r;
+    timedEval(r);
     if (!r.valid)
         invalid_.add(1);
 
@@ -248,10 +291,17 @@ EvalEngine::evaluate(const Context &ctx, const Mapping &m,
             shard.map.clear();
         }
         Entry &e = shard.map[h];
-        e.key = std::move(key);
+        e.key = key; // copy: the thread-local buffer is reused next call
         e.result = r;
     }
     return r;
+}
+
+CostResult
+EvalEngine::evaluate(const Context &ctx, const Mapping &m,
+                     const CostModelOptions &opts, CachePolicy policy)
+{
+    return evaluateImpl(ctx, m, opts, policy, nullptr);
 }
 
 CostResult
@@ -259,6 +309,108 @@ EvalEngine::evaluate(const BoundArch &ba, const Mapping &m,
                      const CostModelOptions &opts, CachePolicy policy)
 {
     return evaluate(context(ba), m, opts, policy);
+}
+
+EvalEngine::PrefixHandle
+EvalEngine::prefix(const Context &ctx, const Mapping &base,
+                   int prefix_levels)
+{
+    PrefixHandle handle;
+    if (prefix_levels <= 0)
+        return handle; // empty handle: nothing decided, plain path
+
+    thread_local std::vector<std::int64_t> key;
+    canonicalPrefixKey(base, prefix_levels, key);
+    const std::uint64_t h = hashFactors(key, ctx.fingerprint());
+
+    {
+        std::lock_guard<std::mutex> lk(prefixMtx_);
+        auto it = prefixCache_.find(h);
+        if (it != prefixCache_.end() && it->second.key == key) {
+            prefixHits_.add(1);
+            handle.terms_ = it->second.terms;
+            return handle;
+        }
+    }
+
+    prefixMisses_.add(1);
+    auto terms = std::make_shared<PrefixTerms>();
+    buildPrefixTerms(ctx.boundArch(), base, prefix_levels,
+                     threadEvalScratch(), *terms);
+    handle.terms_ = terms;
+
+    {
+        std::lock_guard<std::mutex> lk(prefixMtx_);
+        if (prefixCache_.size() >= kMaxPrefixEntries)
+            prefixCache_.clear();
+        PrefixEntry &e = prefixCache_[h];
+        e.key = key;
+        e.terms = std::move(terms);
+    }
+    return handle;
+}
+
+CostResult
+EvalEngine::evaluateWithPrefix(const Context &ctx, const PrefixHandle &ph,
+                               const Mapping &m,
+                               const CostModelOptions &opts,
+                               CachePolicy policy)
+{
+    return evaluateImpl(ctx, m, opts, policy, ph.terms_.get());
+}
+
+double
+EvalEngine::scoreEnergy(const Context &ctx, const PrefixHandle &ph,
+                        const Mapping &m, const CostModelOptions &opts)
+{
+    evaluations_.add(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    EvalScratch &scratch = threadEvalScratch();
+    const std::int64_t reuse0 = scratch.reuseCount();
+    thread_local CostResult res;
+    if (ph.terms_)
+        evaluateMappingWithPrefixInto(ctx.boundArch(), *ph.terms_, m, opts,
+                                      scratch, res);
+    else
+        evaluateMappingInto(ctx.boundArch(), m, opts, scratch, res);
+    scratchReuses_.add(scratch.reuseCount() - reuse0);
+    evalLatencyUs_.record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+    if (!res.valid) {
+        invalid_.add(1);
+        return std::numeric_limits<double>::infinity();
+    }
+    return res.totalEnergyPj;
+}
+
+void
+EvalEngine::evaluateBatch(const Context &ctx, std::span<const Mapping> ms,
+                          const CostModelOptions &opts, CachePolicy policy,
+                          std::vector<CostResult> &out)
+{
+    out.resize(ms.size());
+    if (ms.empty())
+        return;
+    batches_.add(1);
+    batchSize_.record(static_cast<double>(ms.size()));
+    if (ms.size() == 1 || opts_.threads == 1) {
+        for (std::size_t i = 0; i < ms.size(); ++i)
+            out[i] = evaluateImpl(ctx, ms[i], opts, policy, nullptr);
+        return;
+    }
+    parallelFor(pool(), ms.size(), [&](std::size_t i) {
+        out[i] = evaluateImpl(ctx, ms[i], opts, policy, nullptr);
+    });
+}
+
+std::vector<CostResult>
+EvalEngine::evaluateBatch(const Context &ctx, std::span<const Mapping> ms,
+                          const CostModelOptions &opts, CachePolicy policy)
+{
+    std::vector<CostResult> out;
+    evaluateBatch(ctx, ms, opts, policy, out);
+    return out;
 }
 
 ThreadPool &
@@ -287,7 +439,12 @@ EvalEngine::stats() const
     s.invalidMappings = invalid_.value();
     s.prunes = prunes_.value();
     s.evictions = evictions_.value();
+    s.prefixHits = prefixHits_.value();
+    s.prefixMisses = prefixMisses_.value();
+    s.scratchReuses = scratchReuses_.value();
+    s.batches = batches_.value();
     s.evalLatencyUs = evalLatencyUs_.snapshot();
+    s.batchSize = batchSize_.snapshot();
     {
         std::lock_guard<std::mutex> lk(phaseMtx_);
         s.phaseSeconds.assign(phases_.begin(), phases_.end());
@@ -304,7 +461,12 @@ EvalEngine::resetStats()
     invalid_.reset();
     prunes_.reset();
     evictions_.reset();
+    prefixHits_.reset();
+    prefixMisses_.reset();
+    scratchReuses_.reset();
+    batches_.reset();
     evalLatencyUs_.reset();
+    batchSize_.reset();
     std::lock_guard<std::mutex> lk(phaseMtx_);
     phases_.clear();
 }
@@ -316,6 +478,8 @@ EvalEngine::clearCache()
         std::lock_guard<std::mutex> lk(s->mtx);
         s->map.clear();
     }
+    std::lock_guard<std::mutex> lk(prefixMtx_);
+    prefixCache_.clear();
 }
 
 std::size_t

@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -63,10 +64,19 @@ struct SearchStats
     std::int64_t prunes = 0;
     /** Entries dropped when a full shard was reset. */
     std::int64_t evictions = 0;
+    /** Prefix-term cache hits/misses (see EvalEngine::prefix()). */
+    std::int64_t prefixHits = 0;
+    std::int64_t prefixMisses = 0;
+    /** Model invocations that reused the per-thread scratch arena. */
+    std::int64_t scratchReuses = 0;
+    /** evaluateBatch() calls routed through the engine. */
+    std::int64_t batches = 0;
     /** Wall-clock per phase, accumulated via addPhaseSeconds(). */
     std::vector<std::pair<std::string, double>> phaseSeconds;
     /** Latency of analytical-model invocations (cache hits excluded). */
     obs::HistogramSnapshot evalLatencyUs;
+    /** Distribution of evaluateBatch() sizes. */
+    obs::HistogramSnapshot batchSize;
 
     /** Renders the snapshot as a JSON object. */
     std::string toJson() const;
@@ -124,6 +134,28 @@ class EvalEngine
      */
     enum class CachePolicy { UseCache, Bypass };
 
+    /**
+     * A shared, immutable snapshot of the contribution terms of a
+     * decided-level prefix (see PrefixTerms in cost_model.hh). Obtained
+     * from prefix(); cheap to copy and safe to share across threads. A
+     * default-constructed (empty) handle is valid everywhere a handle is
+     * accepted and simply selects the non-incremental path.
+     */
+    class PrefixHandle
+    {
+      public:
+        PrefixHandle() = default;
+        bool valid() const { return terms_ != nullptr; }
+        int prefixLevels() const
+        {
+            return terms_ ? terms_->prefixLevels : 0;
+        }
+
+      private:
+        friend class EvalEngine;
+        std::shared_ptr<const PrefixTerms> terms_;
+    };
+
     explicit EvalEngine(EvalEngineOptions opts = {});
     ~EvalEngine();
 
@@ -142,6 +174,55 @@ class EvalEngine
     CostResult evaluate(const BoundArch &ba, const Mapping &m,
                         const CostModelOptions &opts = {},
                         CachePolicy policy = CachePolicy::UseCache);
+
+    /**
+     * Returns (building on demand) the contribution terms of levels
+     * [0, prefix_levels) of `base`. Handles are memoized in a bounded
+     * cache keyed by the context fingerprint plus the canonical prefix
+     * (factors + reduced orders — the same rules the memo cache uses),
+     * so repeated requests for equivalent prefixes share one snapshot.
+     * prefix_levels <= 0 returns an empty handle.
+     */
+    PrefixHandle prefix(const Context &ctx, const Mapping &base,
+                        int prefix_levels);
+
+    /**
+     * Like evaluate(), but mappings sharing the handle's decided prefix
+     * reuse its cached terms and only recompute the undecided levels.
+     * Bit-identical to evaluate() for any mapping whose canonical prefix
+     * matches the handle's; results share the same memo-cache entries.
+     */
+    CostResult evaluateWithPrefix(const Context &ctx,
+                                  const PrefixHandle &ph, const Mapping &m,
+                                  const CostModelOptions &opts = {},
+                                  CachePolicy policy =
+                                      CachePolicy::UseCache);
+
+    /**
+     * Allocation-free scoring fast path: evaluates into per-thread
+     * buffers and returns only the total energy (pJ); infinity for
+     * invalid mappings. Counted as an evaluation, never cached. This is
+     * what high-volume completion scoring calls — identical numbers to
+     * evaluate(...).totalEnergyPj without materializing a CostResult.
+     */
+    double scoreEnergy(const Context &ctx, const PrefixHandle &ph,
+                       const Mapping &m, const CostModelOptions &opts = {});
+
+    /**
+     * Evaluates a batch of mappings across the shared pool (falls back
+     * to a serial loop for singleton batches or single-threaded
+     * engines). out[i] corresponds to ms[i]; results are identical to
+     * calling evaluate() per mapping.
+     */
+    void evaluateBatch(const Context &ctx, std::span<const Mapping> ms,
+                       const CostModelOptions &opts, CachePolicy policy,
+                       std::vector<CostResult> &out);
+
+    /** Convenience overload returning the results by value. */
+    std::vector<CostResult>
+    evaluateBatch(const Context &ctx, std::span<const Mapping> ms,
+                  const CostModelOptions &opts = {},
+                  CachePolicy policy = CachePolicy::UseCache);
 
     /**
      * The shared worker pool, created on first use with the configured
@@ -178,12 +259,27 @@ class EvalEngine
         std::mutex mtx;
         std::unordered_map<std::uint64_t, Entry> map;
     };
+    struct PrefixEntry
+    {
+        std::vector<std::int64_t> key;
+        std::shared_ptr<const PrefixTerms> terms;
+    };
 
     void canonicalKey(const Mapping &m, const CostModelOptions &opts,
                       std::vector<std::int64_t> &out) const;
+    void canonicalPrefixKey(const Mapping &m, int prefix_levels,
+                            std::vector<std::int64_t> &out) const;
+    CostResult evaluateImpl(const Context &ctx, const Mapping &m,
+                            const CostModelOptions &opts, CachePolicy policy,
+                            const PrefixTerms *prefix);
 
     EvalEngineOptions opts_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Bounded memo of prefix-term snapshots (cleared when full). */
+    static constexpr std::size_t kMaxPrefixEntries = 4096;
+    mutable std::mutex prefixMtx_;
+    std::unordered_map<std::uint64_t, PrefixEntry> prefixCache_;
 
     // Per-engine telemetry uses the obs primitives directly (not the
     // process-wide registry) so two engines in one process — e.g. the
@@ -194,7 +290,12 @@ class EvalEngine
     obs::Counter invalid_;
     obs::Counter prunes_;
     obs::Counter evictions_;
+    obs::Counter prefixHits_;
+    obs::Counter prefixMisses_;
+    obs::Counter scratchReuses_;
+    obs::Counter batches_;
     obs::Histogram evalLatencyUs_;
+    obs::Histogram batchSize_;
 
     mutable std::mutex phaseMtx_;
     std::map<std::string, double> phases_;

@@ -1,0 +1,224 @@
+/** @file
+ * Equivalence suite for the allocation-free fast paths added around the
+ * cost model: the batched entry point and the prefix-incremental
+ * evaluation must produce results bit-identical to the plain
+ * evaluateMapping() — every per-(level, tensor) access counter and every
+ * floating-point output (energies, cycles, latency, EDP, utilization).
+ *
+ * Trials draw from the diffcheck generators, so the population includes
+ * strided convolutions, multicast on/off, partitioned buffers, and
+ * mid-level bypass architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "model/cost_model.hh"
+#include "model/diffcheck.hh"
+#include "model/eval_engine.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+/** Exact (bitwise for doubles) equality of two evaluation results. */
+void
+expectIdentical(const CostResult &a, const CostResult &b,
+                const std::string &what)
+{
+    ASSERT_EQ(a.valid, b.valid) << what;
+    EXPECT_EQ(a.invalidReason, b.invalidReason) << what;
+    ASSERT_EQ(a.access.size(), b.access.size()) << what;
+    for (std::size_t l = 0; l < a.access.size(); ++l) {
+        ASSERT_EQ(a.access[l].size(), b.access[l].size()) << what;
+        for (std::size_t t = 0; t < a.access[l].size(); ++t) {
+            const AccessCounts &x = a.access[l][t];
+            const AccessCounts &y = b.access[l][t];
+            EXPECT_EQ(x.reads, y.reads) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.fills, y.fills) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.updates, y.updates)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.accumReads, y.accumReads)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.drains, y.drains)
+                << what << " l=" << l << " t=" << t;
+        }
+    }
+    ASSERT_EQ(a.levelEnergyPj.size(), b.levelEnergyPj.size()) << what;
+    for (std::size_t l = 0; l < a.levelEnergyPj.size(); ++l)
+        EXPECT_EQ(a.levelEnergyPj[l], b.levelEnergyPj[l])
+            << what << " level " << l;
+    EXPECT_EQ(a.macEnergyPj, b.macEnergyPj) << what;
+    EXPECT_EQ(a.nocEnergyPj, b.nocEnergyPj) << what;
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.delaySeconds, b.delaySeconds) << what;
+    EXPECT_EQ(a.edp, b.edp) << what;
+    EXPECT_EQ(a.utilization, b.utilization) << what;
+    EXPECT_EQ(a.bottleneck, b.bottleneck) << what;
+}
+
+/** Evaluate m against ba through every fast path and compare to the
+ *  reference evaluateMapping(). */
+void
+checkAllPaths(const BoundArch &ba, const Mapping &m, std::uint64_t tag)
+{
+    const std::string what = "trial " + std::to_string(tag);
+    const CostResult ref = evaluateMapping(ba, m);
+
+    // Scratch-arena entry point.
+    {
+        CostResult out;
+        evaluateMappingInto(ba, m, {}, threadEvalScratch(), out);
+        expectIdentical(ref, out, what + " [into]");
+    }
+
+    // Prefix-incremental with the mapping itself as the base, every
+    // possible prefix length.
+    EvalScratch &scratch = threadEvalScratch();
+    for (int p = 1; p < m.numLevels(); ++p) {
+        PrefixTerms terms;
+        buildPrefixTerms(ba, m, p, scratch, terms);
+        CostResult out;
+        evaluateMappingWithPrefixInto(ba, terms, m, {}, scratch, out);
+        expectIdentical(ref, out,
+                        what + " [prefix P=" + std::to_string(p) + "]");
+    }
+}
+
+TEST(EvalEquivalence, RandomTriplesAllPathsAgree)
+{
+    constexpr int kTrials = 200;
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(4242 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        const ArchSpec arch = randomDiffcheckArch(wl, rng);
+        const BoundArch ba(arch, wl);
+        const Mapping m = randomDiffcheckMapping(ba, rng);
+        checkAllPaths(ba, m, 4242 + i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(EvalEquivalence, BatchMatchesSerial)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 32;
+    sh.c = 32;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 3;
+    sh.s = 3;
+    const Workload wl = makeConv2D(sh);
+    const ArchSpec arch = makeConventional();
+    const BoundArch ba(arch, wl);
+
+    std::mt19937_64 rng = diffcheckTrialRng(7);
+    std::vector<Mapping> ms;
+    for (int i = 0; i < 64; ++i)
+        ms.push_back(randomDiffcheckMapping(ba, rng));
+
+    EvalEngine engine(EvalEngineOptions{.threads = 4});
+    const EvalEngine::Context ctx = engine.context(ba);
+    std::vector<CostResult> batch;
+    engine.evaluateBatch(ctx, ms, {}, EvalEngine::CachePolicy::Bypass,
+                         batch);
+    ASSERT_EQ(batch.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectIdentical(evaluateMapping(ba, ms[i]), batch[i],
+                        "batch index " + std::to_string(i));
+
+    // The memoizing path must agree too (second call is all cache hits).
+    std::vector<CostResult> cached;
+    engine.evaluateBatch(ctx, ms, {}, EvalEngine::CachePolicy::UseCache,
+                         cached);
+    engine.evaluateBatch(ctx, ms, {}, EvalEngine::CachePolicy::UseCache,
+                         cached);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectIdentical(batch[i], cached[i],
+                        "cached batch index " + std::to_string(i));
+}
+
+TEST(EvalEquivalence, EnginePrefixHandleMatchesPlain)
+{
+    constexpr int kTrials = 60;
+    EvalEngine engine(EvalEngineOptions{.threads = 2});
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(99000 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        const ArchSpec arch = randomDiffcheckArch(wl, rng);
+        const BoundArch ba(arch, wl);
+        const Mapping base = randomDiffcheckMapping(ba, rng);
+        const EvalEngine::Context ctx = engine.context(ba);
+
+        // Mutate the mapping above the prefix boundary: swap one prime
+        // factor between the top two levels' temporal slots, as the
+        // hill-climb does. The prefix terms built from `base` must still
+        // give bit-identical results for the mutated mapping.
+        const int nl = base.numLevels();
+        for (int p = 1; p < nl; ++p) {
+            Mapping m = base;
+            auto &hi = m.level(nl - 1).temporal;
+            auto &lo = m.level(p).temporal;
+            for (std::size_t d = 0; d < hi.size(); ++d)
+                if (hi[d] % 2 == 0) {
+                    hi[d] /= 2;
+                    lo[d] *= 2;
+                    break;
+                }
+            const EvalEngine::PrefixHandle ph = engine.prefix(ctx, base, p);
+            ASSERT_TRUE(ph.valid());
+            const CostResult got = engine.evaluateWithPrefix(
+                ctx, ph, m, {}, EvalEngine::CachePolicy::Bypass);
+            expectIdentical(evaluateMapping(ba, m), got,
+                            "engine prefix trial " + std::to_string(i) +
+                                " P=" + std::to_string(p));
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+    }
+    EXPECT_GT(engine.stats().prefixHits + engine.stats().prefixMisses, 0);
+}
+
+TEST(EvalEquivalence, StridedConvAndBypassCovered)
+{
+    // Deterministic spot checks of the two historically tricky shapes:
+    // a strided sliding window and a bypassed mid-level buffer.
+    const Workload strided = parseEinsum(
+        "strided", "out[k,p] = w[k,c,r] * in[c,2*p+r]",
+        {{"k", 4}, {"c", 4}, {"p", 6}, {"r", 3}});
+
+    ArchSpec arch;
+    arch.name = "bypass-arch";
+    LevelSpec l1;
+    l1.name = "L1";
+    l1.fanout = 16;
+    l1.multicast = true;
+    l1.capacityBits = 1 << 20;
+    LevelSpec glb;
+    glb.name = "GLB";
+    glb.fanout = 8;
+    glb.capacityBits = 1 << 26;
+    glb.bypass.push_back("in");
+    LevelSpec dram;
+    dram.name = "DRAM";
+    dram.isDram = true;
+    arch.levels = {l1, glb, dram};
+
+    const BoundArch ba(arch, strided);
+    std::mt19937_64 rng = diffcheckTrialRng(31337);
+    for (int i = 0; i < 25; ++i) {
+        const Mapping m = randomDiffcheckMapping(ba, rng);
+        checkAllPaths(ba, m, 31337 + i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+} // anonymous namespace
+} // namespace sunstone

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Implementation of `sunstone bench`: a seeded micro/macro benchmark of
+ * the evaluation engine and the Sunstone search.
+ *
+ * Four benchmarks run, each `--warmup` throwaway + `--repeat` timed
+ * iterations (best-of wins, mean reported alongside):
+ *
+ *  - eval_random     raw cost-model throughput over a fixed set of
+ *                    seeded diffcheck triples (single thread, no engine,
+ *                    no memo cache) — isolates the analytical model.
+ *  - batch_conv      EvalEngine::evaluateBatch() over random valid
+ *                    mappings of one conv layer (cache bypassed) — the
+ *                    batched fast path across the shared pool.
+ *  - search_conventional / search_simba
+ *                    end-to-end sunstoneOptimize() on a ResNet-style
+ *                    conv layer; evals/sec is the engine's evaluation
+ *                    counter delta over the search wall-clock.
+ *
+ * Results land in --out (default BENCH_eval.json) under the stable
+ * "sunstone-bench-v1" schema so CI can archive and diff them.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "common/timer.hh"
+#include "core/sunstone.hh"
+#include "model/diffcheck.hh"
+#include "model/eval_engine.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace bench {
+
+namespace {
+
+struct BenchConfig
+{
+    std::uint64_t seed = 1;
+    int repeat = 5;
+    int warmup = 1;
+    unsigned threads = 4;
+    std::string out = "BENCH_eval.json";
+    std::string only; // substring filter on benchmark names
+};
+
+struct BenchResult
+{
+    std::string name;
+    std::string kind; // "eval" | "batch" | "search"
+    std::int64_t evalsPerIter = 0;
+    double bestSeconds = 0;
+    double meanSeconds = 0;
+    double evalsPerSec = 0; // from the best iteration
+    std::map<std::string, double> extra;
+};
+
+/** Runs fn() warmup+repeat times, returns per-repeat seconds. */
+template <typename Fn>
+std::vector<double>
+timeIters(const BenchConfig &cfg, Fn &&fn)
+{
+    std::vector<double> secs;
+    for (int i = 0; i < cfg.warmup + cfg.repeat; ++i) {
+        Timer t;
+        fn();
+        const double s = t.seconds();
+        if (i >= cfg.warmup)
+            secs.push_back(s);
+    }
+    return secs;
+}
+
+void
+finalize(BenchResult &r, const std::vector<double> &secs)
+{
+    r.bestSeconds = *std::min_element(secs.begin(), secs.end());
+    r.meanSeconds = std::accumulate(secs.begin(), secs.end(), 0.0) /
+                    static_cast<double>(secs.size());
+    r.evalsPerSec =
+        static_cast<double>(r.evalsPerIter) / std::max(r.bestSeconds, 1e-12);
+}
+
+/** A pre-built diffcheck triple ready to evaluate. */
+struct Triple
+{
+    Workload wl;
+    ArchSpec arch;
+    BoundArch ba;
+    Mapping m;
+};
+
+std::vector<Triple>
+makeTriples(std::uint64_t seed, int n)
+{
+    std::vector<Triple> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(seed + i);
+        Workload wl = randomDiffcheckWorkload(rng);
+        ArchSpec arch = randomDiffcheckArch(wl, rng);
+        BoundArch ba(arch, wl);
+        Mapping m = randomDiffcheckMapping(ba, rng);
+        out.push_back({std::move(wl), std::move(arch), std::move(ba),
+                       std::move(m)});
+    }
+    return out;
+}
+
+/** Raw analytical-model throughput, no engine, single thread. */
+BenchResult
+benchEvalRandom(const BenchConfig &cfg)
+{
+    constexpr int kTriples = 256;
+    constexpr int kPasses = 20;
+    auto triples = makeTriples(cfg.seed, kTriples);
+    BenchResult r;
+    r.name = "eval_random";
+    r.kind = "eval";
+    r.evalsPerIter = static_cast<std::int64_t>(kTriples) * kPasses;
+    double checksum = 0;
+    auto secs = timeIters(cfg, [&] {
+        for (int p = 0; p < kPasses; ++p)
+            for (const auto &t : triples) {
+                CostResult cr = evaluateMapping(t.ba, t.m);
+                checksum += cr.valid ? cr.totalEnergyPj : 0.0;
+            }
+    });
+    finalize(r, secs);
+    r.extra["checksum"] = checksum;
+    return r;
+}
+
+/** Batched engine throughput on one conv layer, cache bypassed. */
+BenchResult
+benchBatchConv(const BenchConfig &cfg)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 28;
+    sh.q = 28;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    ArchSpec arch = makeConventional();
+    BoundArch ba(arch, wl);
+
+    constexpr int kBatch = 512;
+    constexpr int kPasses = 4;
+    std::mt19937_64 rng = diffcheckTrialRng(cfg.seed);
+    std::vector<Mapping> ms;
+    ms.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i)
+        ms.push_back(randomDiffcheckMapping(ba, rng));
+
+    EvalEngine engine(EvalEngineOptions{.threads = cfg.threads});
+    const EvalEngine::Context ctx = engine.context(ba);
+    std::vector<CostResult> res;
+
+    BenchResult r;
+    r.name = "batch_conv";
+    r.kind = "batch";
+    r.evalsPerIter = static_cast<std::int64_t>(kBatch) * kPasses;
+    auto secs = timeIters(cfg, [&] {
+        for (int p = 0; p < kPasses; ++p)
+            engine.evaluateBatch(ctx, ms, {},
+                                 EvalEngine::CachePolicy::Bypass, res);
+    });
+    finalize(r, secs);
+    r.extra["batch_size"] = kBatch;
+    return r;
+}
+
+/** End-to-end Sunstone search; evals/sec from engine counter deltas. */
+BenchResult
+benchSearch(const BenchConfig &cfg, const std::string &archName)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 64;
+    sh.c = 64;
+    sh.p = 28;
+    sh.q = 28;
+    sh.r = 3;
+    sh.s = 3;
+    Workload wl = makeConv2D(sh);
+    ArchSpec arch =
+        archName == "simba" ? makeSimbaLike() : makeConventional();
+    BoundArch ba(arch, wl);
+
+    BenchResult r;
+    r.name = "search_" + archName;
+    r.kind = "search";
+    std::int64_t evals = 0;
+    double edp = 0;
+    auto secs = timeIters(cfg, [&] {
+        // A fresh engine per iteration: every repeat pays the same cold
+        // memo/prefix caches, so iterations are comparable.
+        EvalEngine engine(EvalEngineOptions{.threads = cfg.threads});
+        SunstoneOptions opts;
+        opts.engine = &engine;
+        opts.threads = cfg.threads;
+        SunstoneResult sr = sunstoneOptimize(ba, opts);
+        evals = engine.stats().evaluations;
+        edp = sr.found ? sr.cost.edp : -1;
+    });
+    r.evalsPerIter = evals; // count of the last iteration (deterministic
+                            // up to alpha-beta thread interleaving)
+    finalize(r, secs);
+    r.extra["edp"] = edp;
+    r.extra["search_seconds_best"] = r.bestSeconds;
+    return r;
+}
+
+std::string
+toJson(const BenchConfig &cfg, const std::vector<BenchResult> &results)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"schema\": \"sunstone-bench-v1\""
+       << ", \"seed\": " << cfg.seed << ", \"repeat\": " << cfg.repeat
+       << ", \"warmup\": " << cfg.warmup
+       << ", \"threads\": " << cfg.threads << ", \"benchmarks\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        if (i)
+            os << ", ";
+        os << "{\"name\": \"" << r.name << "\", \"kind\": \"" << r.kind
+           << "\", \"evals_per_iter\": " << r.evalsPerIter
+           << ", \"best_seconds\": " << r.bestSeconds
+           << ", \"mean_seconds\": " << r.meanSeconds
+           << ", \"evals_per_sec\": " << r.evalsPerSec;
+        for (const auto &[k, v] : r.extra)
+            os << ", \"" << k << "\": " << v;
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // anonymous namespace
+
+int
+run(const std::map<std::string, std::string> &kv)
+{
+    BenchConfig cfg;
+    const auto get = [&](const std::string &k) -> const std::string * {
+        auto it = kv.find(k);
+        return it == kv.end() ? nullptr : &it->second;
+    };
+    if (const auto *v = get("seed"))
+        cfg.seed = std::stoull(*v);
+    if (const auto *v = get("repeat"))
+        cfg.repeat = std::max(1, std::stoi(*v));
+    if (const auto *v = get("warmup"))
+        cfg.warmup = std::max(0, std::stoi(*v));
+    if (const auto *v = get("threads"))
+        cfg.threads = static_cast<unsigned>(std::stoi(*v));
+    if (const auto *v = get("out"))
+        cfg.out = *v;
+    if (const auto *v = get("only"))
+        cfg.only = *v;
+
+    const auto wanted = [&](const std::string &name) {
+        return cfg.only.empty() || name.find(cfg.only) != std::string::npos;
+    };
+
+    std::vector<BenchResult> results;
+    if (wanted("eval_random"))
+        results.push_back(benchEvalRandom(cfg));
+    if (wanted("batch_conv"))
+        results.push_back(benchBatchConv(cfg));
+    if (wanted("search_conventional"))
+        results.push_back(benchSearch(cfg, "conventional"));
+    if (wanted("search_simba"))
+        results.push_back(benchSearch(cfg, "simba"));
+
+    std::printf("%-20s %-7s %12s %12s %14s\n", "benchmark", "kind",
+                "best s", "mean s", "evals/sec");
+    for (const auto &r : results)
+        std::printf("%-20s %-7s %12.6f %12.6f %14.0f\n", r.name.c_str(),
+                    r.kind.c_str(), r.bestSeconds, r.meanSeconds,
+                    r.evalsPerSec);
+
+    std::ofstream os(cfg.out);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", cfg.out.c_str());
+        return 1;
+    }
+    os << toJson(cfg, results) << "\n";
+    std::printf("wrote %s\n", cfg.out.c_str());
+    return 0;
+}
+
+} // namespace bench
+} // namespace sunstone

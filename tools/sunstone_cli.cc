@@ -609,12 +609,19 @@ void
 usage()
 {
     std::printf(
-        "usage: sunstone <describe|map|eval|arch|check> [options]\n"
+        "usage: sunstone <describe|map|eval|arch|check|bench> [options]\n"
         "see the header of tools/sunstone_cli.cc for the full option "
         "list\n");
 }
 
 } // anonymous namespace
+
+namespace sunstone {
+namespace bench {
+// Implemented in tools/bench.cc (compiled into this binary).
+int run(const std::map<std::string, std::string> &kv);
+} // namespace bench
+} // namespace sunstone
 
 int
 main(int argc, char **argv)
@@ -631,6 +638,8 @@ main(int argc, char **argv)
         return cmdArch(a);
     if (a.command == "check")
         return cmdCheck(a);
+    if (a.command == "bench")
+        return sunstone::bench::run(a.kv);
     usage();
     return a.command.empty() ? 1 : 2;
 }
