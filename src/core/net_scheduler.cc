@@ -1,16 +1,20 @@
 #include "core/net_scheduler.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "search/checkpoint.hh"
 
 namespace sunstone {
 
@@ -26,6 +30,70 @@ num(double v)
     return buf;
 }
 
+/**
+ * Structural fingerprint of the whole schedule: the unique layer
+ * fingerprints folded in discovery order (which is deterministic — it
+ * follows the input layer list). Guards a "net" checkpoint against being
+ * resumed for a different network or architecture.
+ */
+std::uint64_t
+netFingerprint(const std::vector<std::uint64_t> &unique_fps)
+{
+    std::uint64_t h = 0x53554e53544f4e45ULL; // "SUNSTONE"
+    for (std::uint64_t fp : unique_fps) {
+        h ^= fp;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
+/** One completed unique search, as carried by the "net" checkpoint. */
+struct DoneSearch
+{
+    bool found = false;
+    Mapping mapping;
+    double seconds = 0;
+    std::int64_t examined = 0;
+    std::string stopReason = "exhausted";
+};
+
+std::string
+doneToJson(std::uint64_t fp, const DoneSearch &d)
+{
+    std::string s = "{\"fp\": " + jsonHexU64(fp) +
+                    ", \"found\": " + (d.found ? "true" : "false") +
+                    ", \"seconds\": " + jsonDouble(d.seconds) +
+                    ", \"examined\": " + std::to_string(d.examined) +
+                    ", \"stop\": \"" + jsonEscape(d.stopReason) + "\"";
+    if (d.found)
+        s += ", \"mapping\": " + mappingToJson(d.mapping);
+    return s + "}";
+}
+
+bool
+doneFromJson(const JsonValue &v, std::uint64_t &fp, DoneSearch &d)
+{
+    const JsonValue *f = v.find("fp");
+    if (!f)
+        return false;
+    fp = f->asHexU64();
+    if (const JsonValue *x = v.find("found"))
+        d.found = x->asBool();
+    if (const JsonValue *x = v.find("seconds"))
+        d.seconds = x->asDouble();
+    if (const JsonValue *x = v.find("examined"))
+        d.examined = x->asInt();
+    if (const JsonValue *x = v.find("stop"))
+        d.stopReason = x->asString("exhausted");
+    if (d.found) {
+        const JsonValue *m = v.find("mapping");
+        if (!m || !mappingFromJson(*m, d.mapping))
+            return false;
+    }
+    return true;
+}
+
 } // anonymous namespace
 
 std::string
@@ -33,6 +101,7 @@ NetScheduleResult::toJson() const
 {
     std::string j = "{";
     j += "\"allFound\":" + std::string(allFound ? "true" : "false");
+    j += ",\"stopReason\":\"" + jsonEscape(stopReason) + "\"";
     j += ",\"layersTotal\":" + std::to_string(layersTotal);
     j += ",\"layersUnique\":" + std::to_string(layersUnique);
     j += ",\"totalEnergyPj\":" + num(totalEnergyPj);
@@ -49,6 +118,8 @@ NetScheduleResult::toJson() const
         j += ",\"found\":" + std::string(l.found ? "true" : "false");
         j += ",\"deduplicated\":" +
              std::string(l.deduplicated ? "true" : "false");
+        if (!l.stopReason.empty())
+            j += ",\"stopReason\":\"" + jsonEscape(l.stopReason) + "\"";
         if (l.found) {
             j += ",\"energyPj\":" + num(l.cost.totalEnergyPj);
             j += ",\"delaySeconds\":" + num(l.cost.delaySeconds);
@@ -66,7 +137,8 @@ NetScheduleResult::toJson() const
 }
 
 NetScheduleResult
-scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
+scheduleNet(SearchContext &sc, const ArchSpec &arch,
+            const std::vector<Layer> &layers,
             const NetSchedulerOptions &opts)
 {
     SUNSTONE_TRACE_SPAN("net.schedule");
@@ -75,8 +147,24 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
 
     const unsigned threads =
         opts.threads ? opts.threads : opts.sunstone.threads;
-    EvalEngine localEngine(EvalEngineOptions{.threads = threads});
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    EvalEngine &eng =
+        sc.engine() ? *sc.engine()
+                    : (opts.engine ? *opts.engine
+                                   : sc.engineOrPrivate(threads));
+
+    // The whole-network wall-clock budget becomes one absolute deadline
+    // shared by every per-layer search: layers launched late inherit
+    // whatever is left instead of each getting a fresh budget. The other
+    // StopPolicy bounds (max-evals, plateau, invalid streak) apply to
+    // each unique layer search individually.
+    const StopPolicy &netPolicy = sc.policy();
+    if (netPolicy.deadlineSeconds != 0 && !sc.hardDeadline()) {
+        const double budget = std::max(0.0, netPolicy.deadlineSeconds);
+        sc.setHardDeadline(std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(budget)));
+    }
 
     // Bind every layer and group by structural fingerprint. BoundArch
     // objects are heap-allocated so references taken by the concurrent
@@ -84,6 +172,8 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
     struct Unique
     {
         std::unique_ptr<BoundArch> ba;
+        std::uint64_t fingerprint = 0;
+        bool restored = false;
         SunstoneResult search;
     };
     std::vector<Unique> uniques;
@@ -92,35 +182,146 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
     for (std::size_t i = 0; i < layers.size(); ++i) {
         auto ba = std::make_unique<BoundArch>(arch, layers[i].workload);
         const std::uint64_t fp = eng.context(*ba).fingerprint();
-        auto [it, inserted] =
-            byFingerprint.emplace(fp, uniques.size());
+        auto [it, inserted] = byFingerprint.emplace(fp, uniques.size());
         if (inserted)
-            uniques.push_back({std::move(ba), {}});
+            uniques.push_back({std::move(ba), fp, false, {}});
         layerToUnique[i] = it->second;
+    }
+    std::vector<std::uint64_t> uniqueFps;
+    uniqueFps.reserve(uniques.size());
+    for (const Unique &u : uniques)
+        uniqueFps.push_back(u.fingerprint);
+    const std::uint64_t netFp = netFingerprint(uniqueFps);
+
+    // Consume a pending "net" resume snapshot: every unique search it
+    // records as completed is adopted instead of re-run.
+    double baseSeconds = 0;
+    if (std::optional<SearchCheckpoint> ck = sc.takeResume()) {
+        if (ck->search != "net")
+            SUNSTONE_FATAL("checkpoint was written by search '",
+                           ck->search, "', cannot resume the network "
+                           "scheduler from it");
+        if (ck->workloadFingerprint != netFp)
+            SUNSTONE_FATAL("checkpoint fingerprint ",
+                           ck->workloadFingerprint,
+                           " does not match this network/architecture (",
+                           netFp, ") — it was taken for a different "
+                           "problem");
+        if (sc.hasSeed() && sc.seed() != ck->seed)
+            SUNSTONE_FATAL("checkpoint seed ", ck->seed,
+                           " differs from the requested seed ",
+                           sc.seed());
+        sc.setSeed(ck->seed);
+        baseSeconds = ck->seconds;
+        JsonValue v;
+        if (!parseJson(ck->streamState, v) || !v.isObject())
+            SUNSTONE_FATAL("malformed 'net' checkpoint stream payload");
+        std::unordered_map<std::uint64_t, DoneSearch> done;
+        if (const JsonValue *arr = v.find("done"); arr && arr->isArray())
+            for (const JsonValue &e : arr->items) {
+                std::uint64_t fp = 0;
+                DoneSearch d;
+                if (!doneFromJson(e, fp, d))
+                    SUNSTONE_FATAL("malformed 'net' checkpoint entry");
+                done.emplace(fp, std::move(d));
+            }
+        for (Unique &u : uniques) {
+            auto it = done.find(u.fingerprint);
+            if (it == done.end())
+                continue;
+            const DoneSearch &d = it->second;
+            u.restored = true;
+            u.search.found = d.found;
+            u.search.mapping = d.mapping;
+            u.search.seconds = d.seconds;
+            u.search.candidatesExamined = d.examined;
+            u.search.stopReason = d.stopReason;
+            if (d.found)
+                u.search.cost =
+                    eng.evaluate(eng.context(*u.ba), d.mapping);
+            obs::metrics().counter("net.resumed_searches").add(1);
+        }
+    }
+
+    // Writes the "net" checkpoint reflecting every completed (or
+    // restored) unique search. Serialized by checkpointMtx — completed
+    // searches land concurrently from the pool.
+    std::mutex checkpointMtx;
+    const auto writeNetCheckpoint = [&] {
+        if (sc.checkpointPath().empty())
+            return;
+        SearchCheckpoint ck;
+        ck.search = "net";
+        ck.workloadFingerprint = netFp;
+        ck.seed = sc.seed();
+        std::string payload = "{\"done\": [";
+        bool first = true;
+        for (const Unique &u : uniques) {
+            if (!u.restored)
+                continue;
+            DoneSearch d;
+            d.found = u.search.found;
+            d.mapping = u.search.mapping;
+            d.seconds = u.search.seconds;
+            d.examined = u.search.candidatesExamined;
+            d.stopReason = u.search.stopReason;
+            if (!first)
+                payload += ", ";
+            first = false;
+            payload += doneToJson(u.fingerprint, d);
+            ck.evaluated += u.search.candidatesExamined;
+        }
+        payload += "]}";
+        ck.streamState = payload;
+        ck.seconds = baseSeconds + timer.seconds();
+        if (!ck.save(sc.checkpointPath()))
+            SUNSTONE_WARN("failed to write checkpoint '",
+                          sc.checkpointPath(), "'");
+    };
+    {
+        std::lock_guard<std::mutex> lk(checkpointMtx);
+        writeNetCheckpoint(); // records the restored set immediately
     }
 
     // One Sunstone search per unique structure, concurrently on the
     // shared pool. The search's own parallelFor nests on the same pool
     // through group-scoped joins, so no thread oversubscription.
     parallelFor(eng.pool(), uniques.size(), [&](std::size_t u) {
+        if (uniques[u].restored)
+            return;
         SUNSTONE_TRACE_SPAN("net.search:" +
                             uniques[u].ba->workload().name());
         SunstoneOptions so = opts.sunstone;
         so.engine = &eng;
         // One trajectory per unique structure, labeled by the layer that
         // introduced it.
-        if (so.convergence)
+        obs::ConvergenceRecorder *conv =
+            sc.convergence() ? sc.convergence() : so.convergence;
+        if (conv)
             so.searchLabel =
                 "sunstone:" + uniques[u].ba->workload().name();
+        // Each concurrent search gets its own child context; the
+        // network-wide hard deadline and cancellation flag are shared
+        // through it, the per-search bounds are copied.
+        SearchContext child(&eng, netPolicy, conv);
+        child.policy().deadlineSeconds = 0; // network-wide, see above
+        if (sc.hardDeadline())
+            child.setHardDeadline(*sc.hardDeadline());
+        if (sc.hasSeed())
+            child.setSeed(sc.seed());
         Timer t;
-        uniques[u].search = sunstoneOptimize(*uniques[u].ba, so);
+        uniques[u].search = sunstoneOptimize(child, *uniques[u].ba, so);
         eng.addPhaseSeconds(
             "layer:" + uniques[u].ba->workload().name(), t.seconds());
+        std::lock_guard<std::mutex> lk(checkpointMtx);
+        uniques[u].restored = true; // completed: include in checkpoints
+        writeNetCheckpoint();
     });
     obs::metrics().counter("net.unique_searches").add(
         static_cast<std::int64_t>(uniques.size()));
 
     result.allFound = true;
+    result.stopReason = "exhausted";
     result.layers.reserve(layers.size());
     std::vector<bool> seen(uniques.size(), false);
     for (std::size_t i = 0; i < layers.size(); ++i) {
@@ -148,6 +349,14 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
             ls.cost = uq.search.cost;
             ls.seconds = uq.search.seconds;
             ls.candidatesExamined = uq.search.candidatesExamined;
+            ls.stopReason = uq.search.stopReason;
+            // The first interrupting reason wins over "exhausted";
+            // cancellation outranks the deadline.
+            if (ls.stopReason == "deadline" &&
+                result.stopReason == "exhausted")
+                result.stopReason = "deadline";
+            if (ls.stopReason == "cancelled")
+                result.stopReason = "cancelled";
         }
         if (ls.found) {
             result.totalEnergyPj += ls.count * ls.cost.totalEnergyPj;
@@ -162,10 +371,18 @@ scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
         static_cast<std::int64_t>(layers.size()));
     result.layersUnique = static_cast<int>(uniques.size());
     result.totalEdp = result.totalEnergyPj * result.totalDelaySeconds;
-    result.seconds = timer.seconds();
-    eng.addPhaseSeconds("net.schedule", result.seconds);
+    result.seconds = baseSeconds + timer.seconds();
+    eng.addPhaseSeconds("net.schedule", timer.seconds());
     result.stats = eng.stats();
     return result;
+}
+
+NetScheduleResult
+scheduleNet(const ArchSpec &arch, const std::vector<Layer> &layers,
+            const NetSchedulerOptions &opts)
+{
+    SearchContext sc;
+    return scheduleNet(sc, arch, layers, opts);
 }
 
 } // namespace sunstone

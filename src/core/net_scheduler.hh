@@ -63,6 +63,8 @@ struct LayerSchedule
     /** Wall-clock of the search (0 for deduplicated layers). */
     double seconds = 0;
     std::int64_t candidatesExamined = 0;
+    /** Why the layer's search ended ("" for deduplicated layers). */
+    std::string stopReason;
 };
 
 /** Whole-network outcome. */
@@ -87,6 +89,13 @@ struct NetScheduleResult
     /** Wall-clock of the whole schedule. */
     double seconds = 0;
 
+    /**
+     * Why the schedule ended: "exhausted" when every unique search ran
+     * to its own completion, else the first interrupting reason
+     * ("deadline" or "cancelled").
+     */
+    std::string stopReason;
+
     /** Engine telemetry snapshot taken after the schedule. */
     SearchStats stats;
 
@@ -95,12 +104,25 @@ struct NetScheduleResult
 };
 
 /**
- * Schedules every layer of a network on `arch`.
+ * Schedules every layer of a network on `arch` under the caller's
+ * SearchContext. The context's StopPolicy applies to the whole network:
+ * `deadlineSeconds` is converted into one absolute hard deadline shared
+ * by every per-layer search (layers launched late do not each get a
+ * fresh budget), and the cancellation flag is polled by all of them.
+ * When the context carries a checkpoint path, a net-level checkpoint
+ * (search "net") is written after each completed unique search, and a
+ * pending resume snapshot skips those searches on the next run.
  *
+ * @param sc search context (policy, checkpoint/resume, engine)
  * @param arch the architecture (bound per layer internally)
  * @param layers layer table with multiplicities (see workload/nets.hh)
  * @param opts scheduler configuration
  */
+NetScheduleResult scheduleNet(SearchContext &sc, const ArchSpec &arch,
+                              const std::vector<Layer> &layers,
+                              const NetSchedulerOptions &opts = {});
+
+/** Convenience overload running under a fresh default context. */
 NetScheduleResult scheduleNet(const ArchSpec &arch,
                               const std::vector<Layer> &layers,
                               const NetSchedulerOptions &opts = {});

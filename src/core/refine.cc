@@ -7,6 +7,7 @@
 #include "common/math_utils.hh"
 #include "model/eval_engine.hh"
 #include "obs/trace.hh"
+#include "search/search_driver.hh"
 
 namespace sunstone {
 
@@ -16,10 +17,12 @@ namespace {
 double
 objective(EvalEngine &engine, const EvalEngine::Context &ctx,
           const EvalEngine::PrefixHandle &ph, const Mapping &m, bool edp,
-          RefineStats *stats)
+          RefineStats *stats, SearchDriver *driver)
 {
     if (stats)
         ++stats->evaluated;
+    if (driver)
+        driver->noteEvaluated(1);
     CostResult r = engine.evaluateWithPrefix(ctx, ph, m);
     if (!r.valid)
         return std::numeric_limits<double>::infinity();
@@ -113,7 +116,8 @@ neighbours(const BoundArch &ba, const Mapping &m)
 
 Mapping
 polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
-              int max_rounds, RefineStats *stats, EvalEngine *engine)
+              int max_rounds, RefineStats *stats, EvalEngine *engine,
+              SearchDriver *driver)
 {
     SUNSTONE_TRACE_SPAN("refine.hillclimb");
     EvalEngine localEngine;
@@ -121,8 +125,10 @@ polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
     const EvalEngine::Context ctx = eng.context(ba);
     Mapping best = m;
     double best_obj = objective(eng, ctx, EvalEngine::PrefixHandle{}, best,
-                                optimize_edp, stats);
+                                optimize_edp, stats, driver);
     for (int round = 0; round < max_rounds; ++round) {
+        if (driver && driver->shouldStop())
+            break;
         bool improved = false;
         // Neighbours are generated from the round's base mapping, and
         // each shares that base's levels below its lowest changed one:
@@ -130,10 +136,12 @@ polishMapping(const BoundArch &ba, const Mapping &m, bool optimize_edp,
         // the touched levels are recomputed.
         const Mapping base = best;
         for (auto &n : neighbours(ba, base)) {
+            if (driver && driver->shouldStop())
+                break;
             const EvalEngine::PrefixHandle ph =
                 eng.prefix(ctx, base, n.prefixLevels);
             const double obj =
-                objective(eng, ctx, ph, n.m, optimize_edp, stats);
+                objective(eng, ctx, ph, n.m, optimize_edp, stats, driver);
             if (obj < best_obj) {
                 best_obj = obj;
                 best = std::move(n.m);

@@ -17,6 +17,7 @@
 namespace sunstone {
 
 class EvalEngine;
+class SearchDriver;
 
 /** Refinement statistics. */
 struct RefineStats
@@ -36,11 +37,15 @@ struct RefineStats
  * @param engine optional shared evaluation engine; a private one is
  *        created when null. The hill climb revisits neighbours across
  *        rounds, so a shared memoized engine saves real evaluations.
+ * @param driver optional search driver: evaluations are accounted with
+ *        noteEvaluated() and the climb stops early once the driver's
+ *        StopPolicy fires (deadline, eval budget, cancellation).
  */
 Mapping polishMapping(const BoundArch &ba, const Mapping &m,
                       bool optimize_edp, int max_rounds = 64,
                       RefineStats *stats = nullptr,
-                      EvalEngine *engine = nullptr);
+                      EvalEngine *engine = nullptr,
+                      SearchDriver *driver = nullptr);
 
 } // namespace sunstone
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/math_utils.hh"
 #include "common/thread_pool.hh"
@@ -19,6 +20,8 @@
 #include "model/eval_engine.hh"
 #include "obs/convergence.hh"
 #include "obs/trace.hh"
+#include "search/checkpoint.hh"
+#include "search/search_driver.hh"
 
 namespace sunstone {
 
@@ -35,6 +38,73 @@ struct Partial
     std::vector<DimId> pendingSuffix;
     double score = kInf;
 };
+
+/**
+ * Per-beam-entry expansion sink. Each entry expands into its own
+ * collector whose alpha-beta incumbent is seeded from the step-start
+ * global incumbent, so an entry's pruning decisions depend only on its
+ * own emission sequence — never on how expansions interleave across
+ * worker threads. The serial in-entry-order merge in expandBeam applies
+ * the global incumbent afterwards.
+ */
+struct Collector
+{
+    std::vector<Partial> out;
+    double inc = kInf;
+};
+
+std::string
+i64ArrayJson(const std::vector<std::int64_t> &v)
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(v[i]);
+    }
+    return s + "]";
+}
+
+std::string
+dimArrayJson(const std::vector<DimId> &v)
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(static_cast<int>(v[i]));
+    }
+    return s + "]";
+}
+
+/**
+ * Beam checkpoint payload: the next step to run, the inter-level
+ * direction (validated on resume), the cumulative examined counter, the
+ * global incumbent, and every surviving partial. Written only after a
+ * fully completed step, so a resumed run replays from a state the
+ * uninterrupted run also passed through.
+ */
+std::string
+beamPayload(int next_step, bool bottom_up, std::int64_t examined,
+            double incumbent, const std::vector<Partial> &beam)
+{
+    std::string s = "{\"step\": " + std::to_string(next_step) +
+                    ", \"bottomUp\": " +
+                    (bottom_up ? std::string("true") : "false") +
+                    ", \"examined\": " + std::to_string(examined) +
+                    ", \"incumbent\": " + jsonDouble(incumbent) +
+                    ", \"beam\": [";
+    for (std::size_t i = 0; i < beam.size(); ++i) {
+        if (i)
+            s += ", ";
+        const Partial &p = beam[i];
+        s += "{\"m\": " + mappingToJson(p.m) +
+             ", \"rem\": " + i64ArrayJson(p.remaining) +
+             ", \"suffix\": " + dimArrayJson(p.pendingSuffix) +
+             ", \"score\": " + jsonDouble(p.score) + "}";
+    }
+    return s + "]}";
+}
 
 /** Capacity check of a shape against one storage level. */
 bool
@@ -54,11 +124,14 @@ shapeFits(const BoundArch &ba, int level,
 class Driver
 {
   public:
-    Driver(const BoundArch &ba, const SunstoneOptions &opts)
-        : ba(ba), opts(opts), wl(ba.workload()),
+    Driver(SearchContext &sc, const BoundArch &ba,
+           const SunstoneOptions &opts)
+        : sc(sc), ba(ba), opts(opts), wl(ba.workload()),
           nLevels(ba.numLevels()), nDims(wl.numDims()),
-          localEngine(EvalEngineOptions{.threads = opts.threads}),
-          engine(opts.engine ? *opts.engine : localEngine),
+          engine(sc.engine()
+                     ? *sc.engine()
+                     : (opts.engine ? *opts.engine
+                                    : sc.engineOrPrivate(opts.threads))),
           ctx(engine.context(ba))
     {
     }
@@ -70,38 +143,46 @@ class Driver
         Timer timer;
         SunstoneResult result;
 
-        // Convergence telemetry: one strict-improvement threshold shared
-        // by the ranking and polish loops. Polish never returns a worse
-        // mapping than its input, so the final result's metric is always
-        // <= every recorded point and the trajectory is monotone.
-        obs::ConvergenceTrajectory *traj =
-            opts.convergence ? &opts.convergence->start(opts.searchLabel)
-                             : nullptr;
-        double recorded_best = kInf;
-        auto recordImprovement = [&](const CostResult &cr) {
-            if (!traj)
-                return;
-            const double metric =
-                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-            if (metric < recorded_best) {
-                recorded_best = metric;
-                traj->record(examined.load(std::memory_order_relaxed),
-                             cr.totalEnergyPj, cr.edp, metric);
-            }
-        };
+        // The driver owns timing, eval accounting, the incumbent, the
+        // convergence trajectory, StopPolicy enforcement, and the
+        // checkpoint/resume cycle. The beam logic below only feeds it.
+        if (!sc.convergence() && opts.convergence)
+            sc.setConvergence(opts.convergence);
+        SearchDriver drv(sc, engine, ba, opts.searchLabel,
+                         opts.optimizeEdp);
+        drv_ = &drv;
 
-        std::vector<Partial> beam = initialBeam();
-        if (opts.levelOrder == SunstoneOptions::LevelOrder::BottomUp) {
-            for (int k = 0; k < nLevels - 1; ++k)
+        const bool bottom_up =
+            opts.levelOrder == SunstoneOptions::LevelOrder::BottomUp;
+        int step = bottom_up ? 0 : nLevels - 1;
+        std::vector<Partial> beam;
+        const std::string payload = drv.consumeResumePayload();
+        if (!payload.empty())
+            restoreBeamState(payload, bottom_up, step, beam);
+        else
+            beam = initialBeam();
+
+        if (bottom_up) {
+            for (int k = step; k < nLevels - 1; ++k) {
+                if (drv.shouldStop())
+                    break;
                 beam = expandBeam(beam, k, /*bottom_up=*/true);
+                saveBeamState(drv, k + 1, bottom_up, beam);
+            }
             finalizeBottomUp(beam);
         } else {
-            for (int k = nLevels - 1; k >= 1; --k)
+            for (int k = step; k >= 1; --k) {
+                if (drv.shouldStop())
+                    break;
                 beam = expandBeam(beam, k, /*bottom_up=*/false);
+                saveBeamState(drv, k - 1, bottom_up, beam);
+            }
             finalizeTopDown(beam);
         }
 
         // Full evaluation (with validity check) of the surviving beam.
+        // Always runs, even after a stop fired mid-search: the partial
+        // beam still yields the best mapping found so far.
         std::vector<std::pair<double, const Partial *>> ranked;
         {
             SUNSTONE_TRACE_SPAN("sunstone.rank");
@@ -116,20 +197,21 @@ class Driver
             engine.evaluateBatch(ctx, ms, {},
                                  EvalEngine::CachePolicy::UseCache,
                                  results);
+            drv.noteEvaluated(static_cast<std::int64_t>(beam.size()));
             for (std::size_t i = 0; i < beam.size(); ++i) {
                 const CostResult &cr = results[i];
                 if (!cr.valid)
                     continue;
-                recordImprovement(cr);
+                drv.offer(beam[i].m, cr);
                 ranked.emplace_back(
                     opts.optimizeEdp ? cr.edp : cr.totalEnergyPj,
                     &beam[i]);
             }
         }
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first < b.first;
-                  });
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
 
         // Polish the few best survivors: the level-by-level search
         // decides each level under an approximation of the levels
@@ -137,42 +219,94 @@ class Driver
         const std::size_t polish_count =
             opts.polish ? std::min<std::size_t>(4, ranked.size())
                         : std::min<std::size_t>(1, ranked.size());
-        double best_metric = kInf;
         for (std::size_t i = 0; i < polish_count; ++i) {
+            if (drv.shouldStop())
+                break;
             Mapping m = ranked[i].second->m;
             if (opts.polish) {
                 SUNSTONE_TRACE_SPAN("sunstone.refine");
                 RefineStats rs;
                 m = polishMapping(ba, m, opts.optimizeEdp, 64, &rs,
-                                  &engine);
+                                  &engine, &drv);
                 examined.fetch_add(rs.evaluated);
             }
             CostResult cr = engine.evaluate(ctx, m);
+            drv.noteEvaluated(1);
             if (!cr.valid)
                 continue;
-            recordImprovement(cr);
-            const double metric =
-                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-            if (metric < best_metric) {
-                best_metric = metric;
-                result.found = true;
-                result.mapping = std::move(m);
-                result.cost = std::move(cr);
-            }
+            drv.offer(m, cr);
         }
-        // Close the trajectory on the reported result, so the last point
-        // always matches what the caller sees.
-        if (traj && result.found)
-            traj->record(examined.load(std::memory_order_relaxed),
-                         result.cost.totalEnergyPj, result.cost.edp,
-                         best_metric);
+
+        DriverOutcome o = drv.finish(StopReason::Exhausted);
+        drv_ = nullptr;
+        result.found = o.found;
+        if (o.found) {
+            result.mapping = std::move(o.best);
+            result.cost = std::move(o.bestCost);
+        }
         result.candidatesExamined = examined.load();
-        result.seconds = timer.seconds();
-        engine.addPhaseSeconds("sunstone.search", result.seconds);
+        result.seconds = o.seconds;
+        result.stopReason = stopReasonName(o.reason);
+        engine.addPhaseSeconds("sunstone.search", timer.seconds());
         return result;
     }
 
   private:
+    /** Checkpoints a fully completed step (no-op without a path). */
+    void
+    saveBeamState(SearchDriver &drv, int next_step, bool bottom_up,
+                  const std::vector<Partial> &beam)
+    {
+        if (sc.checkpointPath().empty() || drv.shouldStop())
+            return;
+        drv.checkpointNow(beamPayload(next_step, bottom_up,
+                                      examined.load(), incumbent_, beam));
+    }
+
+    void
+    restoreBeamState(const std::string &payload, bool bottom_up,
+                     int &step, std::vector<Partial> &beam)
+    {
+        JsonValue v;
+        if (!parseJson(payload, v) || !v.isObject())
+            SUNSTONE_FATAL("sunstone resume: malformed beam payload");
+        const JsonValue *bu = v.find("bottomUp");
+        if (!bu || bu->asBool(!bottom_up) != bottom_up)
+            SUNSTONE_FATAL("sunstone resume: checkpoint level order does "
+                           "not match the configured LevelOrder");
+        const JsonValue *st = v.find("step");
+        const JsonValue *bm = v.find("beam");
+        if (!st || !bm || !bm->isArray())
+            SUNSTONE_FATAL("sunstone resume: malformed beam payload");
+        step = static_cast<int>(st->asInt(0));
+        if (const JsonValue *ex = v.find("examined"))
+            examined.store(ex->asInt(0));
+        if (const JsonValue *inc = v.find("incumbent"))
+            incumbent_ = inc->isNull() ? kInf : inc->asDouble(kInf);
+        beam.clear();
+        for (const JsonValue &e : bm->items) {
+            Partial p;
+            p.m = Mapping(nLevels, nDims);
+            const JsonValue *m = e.find("m");
+            if (!m || !mappingFromJson(*m, p.m))
+                SUNSTONE_FATAL("sunstone resume: malformed beam mapping");
+            p.remaining.assign(nDims, 1);
+            if (const JsonValue *rem = e.find("rem"))
+                for (std::size_t i = 0;
+                     i < rem->items.size() &&
+                     i < static_cast<std::size_t>(nDims);
+                     ++i)
+                    p.remaining[i] = rem->items[i].asInt(1);
+            if (const JsonValue *suf = e.find("suffix"))
+                for (const JsonValue &d : suf->items)
+                    p.pendingSuffix.push_back(
+                        static_cast<DimId>(d.asInt(0)));
+            if (const JsonValue *s = e.find("score"))
+                p.score = s->isNull() ? kInf : s->asDouble(kInf);
+            beam.push_back(std::move(p));
+        }
+    }
+
     std::vector<Partial>
     initialBeam()
     {
@@ -300,44 +434,64 @@ class Driver
         return e;
     }
 
-    /** Pushes a finished step candidate through alpha-beta + collection. */
+    /** Scores a finished step candidate into its entry's collector. */
     void
-    emit(std::vector<Partial> &out, std::mutex &mtx, Partial &&cand,
-         bool bottom_up, const EvalEngine::PrefixHandle &ph)
+    emit(Collector &col, Partial &&cand, bool bottom_up,
+         const EvalEngine::PrefixHandle &ph)
     {
+        if (drv_->shouldStop())
+            return;
         cand.score =
             scoreCompletion(cand, cand.pendingSuffix, bottom_up, ph);
         examined.fetch_add(1, std::memory_order_relaxed);
+        drv_->noteEvaluated(1);
         if (opts.alphaBeta) {
-            double inc = incumbent.load();
-            while (cand.score < inc &&
-                   !incumbent.compare_exchange_weak(inc, cand.score)) {
-            }
-            if (cand.score > incumbent.load() * opts.alphaSlack) {
+            if (cand.score < col.inc)
+                col.inc = cand.score;
+            if (cand.score > col.inc * opts.alphaSlack) {
                 engine.notePrune();
                 return;
             }
         }
-        std::lock_guard<std::mutex> lk(mtx);
-        out.push_back(std::move(cand));
+        col.out.push_back(std::move(cand));
     }
 
     /** Expands every beam entry at step k, then trims to the beam. */
     std::vector<Partial>
     expandBeam(const std::vector<Partial> &beam, int k, bool bottom_up)
     {
-        std::vector<Partial> out;
-        std::mutex mtx;
+        // One collector per entry, each seeded with the step-start
+        // incumbent: expansion threads never share pruning state, so the
+        // candidate set is bit-identical at any --threads. The merge is
+        // serial and in entry order, where the global incumbent tightens
+        // deterministically.
+        std::vector<Collector> cols(beam.size());
+        for (auto &c : cols)
+            c.inc = incumbent_;
         parallelFor(engine.pool(), beam.size(), [&](std::size_t i) {
             if (bottom_up)
-                expandBottomUp(beam[i], k, out, mtx);
+                expandBottomUp(beam[i], k, cols[i]);
             else
-                expandTopDown(beam[i], k, out, mtx);
+                expandTopDown(beam[i], k, cols[i]);
         });
-        std::sort(out.begin(), out.end(),
-                  [](const Partial &a, const Partial &b) {
-                      return a.score < b.score;
-                  });
+        std::vector<Partial> out;
+        for (auto &c : cols) {
+            for (auto &p : c.out) {
+                if (opts.alphaBeta) {
+                    if (p.score < incumbent_)
+                        incumbent_ = p.score;
+                    if (p.score > incumbent_ * opts.alphaSlack) {
+                        engine.notePrune();
+                        continue;
+                    }
+                }
+                out.push_back(std::move(p));
+            }
+        }
+        std::stable_sort(out.begin(), out.end(),
+                         [](const Partial &a, const Partial &b) {
+                             return a.score < b.score;
+                         });
         if ((int)out.size() <= opts.beamWidth)
             return out;
 
@@ -385,8 +539,7 @@ class Driver
      * order.
      */
     void
-    expandBottomUp(Partial base, int k, std::vector<Partial> &out,
-                   std::mutex &mtx)
+    expandBottomUp(Partial base, int k, Collector &col)
     {
         // The innermost fanout (vector lanes below level 0) has no step
         // of its own: enumerate s[0] variants first.
@@ -403,16 +556,15 @@ class Driver
                 }
                 if (!shapeFits(ba, 0, v.m.tileShape(0)))
                     continue;
-                expandBottomUpInner(std::move(v), k, out, mtx);
+                expandBottomUpInner(std::move(v), k, col);
             }
             return;
         }
-        expandBottomUpInner(std::move(base), k, out, mtx);
+        expandBottomUpInner(std::move(base), k, col);
     }
 
     void
-    expandBottomUpInner(Partial base, int k, std::vector<Partial> &out,
-                        std::mutex &mtx)
+    expandBottomUpInner(Partial base, int k, Collector &col)
     {
         absorb(base, k);
         // All candidates emitted below share the absorbed base's decided
@@ -498,8 +650,7 @@ class Driver
                     examined.fetch_add(tiles.nodesVisited,
                                        std::memory_order_relaxed);
                     for (const auto &tile : tiles.maximal)
-                        emitCandidate(base, k, ord, tile, u, ph, out,
-                                      mtx);
+                        emitCandidate(base, k, ord, tile, u, ph, col);
                 }
             }
             return;
@@ -516,8 +667,7 @@ class Driver
                                    std::memory_order_relaxed);
                 for (const auto &tile : tiles.maximal)
                     emitTileUnrolls(base, k, ord, tile, fanout_above,
-                                    allowedUnrollDimsFor(ord), ph, out,
-                                    mtx);
+                                    allowedUnrollDimsFor(ord), ph, col);
             }
             return;
         }
@@ -537,7 +687,7 @@ class Driver
         for (const auto &tile : tiles.maximal)
             for (const auto &ord : orderings)
                 emitTileUnrolls(base, k, ord, tile, fanout_above,
-                                allow_union, ph, out, mtx);
+                                allow_union, ph, col);
     }
 
     // Span-wrapped enumerators: every (order, tile, unroll) decision in
@@ -578,8 +728,7 @@ class Driver
                     const OrderingCandidate &ord,
                     const std::vector<std::int64_t> &tile,
                     std::int64_t fanout_above, DimSet allowed,
-                    const EvalEngine::PrefixHandle &ph,
-                    std::vector<Partial> &out, std::mutex &mtx)
+                    const EvalEngine::PrefixHandle &ph, Collector &col)
     {
         std::vector<std::int64_t> rem = base.remaining;
         for (DimId d = 0; d < nDims; ++d)
@@ -590,11 +739,10 @@ class Driver
             examined.fetch_add(ur.combosVisited,
                                std::memory_order_relaxed);
             for (const auto &u : ur.candidates)
-                emitCandidate(base, k, ord, tile, u, ph, out, mtx);
+                emitCandidate(base, k, ord, tile, u, ph, col);
         } else {
             emitCandidate(base, k, ord, tile,
-                          std::vector<std::int64_t>(nDims, 1), ph, out,
-                          mtx);
+                          std::vector<std::int64_t>(nDims, 1), ph, col);
         }
     }
 
@@ -603,8 +751,7 @@ class Driver
     emitCandidate(const Partial &base, int k, const OrderingCandidate &ord,
                   const std::vector<std::int64_t> &tile,
                   const std::vector<std::int64_t> &unroll,
-                  const EvalEngine::PrefixHandle &ph,
-                  std::vector<Partial> &out, std::mutex &mtx)
+                  const EvalEngine::PrefixHandle &ph, Collector &col)
     {
         Partial cand = base;
         auto &lm = cand.m.level(k);
@@ -626,7 +773,7 @@ class Driver
                 return;
         }
         cand.pendingSuffix = ord.suffix;
-        emit(out, mtx, std::move(cand), /*bottom_up=*/true, ph);
+        emit(col, std::move(cand), /*bottom_up=*/true, ph);
     }
 
     /**
@@ -635,8 +782,7 @@ class Driver
      * ordering of level k's loops, then s[k].
      */
     void
-    expandTopDown(const Partial &base, int k, std::vector<Partial> &out,
-                  std::mutex &mtx)
+    expandTopDown(const Partial &base, int k, Collector &col)
     {
         const auto tiles = firstFitTiles(base.remaining, k);
         for (const auto &tile : tiles) {
@@ -671,7 +817,7 @@ class Driver
                     }
                     lm.order = ord.fullOrder(nDims);
                     cand.pendingSuffix = ord.suffix;
-                    emit(out, mtx, std::move(cand), /*bottom_up=*/false,
+                    emit(col, std::move(cand), /*bottom_up=*/false,
                          EvalEngine::PrefixHandle{});
                 }
             }
@@ -760,26 +906,35 @@ class Driver
         }
     }
 
+    SearchContext &sc;
     const BoundArch &ba;
     SunstoneOptions opts;
     const Workload &wl;
     const int nLevels;
     const int nDims;
-    /** Private engine used only when none is injected via the options. */
-    EvalEngine localEngine;
     EvalEngine &engine;
     const EvalEngine::Context ctx;
+    SearchDriver *drv_ = nullptr;
     std::atomic<std::int64_t> examined{0};
-    std::atomic<double> incumbent{kInf};
+    /** Global alpha-beta incumbent; serial updates only (merge phase). */
+    double incumbent_ = kInf;
 };
 
 } // anonymous namespace
 
 SunstoneResult
+sunstoneOptimize(SearchContext &sc, const BoundArch &ba,
+                 const SunstoneOptions &opts)
+{
+    Driver driver(sc, ba, opts);
+    return driver.run();
+}
+
+SunstoneResult
 sunstoneOptimize(const BoundArch &ba, const SunstoneOptions &opts)
 {
-    Driver driver(ba, opts);
-    return driver.run();
+    SearchContext sc;
+    return sunstoneOptimize(sc, ba, opts);
 }
 
 } // namespace sunstone

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "model/cost_model.hh"
+#include "search/search_context.hh"
 
 namespace sunstone {
 
@@ -111,13 +112,23 @@ struct SunstoneResult
 
     /** (order, tile, unroll) combinations examined — the "space size". */
     std::int64_t candidatesExamined = 0;
-    /** Wall-clock time of the search. */
+    /** Wall-clock time of the search (cumulative across resumes). */
     double seconds = 0;
+
+    /** Why the search ended (a stable stopReasonName() string). */
+    std::string stopReason;
 };
 
 /**
- * Runs the Sunstone search for a workload/architecture pair.
+ * Runs the Sunstone search for a workload/architecture pair under the
+ * caller's SearchContext (StopPolicy, checkpoint/resume, convergence,
+ * shared engine). Resuming assumes the same SunstoneOptions as the run
+ * that wrote the checkpoint.
  */
+SunstoneResult sunstoneOptimize(SearchContext &sc, const BoundArch &ba,
+                                const SunstoneOptions &opts = {});
+
+/** Convenience overload running under a fresh default context. */
 SunstoneResult sunstoneOptimize(const BoundArch &ba,
                                 const SunstoneOptions &opts = {});
 

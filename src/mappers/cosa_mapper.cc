@@ -4,10 +4,8 @@
 #include <cmath>
 
 #include "common/math_utils.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
 
 namespace sunstone {
@@ -78,6 +76,29 @@ nearestDivisor(std::int64_t n, double target)
     return best;
 }
 
+/** The one mapping CoSA's relaxation commits to. */
+class SingleShotStream : public CandidateStream
+{
+  public:
+    explicit SingleShotStream(Mapping m) : m_(std::move(m)) {}
+
+    bool
+    nextBatch(std::size_t max, std::vector<Mapping> &out) override
+    {
+        if (max > 0 && !emitted_) {
+            out.push_back(m_);
+            emitted_ = true;
+        }
+        return false;
+    }
+
+    ResumeMode resumeMode() const override { return ResumeMode::Replay; }
+
+  private:
+    Mapping m_;
+    bool emitted_ = false;
+};
+
 } // anonymous namespace
 
 CosaMapper::CosaMapper(CosaOptions o, std::string display_name)
@@ -86,11 +107,9 @@ CosaMapper::CosaMapper(CosaOptions o, std::string display_name)
 }
 
 MapperResult
-CosaMapper::optimize(const BoundArch &ba)
+CosaMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper." + displayName);
-    Timer timer;
-    MapperResult result;
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     const int nl = ba.numLevels();
@@ -171,25 +190,23 @@ CosaMapper::optimize(const BoundArch &ba)
     for (DimId d = 0; d < nd; ++d)
         m.level(nl - 1).temporal[d] = rem[d];
 
-    EvalEngine localEngine;
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    CostResult cr = eng.evaluate(eng.context(ba), m);
-    result.mappingsEvaluated = 1;
-    result.seconds = timer.seconds();
-    result.mapping = m;
-    if (!cr.valid) {
-        result.invalid = true;
-        result.invalidReason = cr.invalidReason;
-        result.cost = std::move(cr);
-        return result;
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, 1);
+
+    // One-shot construction: the driver evaluates the single candidate,
+    // so the convergence trajectory is the one point the solver commits
+    // to and the stop reason is "exhausted".
+    SearchDriver drv(sc, eng, ba, displayName, /*optimize_edp=*/true);
+    SingleShotStream stream(m);
+    DriverOutcome o = drv.run(stream);
+    MapperResult result = toMapperResult(o, "");
+    if (!o.found) {
+        // Keep reporting the committed (invalid) mapping and its cost
+        // breakdown — Figs. 7-8 chart CoSA's failures by reason.
+        result.mapping = m;
+        result.cost = eng.evaluate(eng.context(ba), m);
     }
-    // One-shot construction: the trajectory is the single point the
-    // solver commits to.
-    if (opts.convergence)
-        opts.convergence->start(displayName)
-            .record(1, cr.totalEnergyPj, cr.edp, cr.edp);
-    result.found = true;
-    result.cost = std::move(cr);
     return result;
 }
 

@@ -1,12 +1,11 @@
 #include "mappers/dmaze_mapper.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/math_utils.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
 
 namespace sunstone {
@@ -171,25 +170,25 @@ DMazeMapper::DMazeMapper(DMazeOptions o, std::string display_name)
 }
 
 MapperResult
-DMazeMapper::optimize(const BoundArch &ba)
+DMazeMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper." + displayName);
-    Timer timer;
-    MapperResult result;
-    obs::ConvergenceTrajectory *traj =
-        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     const int nd = wl.numDims();
 
-    EvalEngine localEngine;
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, 1);
+
+    StopPolicy defaults;
+    defaults.maxEvals = opts.maxEvaluations;
+    sc.setPolicy(sc.policy().withDefaults(defaults));
+
+    SearchDriver drv(sc, eng, ba, displayName, opts.optimizeEdp);
 
     auto bail = [&](const std::string &why) {
-        result.invalid = true;
-        result.invalidReason = why;
-        result.seconds = timer.seconds();
-        return result;
+        return toMapperResult(drv.finish(StopReason::Unsupported), why);
     };
 
     // dMazeRunner targets conventional accelerators: exactly three
@@ -228,113 +227,75 @@ DMazeMapper::optimize(const BoundArch &ba)
     if (spatials.empty())
         return bail("no unrolling meets the PE utilization threshold");
 
-    const EvalEngine::Context ctx = eng.context(ba);
+    // The directed enumeration is a push-style nest; a GeneratorStream
+    // adapts it into the driver's pull model. Emission order matches the
+    // old serial loop exactly, so eval counts and results are unchanged.
+    std::atomic<bool> l1_candidates_seen{false};
+    std::atomic<bool> l2_candidates_seen{false};
 
-    double best_metric = std::numeric_limits<double>::infinity();
-    bool found = false;
-    std::int64_t evaluated = 0;
-    Mapping best;
-    CostResult best_cost;
+    auto producer = [&](const GeneratorStream::Sink &sink) {
+        for (const auto &sp : spatials) {
+            std::vector<std::int64_t> rem = wl.shape();
+            for (int d = 0; d < nd; ++d)
+                rem[d] /= sp[d];
 
-    bool l1_candidates_seen = false, l2_candidates_seen = false;
-
-    std::vector<Mapping> batch;
-    std::vector<CostResult> batch_res;
-    for (const auto &sp : spatials) {
-        std::vector<std::int64_t> rem = wl.shape();
-        for (int d = 0; d < nd; ++d)
-            rem[d] /= sp[d];
-
-        std::vector<std::int64_t> base0(nd, 1);
-        auto l1_tiles =
-            enumerateTiles(ba, 0, base0, rem, opts.l1Util, 48);
-        if (l1_tiles.empty())
-            continue;
-        l1_candidates_seen = true;
-
-        for (const auto &t1 : l1_tiles) {
-            std::vector<std::int64_t> rem2 = rem;
-            std::vector<std::int64_t> base1(nd);
-            for (int d = 0; d < nd; ++d) {
-                rem2[d] /= t1[d];
-                base1[d] = t1[d] * sp[d];
-            }
-            auto l2_tiles =
-                enumerateTiles(ba, 1, base1, rem2, opts.l2Util, 48);
-            if (l2_tiles.empty())
+            std::vector<std::int64_t> base0(nd, 1);
+            auto l1_tiles =
+                enumerateTiles(ba, 0, base0, rem, opts.l1Util, 48);
+            if (l1_tiles.empty())
                 continue;
-            l2_candidates_seen = true;
+            l1_candidates_seen.store(true, std::memory_order_relaxed);
 
-            for (const auto &t2 : l2_tiles) {
-                if (evaluated >= opts.maxEvaluations)
-                    goto done;
-                // One batched engine call per tile pair covering all
-                // nd*nd loop-order variants; the budget truncates the
-                // batch exactly where the serial loop would stop.
-                const std::int64_t room =
-                    opts.maxEvaluations - evaluated;
-                batch.clear();
-                for (DimId in2 = 0; in2 < nd; ++in2) {
-                    for (DimId in3 = 0; in3 < nd; ++in3) {
-                        if (static_cast<std::int64_t>(batch.size()) >=
-                            room)
-                            break;
-                        Mapping m(3, nd);
-                        for (int d = 0; d < nd; ++d) {
-                            m.level(0).temporal[d] = t1[d];
-                            m.level(1).spatial[d] = sp[d];
-                            m.level(1).temporal[d] = t2[d];
-                            m.level(2).temporal[d] =
-                                rem2[d] / t2[d];
-                        }
-                        m.level(1).order = rotatedOrder(nd, in2);
-                        m.level(2).order = rotatedOrder(nd, in3);
-                        batch.push_back(std::move(m));
-                    }
+            for (const auto &t1 : l1_tiles) {
+                std::vector<std::int64_t> rem2 = rem;
+                std::vector<std::int64_t> base1(nd);
+                for (int d = 0; d < nd; ++d) {
+                    rem2[d] /= t1[d];
+                    base1[d] = t1[d] * sp[d];
                 }
-                eng.evaluateBatch(ctx, batch, {},
-                                  EvalEngine::CachePolicy::UseCache,
-                                  batch_res);
-                for (std::size_t i = 0; i < batch.size(); ++i) {
-                    CostResult &cr = batch_res[i];
-                    ++evaluated;
-                    if (!cr.valid)
-                        continue;
-                    const double metric = opts.optimizeEdp
-                                              ? cr.edp
-                                              : cr.totalEnergyPj;
-                    if (metric < best_metric) {
-                        best_metric = metric;
-                        best = batch[i];
-                        if (traj)
-                            traj->record(evaluated, cr.totalEnergyPj,
-                                         cr.edp, metric);
-                        best_cost = std::move(cr);
-                        found = true;
+                auto l2_tiles =
+                    enumerateTiles(ba, 1, base1, rem2, opts.l2Util, 48);
+                if (l2_tiles.empty())
+                    continue;
+                l2_candidates_seen.store(true, std::memory_order_relaxed);
+
+                for (const auto &t2 : l2_tiles) {
+                    for (DimId in2 = 0; in2 < nd; ++in2) {
+                        for (DimId in3 = 0; in3 < nd; ++in3) {
+                            Mapping m(3, nd);
+                            for (int d = 0; d < nd; ++d) {
+                                m.level(0).temporal[d] = t1[d];
+                                m.level(1).spatial[d] = sp[d];
+                                m.level(1).temporal[d] = t2[d];
+                                m.level(2).temporal[d] =
+                                    rem2[d] / t2[d];
+                            }
+                            m.level(1).order = rotatedOrder(nd, in2);
+                            m.level(2).order = rotatedOrder(nd, in3);
+                            if (!sink(std::move(m)))
+                                return;
+                        }
                     }
                 }
             }
         }
-    }
-done:
-    result.mappingsEvaluated = evaluated;
-    result.seconds = timer.seconds();
-    if (!found) {
-        std::string why = "no mapping meets the minimum utilization "
-                          "constraints";
-        if (!l1_candidates_seen)
+    };
+
+    DriverOutcome o;
+    {
+        GeneratorStream stream(producer);
+        o = drv.run(stream);
+    } // joins the producer before the utilization flags are read
+
+    std::string why;
+    if (!o.found) {
+        why = "no mapping meets the minimum utilization constraints";
+        if (!l1_candidates_seen.load())
             why += " (L1 utilization)";
-        else if (!l2_candidates_seen)
+        else if (!l2_candidates_seen.load())
             why += " (L2 utilization)";
-        return bail(why);
     }
-    result.found = true;
-    result.mapping = best;
-    if (traj)
-        traj->record(evaluated, best_cost.totalEnergyPj, best_cost.edp,
-                     best_metric);
-    result.cost = std::move(best_cost);
-    return result;
+    return toMapperResult(o, why);
 }
 
 double

@@ -65,7 +65,8 @@ class DMazeMapper : public Mapper
     explicit DMazeMapper(DMazeOptions opts = DMazeOptions::fast(),
                          std::string display_name = "dMaze");
 
-    MapperResult optimize(const BoundArch &ba) override;
+    using Mapper::optimize;
+    MapperResult optimize(SearchContext &sc, const BoundArch &ba) override;
     std::string name() const override { return displayName; }
     double spaceSizeEstimate(const BoundArch &ba) const override;
 

@@ -4,26 +4,26 @@
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
 
 namespace sunstone {
 
 namespace {
 
-/** Enumerates factor assignments over the (level, temporal|spatial)
- *  slots for every dim, then every loop permutation per level. */
-class Enumerator
+/**
+ * Enumerates factor assignments over the (level, temporal|spatial)
+ * slots for every dim, then every loop permutation per level, pushing
+ * each complete mapping into a GeneratorStream sink. The driver owns
+ * batching, best tracking, and accounting; emission order matches the
+ * old serial scan exactly.
+ */
+class ExhaustiveProducer
 {
   public:
-    Enumerator(const BoundArch &ba, EvalEngine &eng, bool optimize_edp,
-               obs::ConvergenceTrajectory *traj)
-        : ba(ba), wl(ba.workload()), eng(eng), ctx(eng.context(ba)),
-          nl(ba.numLevels()), nd(wl.numDims()), optimizeEdp(optimize_edp),
-          traj(traj)
+    explicit ExhaustiveProducer(const BoundArch &ba)
+        : ba(ba), wl(ba.workload()), nl(ba.numLevels()), nd(wl.numDims())
     {
         for (int l = 0; l < nl; ++l) {
             slots.push_back({l, false});
@@ -32,26 +32,13 @@ class Enumerator
         }
     }
 
-    MapperResult
-    run()
+    void
+    run(const GeneratorStream::Sink &sink)
     {
+        sink_ = &sink;
+        stopped = false;
         m = Mapping(nl, nd);
         assignDim(0);
-        flush();
-        MapperResult r;
-        r.mappingsEvaluated = evaluated;
-        if (best_metric < std::numeric_limits<double>::infinity()) {
-            r.found = true;
-            r.mapping = best;
-            if (traj)
-                traj->record(evaluated, best_cost.totalEnergyPj,
-                             best_cost.edp, best_metric);
-            r.cost = std::move(best_cost);
-        } else {
-            r.invalid = true;
-            r.invalidReason = "no valid mapping exists";
-        }
-        return r;
     }
 
   private:
@@ -64,6 +51,8 @@ class Enumerator
     void
     assignDim(int d)
     {
+        if (stopped)
+            return;
         if (d == nd) {
             permuteLevel(1);
             return;
@@ -74,6 +63,8 @@ class Enumerator
     void
     splitRec(int d, std::size_t slot, std::int64_t rem)
     {
+        if (stopped)
+            return;
         if (slot == slots.size() - 1) {
             apply(slots[slot], d, rem);
             assignDim(d + 1);
@@ -84,6 +75,8 @@ class Enumerator
             apply(slots[slot], d, f);
             splitRec(d, slot + 1, rem / f);
             apply(slots[slot], d, 1);
+            if (stopped)
+                return;
         }
     }
 
@@ -100,8 +93,11 @@ class Enumerator
     void
     permuteLevel(int l)
     {
+        if (stopped)
+            return;
         if (l == nl) {
-            evaluate();
+            if (!(*sink_)(Mapping(m)))
+                stopped = true;
             return;
         }
         std::vector<DimId> perm(nd);
@@ -111,64 +107,19 @@ class Enumerator
         do {
             m.level(l).order = perm;
             permuteLevel(l + 1);
+            if (stopped)
+                return;
         } while (std::next_permutation(perm.begin(), perm.end()));
-    }
-
-    /** Buffers the current mapping; batches amortize engine overhead
-     *  and let the evaluations run across the shared pool. */
-    void
-    evaluate()
-    {
-        pending.push_back(m);
-        if (pending.size() >= kBatch)
-            flush();
-    }
-
-    void
-    flush()
-    {
-        if (pending.empty())
-            return;
-        eng.evaluateBatch(ctx, pending, {},
-                          EvalEngine::CachePolicy::UseCache, pendingRes);
-        // Results are consumed in enumeration order, so the running best
-        // and the convergence trajectory match the serial scan exactly.
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-            CostResult &cr = pendingRes[i];
-            ++evaluated;
-            if (!cr.valid)
-                continue;
-            const double metric =
-                optimizeEdp ? cr.edp : cr.totalEnergyPj;
-            if (metric < best_metric) {
-                best_metric = metric;
-                best = pending[i];
-                if (traj)
-                    traj->record(evaluated, cr.totalEnergyPj, cr.edp,
-                                 metric);
-                best_cost = std::move(cr);
-            }
-        }
-        pending.clear();
     }
 
     const BoundArch &ba;
     const Workload &wl;
-    EvalEngine &eng;
-    const EvalEngine::Context ctx;
     const int nl;
     const int nd;
-    const bool optimizeEdp;
-    obs::ConvergenceTrajectory *const traj;
-    static constexpr std::size_t kBatch = 64;
     std::vector<Slot> slots;
-    std::vector<Mapping> pending;
-    std::vector<CostResult> pendingRes;
+    const GeneratorStream::Sink *sink_ = nullptr;
+    bool stopped = false;
     Mapping m;
-    Mapping best;
-    CostResult best_cost;
-    double best_metric = std::numeric_limits<double>::infinity();
-    std::int64_t evaluated = 0;
 };
 
 } // anonymous namespace
@@ -176,23 +127,26 @@ class Enumerator
 ExhaustiveMapper::ExhaustiveMapper(ExhaustiveOptions o) : opts(o) {}
 
 MapperResult
-ExhaustiveMapper::optimize(const BoundArch &ba)
+ExhaustiveMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper.exhaustive");
-    Timer timer;
     const double est = spaceSizeEstimate(ba);
     if (est > opts.maxSpace)
         SUNSTONE_FATAL("exhaustive search space too large (", est,
                        " mappings, cap ", opts.maxSpace, ")");
-    EvalEngine localEngine;
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    obs::ConvergenceTrajectory *traj =
-        opts.convergence ? &opts.convergence->start("exhaustive")
-                         : nullptr;
-    Enumerator e(ba, eng, opts.optimizeEdp, traj);
-    MapperResult r = e.run();
-    r.seconds = timer.seconds();
-    return r;
+
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, 1);
+
+    SearchDriver drv(sc, eng, ba, "exhaustive", opts.optimizeEdp);
+    ExhaustiveProducer producer(ba);
+    GeneratorStream stream(
+        [&producer](const GeneratorStream::Sink &sink) {
+            producer.run(sink);
+        });
+    DriverOutcome o = drv.run(stream);
+    return toMapperResult(o, o.found ? "" : "no valid mapping exists");
 }
 
 double

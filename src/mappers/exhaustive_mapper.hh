@@ -38,7 +38,8 @@ class ExhaustiveMapper : public Mapper
   public:
     explicit ExhaustiveMapper(ExhaustiveOptions opts = {});
 
-    MapperResult optimize(const BoundArch &ba) override;
+    using Mapper::optimize;
+    MapperResult optimize(SearchContext &sc, const BoundArch &ba) override;
     std::string name() const override { return "exhaustive"; }
     double spaceSizeEstimate(const BoundArch &ba) const override;
 

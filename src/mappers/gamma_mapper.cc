@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
 
+#include "common/json.hh"
 #include "common/math_utils.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
+#include "search/checkpoint.hh"
+#include "search/rng.hh"
 
 namespace sunstone {
 
@@ -36,7 +36,7 @@ slotsOf(const BoundArch &ba)
 /** Randomly distributes one dim's prime factors over the slots. */
 void
 randomizeDim(Mapping &m, const BoundArch &ba, const std::vector<Slot> &slots,
-             DimId d, std::mt19937_64 &rng)
+             DimId d, RngStream &rng)
 {
     for (int l = 0; l < m.numLevels(); ++l) {
         m.level(l).temporal[d] = 1;
@@ -44,7 +44,7 @@ randomizeDim(Mapping &m, const BoundArch &ba, const std::vector<Slot> &slots,
     }
     for (auto [p, e] : cachedPrimeFactors(ba.workload().dimSize(d))) {
         for (int i = 0; i < e; ++i) {
-            const Slot &s = slots[rng() % slots.size()];
+            const Slot &s = slots[rng.below(slots.size())];
             auto &lm = m.level(s.level);
             if (s.spatial)
                 lm.spatial[d] = satMul(lm.spatial[d], p);
@@ -56,15 +56,14 @@ randomizeDim(Mapping &m, const BoundArch &ba, const std::vector<Slot> &slots,
 
 Mapping
 randomIndividual(const BoundArch &ba, const std::vector<Slot> &slots,
-                 std::mt19937_64 &rng)
+                 RngStream &rng)
 {
     const int nd = ba.workload().numDims();
     Mapping m(ba.numLevels(), nd);
     for (DimId d = 0; d < nd; ++d)
         randomizeDim(m, ba, slots, d, rng);
     for (int l = 0; l < m.numLevels(); ++l)
-        std::shuffle(m.level(l).order.begin(), m.level(l).order.end(),
-                     rng);
+        rng.shuffle(m.level(l).order);
     return m;
 }
 
@@ -78,6 +77,197 @@ copyDim(Mapping &dst, const Mapping &src, DimId d)
     }
 }
 
+/**
+ * The GA as a stateful candidate stream: nextBatch() grows the current
+ * generation (initial population at gen 0, elite + children after),
+ * onResult() scores individuals in generation order, and a complete,
+ * fully-scored generation is promoted to the parent pool the next time
+ * nextBatch() runs. Selection draws from sc.rngStream(0), so the
+ * sequence is deterministic and its cursor is the resume point; the
+ * populations themselves are the stream's checkpoint payload.
+ */
+class GammaStream : public CandidateStream
+{
+  public:
+    GammaStream(SearchContext &sc, const BoundArch &ba,
+                const GammaOptions &opts)
+        : sc_(sc), ba_(ba), opts_(opts), slots_(slotsOf(ba)),
+          nd_(ba.workload().numDims())
+    {
+    }
+
+    bool
+    nextBatch(std::size_t max, std::vector<Mapping> &out) override
+    {
+        std::size_t n = 0;
+        while (n < max && !done_) {
+            if (pending_.size() ==
+                static_cast<std::size_t>(opts_.populationSize)) {
+                if (scored_ < pending_.size())
+                    break; // scores arrive later in this very batch
+                promote();
+                continue;
+            }
+            Mapping m = makeIndividual();
+            pending_.push_back({m, std::numeric_limits<double>::infinity()});
+            out.push_back(std::move(m));
+            ++n;
+        }
+        return !done_;
+    }
+
+    void
+    onResult(std::size_t, const Mapping &, const CostResult &cr) override
+    {
+        double fit = std::numeric_limits<double>::infinity();
+        if (cr.valid)
+            fit = opts_.optimizeEdp ? cr.edp : cr.totalEnergyPj;
+        pending_[scored_].fit = fit;
+        ++scored_;
+    }
+
+    std::string
+    saveState() const override
+    {
+        auto pool = [](const std::vector<Individual> &v) {
+            std::string s = "[";
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                if (i)
+                    s += ", ";
+                s += "{\"fit\": " + jsonDouble(v[i].fit) +
+                     ", \"m\": " + mappingToJson(v[i].m) + "}";
+            }
+            return s + "]";
+        };
+        return "{\"gen\": " + std::to_string(gen_) +
+               ", \"done\": " + (done_ ? std::string("true") : "false") +
+               ", \"prev\": " + pool(prev_) +
+               ", \"pending\": " + pool(pending_) + "}";
+    }
+
+    bool
+    restoreState(const std::string &payload) override
+    {
+        JsonValue v;
+        if (!parseJson(payload, v) || !v.isObject())
+            return false;
+        auto pool = [this](const JsonValue *arr,
+                           std::vector<Individual> &out) {
+            out.clear();
+            if (!arr || !arr->isArray())
+                return false;
+            for (const JsonValue &e : arr->items) {
+                Individual ind{Mapping(ba_.numLevels(), nd_),
+                               std::numeric_limits<double>::infinity()};
+                const JsonValue *m = e.find("m");
+                if (!m || !mappingFromJson(*m, ind.m))
+                    return false;
+                if (const JsonValue *f = e.find("fit"))
+                    ind.fit = f->isNull()
+                                  ? std::numeric_limits<double>::infinity()
+                                  : f->asDouble();
+                out.push_back(std::move(ind));
+            }
+            return true;
+        };
+        if (!pool(v.find("prev"), prev_) || !pool(v.find("pending"), pending_))
+            return false;
+        const JsonValue *g = v.find("gen");
+        if (!g)
+            return false;
+        gen_ = static_cast<int>(g->asInt(0));
+        if (const JsonValue *d = v.find("done"))
+            done_ = d->asBool(false);
+        scored_ = pending_.size(); // snapshots only cover scored pools
+        return true;
+    }
+
+  private:
+    struct Individual
+    {
+        Mapping m;
+        double fit;
+    };
+
+    Mapping
+    makeIndividual()
+    {
+        RngStream &rng = sc_.rngStream(0);
+        if (gen_ == 0)
+            return randomIndividual(ba_, slots_, rng);
+        if (pending_.empty()) {
+            // Elitism: re-submit the parent pool's best unchanged (the
+            // memoized engine makes rescoring it a cache hit).
+            return bestOf(prev_).m;
+        }
+        const Individual &pa = tournamentPick(rng);
+        const Individual &pb = tournamentPick(rng);
+        // Uniform per-dim crossover plus per-level order choice.
+        Mapping child = pa.m;
+        for (DimId d = 0; d < nd_; ++d)
+            if (rng.next() & 1)
+                copyDim(child, pb.m, d);
+        for (int l = 0; l < child.numLevels(); ++l)
+            if (rng.next() & 1)
+                child.level(l).order = pb.m.level(l).order;
+
+        // Mutation: rerandomize a dim or shuffle an order.
+        if (rng.unit() < opts_.mutationRate) {
+            const DimId d = static_cast<DimId>(rng.below(nd_));
+            randomizeDim(child, ba_, slots_, d, rng);
+        }
+        if (rng.unit() < opts_.mutationRate) {
+            const int l = static_cast<int>(rng.below(child.numLevels()));
+            rng.shuffle(child.level(l).order);
+        }
+        return child;
+    }
+
+    const Individual &
+    tournamentPick(RngStream &rng)
+    {
+        const Individual *best = &prev_[rng.below(prev_.size())];
+        for (int i = 1; i < opts_.tournament; ++i) {
+            const Individual *c = &prev_[rng.below(prev_.size())];
+            if (c->fit < best->fit)
+                best = c;
+        }
+        return *best;
+    }
+
+    static const Individual &
+    bestOf(const std::vector<Individual> &pool)
+    {
+        return *std::min_element(pool.begin(), pool.end(),
+                                 [](const auto &a, const auto &b) {
+                                     return a.fit < b.fit;
+                                 });
+    }
+
+    void
+    promote()
+    {
+        prev_ = std::move(pending_);
+        pending_.clear();
+        scored_ = 0;
+        ++gen_;
+        if (gen_ > opts_.generations)
+            done_ = true;
+    }
+
+    SearchContext &sc_;
+    const BoundArch &ba_;
+    const GammaOptions &opts_;
+    const std::vector<Slot> slots_;
+    const int nd_;
+
+    int gen_ = 0;
+    bool done_ = false;
+    std::vector<Individual> prev_;
+    std::vector<Individual> pending_;
+    std::size_t scored_ = 0;
+};
+
 } // anonymous namespace
 
 GammaMapper::GammaMapper(GammaOptions o, std::string display_name)
@@ -86,119 +276,23 @@ GammaMapper::GammaMapper(GammaOptions o, std::string display_name)
 }
 
 MapperResult
-GammaMapper::optimize(const BoundArch &ba)
+GammaMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper." + displayName);
-    Timer timer;
-    MapperResult result;
-    obs::ConvergenceTrajectory *traj =
-        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
-    const Workload &wl = ba.workload();
-    const int nd = wl.numDims();
-    const auto slots = slotsOf(ba);
-    std::mt19937_64 rng(opts.seed);
 
-    EvalEngine localEngine;
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    const EvalEngine::Context ctx = eng.context(ba);
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, 1);
+    sc.ensureSeed(opts.seed);
 
-    // Every evaluated individual enters a population, and elitism keeps
-    // the population's best monotone, so the best fitness seen here is
-    // exactly the final answer's fitness.
-    double best_seen = std::numeric_limits<double>::infinity();
-    auto fitness = [&](const Mapping &m) {
-        CostResult cr = eng.evaluate(ctx, m);
-        ++result.mappingsEvaluated;
-        if (!cr.valid)
-            return std::numeric_limits<double>::infinity();
-        const double metric = opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-        if (traj && metric < best_seen) {
-            best_seen = metric;
-            traj->record(result.mappingsEvaluated, cr.totalEnergyPj,
-                         cr.edp, metric);
-        }
-        return metric;
-    };
+    StopPolicy defaults;
+    defaults.deadlineSeconds = opts.maxSeconds;
+    sc.setPolicy(sc.policy().withDefaults(defaults));
 
-    struct Individual
-    {
-        Mapping m;
-        double fit;
-    };
-    std::vector<Individual> pop;
-    pop.reserve(opts.populationSize);
-    for (int i = 0; i < opts.populationSize; ++i) {
-        Mapping m = randomIndividual(ba, slots, rng);
-        pop.push_back({m, fitness(m)});
-    }
-
-    auto tournamentPick = [&]() -> const Individual & {
-        const Individual *best = &pop[rng() % pop.size()];
-        for (int i = 1; i < opts.tournament; ++i) {
-            const Individual *c = &pop[rng() % pop.size()];
-            if (c->fit < best->fit)
-                best = c;
-        }
-        return *best;
-    };
-
-    for (int gen = 0; gen < opts.generations; ++gen) {
-        if (timer.seconds() > opts.maxSeconds)
-            break;
-        std::vector<Individual> next;
-        next.reserve(pop.size());
-        // Elitism: carry the best individual over unchanged.
-        const auto best_it = std::min_element(
-            pop.begin(), pop.end(),
-            [](const auto &a, const auto &b) { return a.fit < b.fit; });
-        next.push_back(*best_it);
-
-        while ((int)next.size() < opts.populationSize) {
-            const Individual &pa = tournamentPick();
-            const Individual &pb = tournamentPick();
-            // Uniform per-dim crossover plus per-level order choice.
-            Mapping child = pa.m;
-            for (DimId d = 0; d < nd; ++d)
-                if (rng() & 1)
-                    copyDim(child, pb.m, d);
-            for (int l = 0; l < child.numLevels(); ++l)
-                if (rng() & 1)
-                    child.level(l).order = pb.m.level(l).order;
-
-            // Mutation: rerandomize a dim or shuffle an order.
-            std::uniform_real_distribution<double> unit(0.0, 1.0);
-            if (unit(rng) < opts.mutationRate) {
-                const DimId d = static_cast<DimId>(rng() % nd);
-                randomizeDim(child, ba, slots, d, rng);
-            }
-            if (unit(rng) < opts.mutationRate) {
-                const int l =
-                    static_cast<int>(rng() % child.numLevels());
-                std::shuffle(child.level(l).order.begin(),
-                             child.level(l).order.end(), rng);
-            }
-            next.push_back({child, fitness(child)});
-        }
-        pop = std::move(next);
-    }
-
-    const auto best_it = std::min_element(
-        pop.begin(), pop.end(),
-        [](const auto &a, const auto &b) { return a.fit < b.fit; });
-    result.seconds = timer.seconds();
-    if (std::isinf(best_it->fit)) {
-        result.invalid = true;
-        result.invalidReason = "no valid individual evolved";
-        return result;
-    }
-    result.found = true;
-    result.mapping = best_it->m;
-    result.cost = eng.evaluate(ctx, best_it->m);
-    if (traj)
-        traj->record(result.mappingsEvaluated,
-                     result.cost.totalEnergyPj, result.cost.edp,
-                     best_it->fit);
-    return result;
+    SearchDriver drv(sc, eng, ba, displayName, opts.optimizeEdp);
+    GammaStream stream(sc, ba, opts);
+    DriverOutcome o = drv.run(stream);
+    return toMapperResult(o, o.found ? "" : "no valid individual evolved");
 }
 
 double

@@ -46,7 +46,8 @@ class GammaMapper : public Mapper
     explicit GammaMapper(GammaOptions opts = {},
                          std::string display_name = "GAMMA");
 
-    MapperResult optimize(const BoundArch &ba) override;
+    using Mapper::optimize;
+    MapperResult optimize(SearchContext &sc, const BoundArch &ba) override;
     std::string name() const override { return displayName; }
     double spaceSizeEstimate(const BoundArch &ba) const override;
 

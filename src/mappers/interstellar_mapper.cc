@@ -3,10 +3,8 @@
 #include <algorithm>
 
 #include "common/math_utils.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
 
 namespace sunstone {
@@ -109,22 +107,25 @@ InterstellarMapper::InterstellarMapper(InterstellarOptions o,
 }
 
 MapperResult
-InterstellarMapper::optimize(const BoundArch &ba)
+InterstellarMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper." + displayName);
-    Timer timer;
-    MapperResult result;
-    obs::ConvergenceTrajectory *traj =
-        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
     const int nd = wl.numDims();
 
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, 1);
+
+    StopPolicy defaults;
+    defaults.maxEvals = opts.maxEvaluations;
+    sc.setPolicy(sc.policy().withDefaults(defaults));
+
+    SearchDriver drv(sc, eng, ba, displayName, opts.optimizeEdp);
+
     auto bail = [&](const std::string &why) {
-        result.invalid = true;
-        result.invalidReason = why;
-        result.seconds = timer.seconds();
-        return result;
+        return toMapperResult(drv.finish(StopReason::Unsupported), why);
     };
 
     if (ba.numLevels() != 3 || arch.levels[0].fanout != 1 ||
@@ -183,84 +184,41 @@ InterstellarMapper::optimize(const BoundArch &ba)
     if (l1_tiles.empty())
         return bail("no L1 tiling compatible with the preset unrolling");
 
-    EvalEngine localEngine;
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    const EvalEngine::Context ctx = eng.context(ba);
-
-    double best_metric = std::numeric_limits<double>::infinity();
-    bool found = false;
-    std::int64_t evaluated = 0;
-    Mapping best;
-    CostResult best_cost;
-
-    std::vector<Mapping> batch;
-    std::vector<CostResult> batch_res;
-    for (const auto &t1 : l1_tiles) {
-        std::vector<std::int64_t> rem2 = rem;
-        std::vector<std::int64_t> base1(nd);
-        for (int d = 0; d < nd; ++d) {
-            rem2[d] /= t1[d];
-            base1[d] = t1[d] * sp[d];
-        }
-        auto l2_tiles = fittingTiles(ba, 1, base1, rem2, 40);
-        for (const auto &t2 : l2_tiles) {
-            if (evaluated >= opts.maxEvaluations)
-                goto done;
-            // Score all nd*nd loop-order variants of this tile pair in
-            // one batched engine call; the evaluation budget truncates
-            // the batch exactly where the serial loop would have stopped.
-            const std::int64_t room = opts.maxEvaluations - evaluated;
-            batch.clear();
-            for (DimId in2 = 0; in2 < nd; ++in2) {
-                for (DimId in3 = 0; in3 < nd; ++in3) {
-                    if (static_cast<std::int64_t>(batch.size()) >= room)
-                        break;
-                    Mapping m(3, nd);
-                    for (int d = 0; d < nd; ++d) {
-                        m.level(0).temporal[d] = t1[d];
-                        m.level(1).spatial[d] = sp[d];
-                        m.level(1).temporal[d] = t2[d];
-                        m.level(2).temporal[d] = rem2[d] / t2[d];
+    // Push-style tile enumeration adapted to the driver's pull model;
+    // emission order matches the old serial loop exactly.
+    auto producer = [&](const GeneratorStream::Sink &sink) {
+        for (const auto &t1 : l1_tiles) {
+            std::vector<std::int64_t> rem2 = rem;
+            std::vector<std::int64_t> base1(nd);
+            for (int d = 0; d < nd; ++d) {
+                rem2[d] /= t1[d];
+                base1[d] = t1[d] * sp[d];
+            }
+            auto l2_tiles = fittingTiles(ba, 1, base1, rem2, 40);
+            for (const auto &t2 : l2_tiles) {
+                for (DimId in2 = 0; in2 < nd; ++in2) {
+                    for (DimId in3 = 0; in3 < nd; ++in3) {
+                        Mapping m(3, nd);
+                        for (int d = 0; d < nd; ++d) {
+                            m.level(0).temporal[d] = t1[d];
+                            m.level(1).spatial[d] = sp[d];
+                            m.level(1).temporal[d] = t2[d];
+                            m.level(2).temporal[d] = rem2[d] / t2[d];
+                        }
+                        m.level(1).order = rotatedOrder(nd, in2);
+                        m.level(2).order = rotatedOrder(nd, in3);
+                        if (!sink(std::move(m)))
+                            return;
                     }
-                    m.level(1).order = rotatedOrder(nd, in2);
-                    m.level(2).order = rotatedOrder(nd, in3);
-                    batch.push_back(std::move(m));
-                }
-            }
-            eng.evaluateBatch(ctx, batch, {},
-                              EvalEngine::CachePolicy::UseCache,
-                              batch_res);
-            for (std::size_t i = 0; i < batch.size(); ++i) {
-                CostResult &cr = batch_res[i];
-                ++evaluated;
-                if (!cr.valid)
-                    continue;
-                const double metric =
-                    opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-                if (metric < best_metric) {
-                    best_metric = metric;
-                    best = batch[i];
-                    if (traj)
-                        traj->record(evaluated, cr.totalEnergyPj, cr.edp,
-                                     metric);
-                    best_cost = std::move(cr);
-                    found = true;
                 }
             }
         }
-    }
-done:
-    result.mappingsEvaluated = evaluated;
-    result.seconds = timer.seconds();
-    if (!found)
-        return bail("no valid mapping with the preset unrolling");
-    result.found = true;
-    result.mapping = best;
-    if (traj)
-        traj->record(evaluated, best_cost.totalEnergyPj, best_cost.edp,
-                     best_metric);
-    result.cost = std::move(best_cost);
-    return result;
+    };
+
+    GeneratorStream stream(producer);
+    DriverOutcome o = drv.run(stream);
+    return toMapperResult(
+        o, o.found ? "" : "no valid mapping with the preset unrolling");
 }
 
 double

@@ -37,7 +37,8 @@ class InterstellarMapper : public Mapper
     explicit InterstellarMapper(InterstellarOptions opts = {},
                                 std::string display_name = "INTER");
 
-    MapperResult optimize(const BoundArch &ba) override;
+    using Mapper::optimize;
+    MapperResult optimize(SearchContext &sc, const BoundArch &ba) override;
     std::string name() const override { return displayName; }
     double spaceSizeEstimate(const BoundArch &ba) const override;
 

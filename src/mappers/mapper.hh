@@ -4,7 +4,9 @@
  * Section V-B): Timeloop-like random search, dMazeRunner-like directed
  * search, Interstellar-like preset-unrolling search, CoSA-like one-shot
  * construction, and an exhaustive oracle for tiny problems. Every mapper
- * is evaluated with the same cost model, as in the paper.
+ * is evaluated with the same cost model, as in the paper, and every
+ * mapper's search runs through the shared SearchDriver (DESIGN.md §12),
+ * which owns termination, accounting, and checkpoint/resume.
  */
 
 #ifndef SUNSTONE_MAPPERS_MAPPER_HH
@@ -14,6 +16,8 @@
 #include <string>
 
 #include "model/cost_model.hh"
+#include "search/search_context.hh"
+#include "search/search_driver.hh"
 
 namespace sunstone {
 
@@ -44,6 +48,13 @@ struct MapperResult
     std::int64_t mappingsEvaluated = 0;
     /** Wall-clock time-to-solution (Figs. 6b, 7b, 8b). */
     double seconds = 0;
+
+    /**
+     * Why the search ended: one of the stable stopReasonName() strings
+     * ("exhausted", "deadline", "max-evals", "plateau", "invalid-streak",
+     * "cancelled", "unsupported").
+     */
+    std::string stopReason;
 };
 
 /** Abstract mapper. */
@@ -52,8 +63,16 @@ class Mapper
   public:
     virtual ~Mapper() = default;
 
-    /** Runs the tool's search for the bound workload/architecture. */
-    virtual MapperResult optimize(const BoundArch &ba) = 0;
+    /**
+     * Runs the tool's search for the bound workload/architecture under
+     * the caller's SearchContext: its StopPolicy (layered over the
+     * mapper's legacy knobs as defaults), seed, engine, convergence
+     * recorder, and checkpoint/resume configuration.
+     */
+    virtual MapperResult optimize(SearchContext &sc, const BoundArch &ba) = 0;
+
+    /** Convenience overload running under a fresh default context. */
+    MapperResult optimize(const BoundArch &ba);
 
     /** @return the tool's display name ("TL-fast", "dMaze-slow", ...). */
     virtual std::string name() const = 0;
@@ -69,6 +88,24 @@ class Mapper
         (void)ba;
         return 0.0;
     }
+
+  protected:
+    /**
+     * Converts a driver outcome into a MapperResult; counters, seconds,
+     * and stop reason always come from the driver. When nothing was
+     * found, `not_found_reason` (or, if empty, the first invalid
+     * diagnostic the driver saw) becomes the invalid reason.
+     */
+    static MapperResult toMapperResult(const DriverOutcome &o,
+                                       const std::string &not_found_reason);
+
+    /**
+     * Resolves the engine the search runs on: the context's borrowed
+     * engine wins, then the legacy option-struct engine, then a private
+     * engine created inside the context with `threads` workers.
+     */
+    static EvalEngine &resolveEngine(SearchContext &sc, EvalEngine *legacy,
+                                     unsigned threads);
 };
 
 } // namespace sunstone

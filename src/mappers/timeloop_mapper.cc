@@ -1,16 +1,13 @@
 #include "mappers/timeloop_mapper.hh"
 
-#include <atomic>
-#include <mutex>
-#include <random>
+#include <vector>
 
+#include "common/json.hh"
 #include "common/math_utils.hh"
-#include "common/thread_pool.hh"
-#include "common/timer.hh"
 #include "mappers/space_size.hh"
 #include "model/eval_engine.hh"
-#include "obs/convergence.hh"
 #include "obs/trace.hh"
+#include "search/rng.hh"
 
 namespace sunstone {
 
@@ -23,7 +20,7 @@ namespace {
  * unpruned, undirected space (Table I: "pruning methods: nothing").
  */
 Mapping
-randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
+randomMapping(const BoundArch &ba, RngStream &rng)
 {
     const Workload &wl = ba.workload();
     const ArchSpec &arch = ba.arch();
@@ -47,8 +44,7 @@ randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
     for (DimId d = 0; d < nd; ++d) {
         for (auto [p, e] : cachedPrimeFactors(wl.dimSize(d))) {
             for (int i = 0; i < e; ++i) {
-                const Slot &s =
-                    slots[rng() % slots.size()];
+                const Slot &s = slots[rng.below(slots.size())];
                 auto &lm = m.level(s.level);
                 if (s.spatial)
                     lm.spatial[d] = satMul(lm.spatial[d], p);
@@ -57,12 +53,73 @@ randomMapping(const BoundArch &ba, std::mt19937_64 &rng)
             }
         }
     }
-    for (int l = 0; l < nl; ++l) {
-        auto &ord = m.level(l).order;
-        std::shuffle(ord.begin(), ord.end(), rng);
-    }
+    for (int l = 0; l < nl; ++l)
+        rng.shuffle(m.level(l).order);
     return m;
 }
+
+/**
+ * The random-sampling stream. Samples are drawn round-robin from a
+ * fixed number of logical RNG shards — a constant, never derived from
+ * the thread count — so the candidate sequence (and therefore the whole
+ * search) is identical at any --threads value. Resume needs only the
+ * shard cursors (restored by the driver) plus the round-robin position.
+ */
+class TimeloopStream : public CandidateStream
+{
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    TimeloopStream(SearchContext &sc, const BoundArch &ba)
+        : sc_(sc), ba_(ba)
+    {
+    }
+
+    bool
+    nextBatch(std::size_t max, std::vector<Mapping> &out) override
+    {
+        for (std::size_t i = 0; i < max; ++i) {
+            out.push_back(
+                randomMapping(ba_, sc_.rngStream(cursor_ % kShards)));
+            ++cursor_;
+        }
+        return true; // never exhausts; a StopPolicy bound ends it
+    }
+
+    EvalEngine::CachePolicy
+    cachePolicy() const override
+    {
+        // Uniform random samples almost never repeat, so caching them
+        // would only churn the shared cache.
+        return EvalEngine::CachePolicy::Bypass;
+    }
+
+    ResumeMode resumeMode() const override { return ResumeMode::State; }
+
+    std::string
+    saveState() const override
+    {
+        return "{\"cursor\": " + std::to_string(cursor_) + "}";
+    }
+
+    bool
+    restoreState(const std::string &payload) override
+    {
+        JsonValue v;
+        if (!parseJson(payload, v) || !v.isObject())
+            return false;
+        const JsonValue *c = v.find("cursor");
+        if (!c)
+            return false;
+        cursor_ = c->asInt(0);
+        return cursor_ >= 0;
+    }
+
+  private:
+    SearchContext &sc_;
+    const BoundArch &ba_;
+    std::int64_t cursor_ = 0;
+};
 
 } // anonymous namespace
 
@@ -72,94 +129,25 @@ TimeloopMapper::TimeloopMapper(TimeloopOptions o, std::string display_name)
 }
 
 MapperResult
-TimeloopMapper::optimize(const BoundArch &ba)
+TimeloopMapper::optimize(SearchContext &sc, const BoundArch &ba)
 {
     SUNSTONE_TRACE_SPAN("mapper." + displayName);
-    Timer timer;
-    MapperResult result;
 
-    obs::ConvergenceTrajectory *traj =
-        opts.convergence ? &opts.convergence->start(displayName) : nullptr;
+    if (!sc.convergence() && opts.convergence)
+        sc.setConvergence(opts.convergence);
+    EvalEngine &eng = resolveEngine(sc, opts.engine, opts.threads);
+    sc.ensureSeed(opts.seed);
 
-    EvalEngine localEngine(EvalEngineOptions{.threads = opts.threads});
-    EvalEngine &eng = opts.engine ? *opts.engine : localEngine;
-    const EvalEngine::Context ctx = eng.context(ba);
+    StopPolicy defaults;
+    defaults.deadlineSeconds = opts.maxSeconds;
+    defaults.plateau = opts.victoryCondition;
+    defaults.maxConsecutiveInvalid = opts.maxConsecutiveInvalid;
+    sc.setPolicy(sc.policy().withDefaults(defaults));
 
-    std::atomic<std::int64_t> evaluated{0};
-    std::atomic<std::int64_t> consecutive_invalid{0};
-    std::atomic<std::int64_t> consecutive_stale{0};
-    std::atomic<bool> stop{false};
-
-    std::mutex best_mtx;
-    double best_metric = std::numeric_limits<double>::infinity();
-    Mapping best_mapping;
-    CostResult best_cost;
-    bool found = false;
-
-    auto worker = [&](unsigned tid) {
-        std::mt19937_64 rng(opts.seed + 0x9e3779b97f4a7c15ULL * tid);
-        while (!stop.load(std::memory_order_relaxed)) {
-            if (consecutive_invalid.load(std::memory_order_relaxed) >=
-                    opts.timeout ||
-                consecutive_stale.load(std::memory_order_relaxed) >=
-                    opts.victoryCondition ||
-                timer.seconds() > opts.maxSeconds) {
-                stop.store(true, std::memory_order_relaxed);
-                break;
-            }
-            Mapping m = randomMapping(ba, rng);
-            // Bypass: uniform random samples almost never repeat, so
-            // caching them would only churn the shared cache.
-            CostResult cr = eng.evaluate(ctx, m, {},
-                                         EvalEngine::CachePolicy::Bypass);
-            evaluated.fetch_add(1, std::memory_order_relaxed);
-            if (!cr.valid) {
-                consecutive_invalid.fetch_add(1,
-                                              std::memory_order_relaxed);
-                continue;
-            }
-            consecutive_invalid.store(0, std::memory_order_relaxed);
-            const double metric =
-                opts.optimizeEdp ? cr.edp : cr.totalEnergyPj;
-            std::lock_guard<std::mutex> lk(best_mtx);
-            if (metric < best_metric) {
-                best_metric = metric;
-                best_mapping = m;
-                // Improvements are recorded under best_mtx, so the
-                // trajectory is strictly decreasing even with many
-                // sampling threads.
-                if (traj)
-                    traj->record(
-                        evaluated.load(std::memory_order_relaxed),
-                        cr.totalEnergyPj, cr.edp, metric);
-                best_cost = std::move(cr);
-                found = true;
-                consecutive_stale.store(0, std::memory_order_relaxed);
-            } else {
-                consecutive_stale.fetch_add(1, std::memory_order_relaxed);
-            }
-        }
-    };
-
-    parallelFor(eng.pool(), std::max(1u, opts.threads),
-                [&](std::size_t t) { worker((unsigned)t); });
-
-    result.found = found;
-    if (found) {
-        result.mapping = best_mapping;
-        if (traj)
-            traj->record(evaluated.load(), best_cost.totalEnergyPj,
-                         best_cost.edp,
-                         opts.optimizeEdp ? best_cost.edp
-                                          : best_cost.totalEnergyPj);
-        result.cost = std::move(best_cost);
-    } else {
-        result.invalid = true;
-        result.invalidReason = "no valid mapping sampled";
-    }
-    result.mappingsEvaluated = evaluated.load();
-    result.seconds = timer.seconds();
-    return result;
+    SearchDriver drv(sc, eng, ba, displayName, opts.optimizeEdp);
+    TimeloopStream stream(sc, ba);
+    DriverOutcome o = drv.run(stream);
+    return toMapperResult(o, o.found ? "" : "no valid mapping sampled");
 }
 
 double

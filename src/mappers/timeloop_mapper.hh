@@ -1,10 +1,13 @@
 /**
  * @file
  * Timeloop-like mapper: undirected uniform-random sampling of the full
- * mapping space with the two termination knobs of Table V — a timeout
- * (consecutive invalid samples) and a victory condition (consecutive
- * valid samples without improvement) — plus a wall-clock cap standing in
- * for the paper's one-hour-per-layer limit. Supports multithreading.
+ * mapping space with the two termination knobs of Table V — a cap on
+ * consecutive invalid samples (historically misnamed `timeout`) and a
+ * victory condition (consecutive valid samples without improvement) —
+ * plus a wall-clock cap standing in for the paper's one-hour-per-layer
+ * limit. Candidates are drawn serially from a fixed set of logical RNG
+ * shards and evaluated in parallel by the SearchDriver, so results are
+ * bit-identical regardless of thread count.
  */
 
 #ifndef SUNSTONE_MAPPERS_TIMELOOP_MAPPER_HH
@@ -16,11 +19,15 @@
 
 namespace sunstone {
 
-/** Knobs mirroring Table V. */
+/** Knobs mirroring Table V; they become StopPolicy defaults. */
 struct TimeloopOptions
 {
-    /** Stop after this many consecutive invalid samples. */
-    std::int64_t timeout = 20000;
+    /**
+     * Stop after this many consecutive invalid samples. This is the
+     * knob Timeloop calls `timeout` — it was never a time; the text
+     * config parser still accepts the old name with a warning.
+     */
+    std::int64_t maxConsecutiveInvalid = 20000;
     /** Stop after this many consecutive non-improving valid samples. */
     std::int64_t victoryCondition = 25;
     /** Hard wall-clock cap in seconds (paper: 1 h per layer). */
@@ -45,7 +52,7 @@ struct TimeloopOptions
     fast()
     {
         TimeloopOptions o;
-        o.timeout = 20000;
+        o.maxConsecutiveInvalid = 20000;
         o.victoryCondition = 25;
         return o;
     }
@@ -55,7 +62,7 @@ struct TimeloopOptions
     slow()
     {
         TimeloopOptions o;
-        o.timeout = 80000;
+        o.maxConsecutiveInvalid = 80000;
         o.victoryCondition = 1500;
         return o;
     }
@@ -68,7 +75,8 @@ class TimeloopMapper : public Mapper
     explicit TimeloopMapper(TimeloopOptions opts = TimeloopOptions::fast(),
                             std::string display_name = "TL");
 
-    MapperResult optimize(const BoundArch &ba) override;
+    using Mapper::optimize;
+    MapperResult optimize(SearchContext &sc, const BoundArch &ba) override;
     std::string name() const override { return displayName; }
     double spaceSizeEstimate(const BoundArch &ba) const override;
 

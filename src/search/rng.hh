@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random streams for searches (DESIGN.md §12).
+ *
+ * Every randomized search draws from SplitMix64 streams owned by its
+ * SearchContext, one stream per *logical shard* rather than per worker
+ * thread. Candidate generation walks the shards round-robin on the
+ * (serial) driver thread, so the sampled sequence — and therefore the
+ * search result — is bit-identical regardless of --threads; parallelism
+ * only accelerates evaluation.
+ *
+ * SplitMix64 advances its state by a fixed odd gamma per draw, so the
+ * raw 64-bit state *is* the resumable cursor: a SearchCheckpoint
+ * serializes the states verbatim and a resumed run continues the exact
+ * sequence. (This is why searches must not use std::mt19937_64, whose
+ * 2.5 KB state has no portable serialization in this codebase.)
+ */
+
+#ifndef SUNSTONE_SEARCH_RNG_HH
+#define SUNSTONE_SEARCH_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sunstone {
+
+/** One SplitMix64 stream. The state doubles as the serialized cursor. */
+class RngStream
+{
+  public:
+    RngStream() = default;
+    explicit RngStream(std::uint64_t state) : state_(state) {}
+
+    /** @return the next 64 uniform bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /**
+     * @return a uniform value in [0, bound); bound 0 yields 0. Uses the
+     * fixed-point multiply reduction (one draw per call, tiny bias at
+     * 2^64 scale — irrelevant for search sampling, and crucially a
+     * *fixed* draw count so cursors stay in lockstep with the sequence).
+     */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Fisher-Yates shuffle (deterministic given the cursor). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Serializable cursor (see file header). */
+    std::uint64_t state() const { return state_; }
+    void setState(std::uint64_t s) { state_ = s; }
+
+  private:
+    std::uint64_t state_ = 0;
+};
+
+/**
+ * @return the initial state for shard `shard` of a seed. Mixes the
+ * shard index through SplitMix64's finalizer so neighboring shards land
+ * far apart in the sequence space.
+ */
+inline std::uint64_t
+rngShardInit(std::uint64_t seed, std::uint64_t shard)
+{
+    std::uint64_t z = seed + (shard + 1) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace sunstone
+
+#endif // SUNSTONE_SEARCH_RNG_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The per-invocation bundle every search receives (DESIGN.md §12): the
+ * evaluation engine, the seeded RNG streams, the convergence recorder,
+ * the StopPolicy, and the checkpoint/resume configuration. A
+ * SearchContext is cheap to construct and not thread-safe; concurrent
+ * searches (the net scheduler's per-layer fan-out) each get their own,
+ * sharing the engine and the cancellation flag through it.
+ *
+ * Engine resolution: a context either borrows an engine or lazily
+ * creates a private one sized by the caller's thread count — this keeps
+ * the legacy `optimize(const BoundArch&)` convenience overloads and the
+ * option-struct `engine` fields working unchanged.
+ */
+
+#ifndef SUNSTONE_SEARCH_SEARCH_CONTEXT_HH
+#define SUNSTONE_SEARCH_SEARCH_CONTEXT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "search/checkpoint.hh"
+#include "search/rng.hh"
+#include "search/stop_policy.hh"
+
+namespace sunstone {
+
+class SearchContext
+{
+  public:
+    SearchContext() = default;
+
+    explicit SearchContext(EvalEngine *engine, StopPolicy policy = {},
+                           obs::ConvergenceRecorder *convergence = nullptr)
+        : engine_(engine), policy_(policy), convergence_(convergence)
+    {
+    }
+
+    /** The borrowed engine, or nullptr when none was attached. */
+    EvalEngine *engine() const { return engine_; }
+
+    void setEngine(EvalEngine *engine) { engine_ = engine; }
+
+    /**
+     * @return the borrowed engine, or (creating it on first call) a
+     * private engine with `threads` workers. The private engine lives as
+     * long as the context.
+     */
+    EvalEngine &engineOrPrivate(unsigned threads);
+
+    StopPolicy &policy() { return policy_; }
+    const StopPolicy &policy() const { return policy_; }
+    void setPolicy(const StopPolicy &p) { policy_ = p; }
+
+    obs::ConvergenceRecorder *convergence() const { return convergence_; }
+    void setConvergence(obs::ConvergenceRecorder *c) { convergence_ = c; }
+
+    /** Whether the cooperative cancellation flag is raised. */
+    bool
+    cancelled() const
+    {
+        return policy_.cancel &&
+               policy_.cancel->load(std::memory_order_relaxed);
+    }
+
+    // -- Seed and RNG streams ------------------------------------------
+
+    /** True once a seed was set explicitly or adopted via ensureSeed. */
+    bool hasSeed() const { return seed_.has_value(); }
+
+    std::uint64_t seed() const { return seed_ ? *seed_ : 0; }
+
+    void setSeed(std::uint64_t s) { seed_ = s; }
+
+    /**
+     * Adopts `fallback` when no seed was set yet.
+     * @return the effective seed. Call before the first rngStream().
+     */
+    std::uint64_t ensureSeed(std::uint64_t fallback);
+
+    /**
+     * @return the SplitMix64 stream for logical shard `shard`, created
+     * deterministically from the seed on first use. Streams must be
+     * drawn from a single thread (the driver's generation loop).
+     */
+    RngStream &rngStream(std::size_t shard);
+
+    /** Cursors of every created stream, indexed by shard. */
+    std::vector<std::uint64_t> rngStates() const;
+
+    /** Restores cursors saved by rngStates() (resume path). */
+    void restoreRngStates(const std::vector<std::uint64_t> &states);
+
+    // -- Checkpoint / resume -------------------------------------------
+
+    /** Path the driver checkpoints to; empty disables checkpointing. */
+    const std::string &checkpointPath() const { return checkpointPath_; }
+    void setCheckpointPath(std::string path)
+    {
+        checkpointPath_ = std::move(path);
+    }
+
+    /** Attaches a loaded checkpoint for the next driver to consume. */
+    void setResume(SearchCheckpoint ck) { resume_ = std::move(ck); }
+
+    /** The pending resume snapshot, or nullptr. */
+    const SearchCheckpoint *resume() const
+    {
+        return resume_ ? &*resume_ : nullptr;
+    }
+
+    /** Consumes the pending resume snapshot (driver-internal). */
+    std::optional<SearchCheckpoint> takeResume();
+
+    // -- Hard deadline -------------------------------------------------
+
+    /**
+     * An absolute deadline shared across searches (the net scheduler
+     * converts its wall-clock budget into one point in time so layers
+     * launched late do not each get a fresh budget).
+     */
+    void
+    setHardDeadline(std::chrono::steady_clock::time_point t)
+    {
+        hardDeadline_ = t;
+    }
+
+    const std::optional<std::chrono::steady_clock::time_point> &
+    hardDeadline() const
+    {
+        return hardDeadline_;
+    }
+
+  private:
+    EvalEngine *engine_ = nullptr;
+    std::unique_ptr<EvalEngine> ownedEngine_;
+    StopPolicy policy_;
+    obs::ConvergenceRecorder *convergence_ = nullptr;
+    std::optional<std::uint64_t> seed_;
+    std::vector<RngStream> streams_;
+    std::string checkpointPath_;
+    std::optional<SearchCheckpoint> resume_;
+    std::optional<std::chrono::steady_clock::time_point> hardDeadline_;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_SEARCH_SEARCH_CONTEXT_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * End-to-end guarantees of the SearchDriver refactor (DESIGN.md §12):
+ *
+ *  - Checkpoint/resume: interrupt a seeded search at an eval budget,
+ *    resume it from the checkpoint file under a larger budget, and the
+ *    final mapping, cost bits, counters, and stop reason are identical
+ *    to the same search run uninterrupted — per mapper.
+ *  - Thread-count determinism: the same seed yields identical best cost
+ *    and eval counts at 1/4/8 evaluation threads for the Sunstone core
+ *    search, the refine hill-climb, and the Timeloop random search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "arch/presets.hh"
+#include "core/refine.hh"
+#include "core/sunstone.hh"
+#include "mappers/dmaze_mapper.hh"
+#include "mappers/exhaustive_mapper.hh"
+#include "mappers/gamma_mapper.hh"
+#include "mappers/interstellar_mapper.hh"
+#include "mappers/timeloop_mapper.hh"
+#include "model/eval_engine.hh"
+#include "search/checkpoint.hh"
+#include "search/search_context.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+Workload
+smallConv()
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 8;
+    sh.c = 8;
+    sh.p = 4;
+    sh.q = 4;
+    sh.r = 3;
+    sh.s = 3;
+    return makeConv2D(sh);
+}
+
+using RunFn = std::function<MapperResult(SearchContext &)>;
+
+/**
+ * Runs `run` three ways: uninterrupted to budget N; interrupted at
+ * budget K with a checkpoint; resumed from that checkpoint to budget N.
+ * The uninterrupted and resumed runs must agree bit-for-bit.
+ *
+ * The plateau bound is pinned high so legacy per-mapper victory
+ * conditions cannot fire: a plateau stop mid-resume would count one
+ * extra evaluation relative to the uninterrupted run, which is exactly
+ * the class of divergence this harness exists to catch elsewhere.
+ */
+void
+expectResumeMatchesUninterrupted(const std::string &name, const RunFn &run,
+                                 std::int64_t interrupt_at,
+                                 std::int64_t budget)
+{
+    StopPolicy base;
+    base.maxEvals = budget;
+    base.plateau = 1'000'000'000;
+
+    SearchContext uninterrupted;
+    uninterrupted.setPolicy(base);
+    const MapperResult ra = run(uninterrupted);
+
+    const std::string path =
+        ::testing::TempDir() + "/resume_" + name + ".json";
+    std::remove(path.c_str());
+    StopPolicy cut = base;
+    cut.maxEvals = interrupt_at;
+    SearchContext interrupted;
+    interrupted.setPolicy(cut);
+    interrupted.setCheckpointPath(path);
+    run(interrupted);
+
+    SearchCheckpoint ck;
+    std::string err;
+    ASSERT_TRUE(SearchCheckpoint::load(path, ck, &err))
+        << name << ": " << err;
+    ASSERT_LT(ck.evaluated, budget) << name << ": nothing left to resume";
+
+    SearchContext resumed;
+    resumed.setPolicy(base);
+    resumed.setCheckpointPath(path);
+    resumed.setResume(std::move(ck));
+    const MapperResult rc = run(resumed);
+
+    EXPECT_EQ(ra.found, rc.found) << name;
+    EXPECT_EQ(ra.mappingsEvaluated, rc.mappingsEvaluated) << name;
+    // Bit equality, not near-equality: a resumed search replays the
+    // exact evaluation sequence, so the doubles must match exactly.
+    EXPECT_EQ(ra.cost.edp, rc.cost.edp) << name;
+    EXPECT_EQ(ra.cost.totalEnergyPj, rc.cost.totalEnergyPj) << name;
+    EXPECT_EQ(mappingToJson(ra.mapping), mappingToJson(rc.mapping)) << name;
+    EXPECT_EQ(ra.stopReason, rc.stopReason) << name;
+    std::remove(path.c_str());
+}
+
+struct ResumeFixture : public ::testing::Test
+{
+    BoundArch ba{makeConventional(), smallConv()};
+};
+
+TEST_F(ResumeFixture, TimeloopResumesBitIdentically)
+{
+    expectResumeMatchesUninterrupted(
+        "timeloop",
+        [&](SearchContext &sc) {
+            return TimeloopMapper().optimize(sc, ba);
+        },
+        /*interrupt_at=*/250, /*budget=*/600);
+}
+
+TEST_F(ResumeFixture, GammaResumesBitIdentically)
+{
+    expectResumeMatchesUninterrupted(
+        "gamma",
+        [&](SearchContext &sc) { return GammaMapper().optimize(sc, ba); },
+        /*interrupt_at=*/320, /*budget=*/640);
+}
+
+TEST_F(ResumeFixture, DMazeResumesBitIdentically)
+{
+    // The default 0.8 PE-utilization floor is unreachable on this tiny
+    // shape (max unrollable product 128 on a 1024-PE grid) and would
+    // make the mapper bail as unsupported before searching.
+    DMazeOptions opts;
+    opts.peUtil = 0.05;
+    opts.l1Util = 0.1;
+    opts.l2Util = 0.01;
+    expectResumeMatchesUninterrupted(
+        "dmaze",
+        [&](SearchContext &sc) {
+            return DMazeMapper(opts).optimize(sc, ba);
+        },
+        /*interrupt_at=*/150, /*budget=*/400);
+}
+
+TEST_F(ResumeFixture, InterstellarResumesBitIdentically)
+{
+    expectResumeMatchesUninterrupted(
+        "interstellar",
+        [&](SearchContext &sc) {
+            return InterstellarMapper().optimize(sc, ba);
+        },
+        /*interrupt_at=*/150, /*budget=*/400);
+}
+
+TEST_F(ResumeFixture, ExhaustiveResumesBitIdentically)
+{
+    ExhaustiveOptions opts;
+    opts.maxSpace = 1e15; // never bail to "unsupported" on this shape
+    expectResumeMatchesUninterrupted(
+        "exhaustive",
+        [&](SearchContext &sc) {
+            return ExhaustiveMapper(opts).optimize(sc, ba);
+        },
+        /*interrupt_at=*/300, /*budget=*/900);
+}
+
+TEST_F(ResumeFixture, SunstoneResumesBitIdentically)
+{
+    // The beam checkpoints at step boundaries, so the interrupt budget
+    // must reach past the first per-level step for a checkpoint to
+    // exist; the search examines thousands of candidates per level on
+    // this shape.
+    expectResumeMatchesUninterrupted(
+        "sunstone",
+        [&](SearchContext &sc) {
+            SunstoneResult sr = sunstoneOptimize(sc, ba);
+            MapperResult mr;
+            mr.found = sr.found;
+            mr.mapping = sr.mapping;
+            mr.cost = sr.cost;
+            mr.mappingsEvaluated = sr.candidatesExamined;
+            mr.seconds = sr.seconds;
+            mr.stopReason = sr.stopReason;
+            return mr;
+        },
+        /*interrupt_at=*/3000, /*budget=*/6000);
+}
+
+// ---------------------------------------------------------------------
+// Thread-count determinism
+// ---------------------------------------------------------------------
+
+TEST_F(ResumeFixture, SunstoneCoreIsThreadCountInvariant)
+{
+    double edp = 0;
+    std::int64_t examined = 0;
+    std::string mapping;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        EvalEngine engine(EvalEngineOptions{.threads = threads});
+        SunstoneOptions opts;
+        opts.threads = threads;
+        SearchContext sc(&engine);
+        const SunstoneResult sr = sunstoneOptimize(sc, ba, opts);
+        ASSERT_TRUE(sr.found) << threads << " threads";
+        if (threads == 1) {
+            edp = sr.cost.edp;
+            examined = sr.candidatesExamined;
+            mapping = mappingToJson(sr.mapping);
+            continue;
+        }
+        EXPECT_EQ(sr.cost.edp, edp) << threads << " threads";
+        EXPECT_EQ(sr.candidatesExamined, examined) << threads << " threads";
+        EXPECT_EQ(mappingToJson(sr.mapping), mapping)
+            << threads << " threads";
+    }
+}
+
+TEST_F(ResumeFixture, RefineIsThreadCountInvariant)
+{
+    const Mapping start = naiveMapping(ba);
+    std::string mapping;
+    std::int64_t evaluated = 0;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        EvalEngine engine(EvalEngineOptions{.threads = threads});
+        RefineStats stats;
+        const Mapping polished = polishMapping(
+            ba, start, /*optimize_edp=*/true, /*max_rounds=*/64, &stats,
+            &engine);
+        if (threads == 1) {
+            mapping = mappingToJson(polished);
+            evaluated = stats.evaluated;
+            continue;
+        }
+        EXPECT_EQ(mappingToJson(polished), mapping) << threads << " threads";
+        EXPECT_EQ(stats.evaluated, evaluated) << threads << " threads";
+    }
+}
+
+TEST_F(ResumeFixture, TimeloopRandomIsThreadCountInvariant)
+{
+    double edp = 0;
+    std::int64_t evals = 0;
+    std::string mapping;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        EvalEngine engine(EvalEngineOptions{.threads = threads});
+        TimeloopOptions opts = TimeloopOptions::fast();
+        opts.threads = threads;
+        SearchContext sc(&engine);
+        sc.policy().maxEvals = 500;
+        sc.policy().plateau = 1'000'000'000;
+        const MapperResult mr = TimeloopMapper(opts).optimize(sc, ba);
+        ASSERT_TRUE(mr.found) << threads << " threads";
+        if (threads == 1) {
+            edp = mr.cost.edp;
+            evals = mr.mappingsEvaluated;
+            mapping = mappingToJson(mr.mapping);
+            continue;
+        }
+        EXPECT_EQ(mr.cost.edp, edp) << threads << " threads";
+        EXPECT_EQ(mr.mappingsEvaluated, evals) << threads << " threads";
+        EXPECT_EQ(mappingToJson(mr.mapping), mapping)
+            << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace sunstone

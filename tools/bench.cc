@@ -50,6 +50,13 @@ struct BenchConfig
     unsigned threads = 4;
     std::string out = "BENCH_eval.json";
     std::string only; // substring filter on benchmark names
+
+    /**
+     * StopPolicy for the search benchmarks (--deadline-ms/--max-evals/
+     * --plateau), so a bench run can be bounded the same way a map run
+     * is. Unset fields leave the search unbounded, as before.
+     */
+    StopPolicy policy;
 };
 
 struct BenchResult
@@ -208,9 +215,9 @@ benchSearch(const BenchConfig &cfg, const std::string &archName)
         // memo/prefix caches, so iterations are comparable.
         EvalEngine engine(EvalEngineOptions{.threads = cfg.threads});
         SunstoneOptions opts;
-        opts.engine = &engine;
         opts.threads = cfg.threads;
-        SunstoneResult sr = sunstoneOptimize(ba, opts);
+        SearchContext sc(&engine, cfg.policy);
+        SunstoneResult sr = sunstoneOptimize(sc, ba, opts);
         evals = engine.stats().evaluations;
         edp = sr.found ? sr.cost.edp : -1;
     });
@@ -270,6 +277,12 @@ run(const std::map<std::string, std::string> &kv)
         cfg.out = *v;
     if (const auto *v = get("only"))
         cfg.only = *v;
+    if (const auto *v = get("deadline-ms"))
+        cfg.policy.deadlineSeconds = std::stod(*v) / 1000.0;
+    if (const auto *v = get("max-evals"))
+        cfg.policy.maxEvals = std::stoll(*v);
+    if (const auto *v = get("plateau"))
+        cfg.policy.plateau = std::stoll(*v);
 
     const auto wanted = [&](const std::string &name) {
         return cfg.only.empty() || name.find(cfg.only) != std::string::npos;

@@ -6,11 +6,30 @@
  *       Print the inferred reuse table (Table III style).
  *
  *   sunstone map [workload opts] [--arch NAME|--arch-file F]
- *                [--mapper sunstone|timeloop|dmaze|inter|cosa|gamma]
+ *                [--mapper sunstone|timeloop|dmaze|inter|cosa|gamma|
+ *                 exhaustive]
  *                [--energy] [--save-mapping F] [--save-workload F]
  *                [--stats-json F] [--trace-json F] [--metrics-json F]
  *                [--convergence-json F] [--threads N]
+ *                [--deadline-ms N] [--max-evals N] [--plateau N]
+ *                [--seed S] [--stop-policy F]
+ *                [--checkpoint F] [--resume F]
  *       Search for a dataflow and print it with its cost breakdown.
+ *
+ * Search control (both map modes; see DESIGN.md §12): every search runs
+ * under one StopPolicy enforced by the shared SearchDriver —
+ *   --deadline-ms N    wall-clock budget (negative: expire immediately)
+ *   --max-evals N      total candidate evaluations
+ *   --plateau N        stop after N consecutive non-improving evals
+ *   --seed S           RNG seed (results are identical at any --threads)
+ *   --stop-policy F    text config (deadline_ms/max_evals/plateau/seed;
+ *                      the deprecated Timeloop key `timeout` still parses
+ *                      as max_consecutive_invalid, with a warning)
+ *   --checkpoint F     periodically snapshot resumable search state
+ *   --resume F         continue from a snapshot written by --checkpoint
+ * SIGINT/SIGTERM raise the cooperative cancellation flag: the search
+ * stops at the next batch boundary, writes a final checkpoint, and the
+ * best-so-far result is reported with stop reason "cancelled".
  *
  *   sunstone map --net NAME [--batch N] [--arch ...] [--stats-json F]
  *                [--trace-json F] [--metrics-json F]
@@ -54,6 +73,8 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,9 +92,12 @@
 #include "model/diffcheck.hh"
 #include "mappers/cosa_mapper.hh"
 #include "mappers/dmaze_mapper.hh"
+#include "mappers/exhaustive_mapper.hh"
 #include "mappers/gamma_mapper.hh"
 #include "mappers/interstellar_mapper.hh"
 #include "mappers/timeloop_mapper.hh"
+#include "search/checkpoint.hh"
+#include "search/stop_policy.hh"
 #include "model/eval_engine.hh"
 #include "obs/convergence.hh"
 #include "obs/metrics.hh"
@@ -258,6 +282,90 @@ writeStatsJson(const std::string &path, const std::string &json)
     std::printf("wrote %s\n", path.c_str());
 }
 
+/**
+ * Cooperative cancellation: SIGINT/SIGTERM only raise this flag; the
+ * SearchDriver polls it at batch boundaries, checkpoints, and returns
+ * the best-so-far result with stop reason "cancelled".
+ */
+std::atomic<bool> g_cancelRequested{false};
+
+void
+onTerminationSignal(int)
+{
+    g_cancelRequested.store(true);
+}
+
+void
+installCancellationHandler()
+{
+    std::signal(SIGINT, onTerminationSignal);
+    std::signal(SIGTERM, onTerminationSignal);
+}
+
+/**
+ * Builds the unified StopPolicy from --stop-policy (lowest precedence),
+ * then the individual flags, and attaches the cancellation flag. A
+ * `seed` key / --seed lands in `seed`.
+ */
+StopPolicy
+stopPolicyFromArgs(const Args &a, std::optional<std::uint64_t> &seed)
+{
+    StopPolicy p;
+    if (a.has("stop-policy")) {
+        std::string err;
+        if (!loadStopPolicyFile(a.get("stop-policy"), p, &seed, &err))
+            SUNSTONE_FATAL("bad --stop-policy '", a.get("stop-policy"),
+                           "': ", err);
+    }
+    if (a.has("deadline-ms"))
+        p.deadlineSeconds = std::stod(a.get("deadline-ms")) / 1000.0;
+    std::int64_t v;
+    if (a.has("max-evals")) {
+        if (!tryParseInt64(a.get("max-evals"), v) || v < 1)
+            SUNSTONE_FATAL("--max-evals needs a positive integer");
+        p.maxEvals = v;
+    }
+    if (a.has("plateau")) {
+        if (!tryParseInt64(a.get("plateau"), v) || v < 1)
+            SUNSTONE_FATAL("--plateau needs a positive integer");
+        p.plateau = v;
+    }
+    if (a.has("seed")) {
+        if (!tryParseInt64(a.get("seed"), v) || v < 0)
+            SUNSTONE_FATAL("--seed needs a non-negative integer");
+        seed = static_cast<std::uint64_t>(v);
+    }
+    p.cancel = &g_cancelRequested;
+    return p;
+}
+
+/**
+ * Builds the SearchContext every search in `map` runs under: StopPolicy
+ * and seed from the flags, the shared engine, the convergence sink, and
+ * the checkpoint/resume configuration.
+ */
+SearchContext
+searchContextFromArgs(const Args &a, EvalEngine &engine,
+                      obs::ConvergenceRecorder *convergence)
+{
+    installCancellationHandler();
+    std::optional<std::uint64_t> seed;
+    SearchContext sc(&engine, stopPolicyFromArgs(a, seed), convergence);
+    if (seed)
+        sc.setSeed(*seed);
+    if (a.has("checkpoint"))
+        sc.setCheckpointPath(a.get("checkpoint"));
+    if (a.has("resume")) {
+        SearchCheckpoint ck;
+        std::string err;
+        if (!SearchCheckpoint::load(a.get("resume"), ck, &err))
+            SUNSTONE_FATAL("cannot resume from '", a.get("resume"),
+                           "': ", err);
+        sc.setResume(std::move(ck));
+    }
+    return sc;
+}
+
 unsigned
 threadsFromArgs(const Args &a)
 {
@@ -324,6 +432,7 @@ mapperResultJson(const std::string &mapper, const MapperResult &mr)
     os.precision(17);
     os << "{\"mapper\": \"" << mapper << "\", \"found\": "
        << (mr.found ? "true" : "false")
+       << ", \"stop_reason\": \"" << mr.stopReason << "\""
        << ", \"seconds\": " << mr.seconds
        << ", \"mappings_evaluated\": " << mr.mappingsEvaluated;
     if (mr.found)
@@ -380,12 +489,13 @@ cmdMapNet(const Args &a)
     if (a.has("beam"))
         opts.sunstone.beamWidth = std::stoi(a.get("beam"));
     opts.sunstone.threads = threadsFromArgs(a);
-    opts.sunstone.convergence = sinks.convergence();
     EvalEngine engine(
         EvalEngineOptions{.threads = opts.sunstone.threads});
     opts.engine = &engine;
 
-    NetScheduleResult r = scheduleNet(arch, layers, opts);
+    SearchContext sc = searchContextFromArgs(a, engine,
+                                             sinks.convergence());
+    NetScheduleResult r = scheduleNet(sc, arch, layers, opts);
 
     std::printf("%-12s | %5s | %10s | %12s | %8s | %s\n", "layer",
                 "count", "EDP", "energy pJ", "time s", "via");
@@ -442,51 +552,47 @@ cmdMap(const Args &a)
     const unsigned threads = threadsFromArgs(a);
     ObsSinks sinks(a);
     EvalEngine engine(EvalEngineOptions{.threads = threads});
+    SearchContext sc = searchContextFromArgs(a, engine,
+                                             sinks.convergence());
     MapperResult mr;
     if (mapper == "sunstone") {
         SunstoneOptions opts;
         opts.optimizeEdp = edp;
-        opts.engine = &engine;
         if (a.has("beam"))
             opts.beamWidth = std::stoi(a.get("beam"));
         opts.threads = threads;
-        opts.convergence = sinks.convergence();
-        SunstoneResult r = sunstoneOptimize(ba, opts);
+        SunstoneResult r = sunstoneOptimize(sc, ba, opts);
         mr.found = r.found;
         mr.mapping = r.mapping;
         mr.cost = r.cost;
         mr.seconds = r.seconds;
         mr.mappingsEvaluated = r.candidatesExamined;
+        mr.stopReason = r.stopReason;
+        if (!r.found) {
+            mr.invalid = true;
+            mr.invalidReason = "search produced no valid mapping";
+        }
     } else if (mapper == "timeloop") {
         TimeloopOptions opts = TimeloopOptions::slow();
         opts.optimizeEdp = edp;
-        opts.engine = &engine;
         opts.threads = threads;
-        opts.convergence = sinks.convergence();
         if (a.has("budget"))
             opts.maxSeconds = std::stod(a.get("budget"));
-        mr = TimeloopMapper(opts).optimize(ba);
+        mr = TimeloopMapper(opts).optimize(sc, ba);
     } else if (mapper == "dmaze") {
-        DMazeOptions opts = DMazeOptions::slow();
-        opts.engine = &engine;
-        opts.convergence = sinks.convergence();
-        mr = DMazeMapper(opts).optimize(ba);
+        mr = DMazeMapper(DMazeOptions::slow()).optimize(sc, ba);
     } else if (mapper == "inter") {
-        InterstellarOptions opts;
-        opts.engine = &engine;
-        opts.convergence = sinks.convergence();
-        mr = InterstellarMapper(opts).optimize(ba);
+        mr = InterstellarMapper(InterstellarOptions{}).optimize(sc, ba);
     } else if (mapper == "cosa") {
-        CosaOptions opts;
-        opts.engine = &engine;
-        opts.convergence = sinks.convergence();
-        mr = CosaMapper(opts).optimize(ba);
+        mr = CosaMapper(CosaOptions{}).optimize(sc, ba);
     } else if (mapper == "gamma") {
         GammaOptions opts;
         opts.optimizeEdp = edp;
-        opts.engine = &engine;
-        opts.convergence = sinks.convergence();
-        mr = GammaMapper(opts).optimize(ba);
+        mr = GammaMapper(opts).optimize(sc, ba);
+    } else if (mapper == "exhaustive") {
+        ExhaustiveOptions opts;
+        opts.optimizeEdp = edp;
+        mr = ExhaustiveMapper(opts).optimize(sc, ba);
     } else {
         SUNSTONE_FATAL("unknown mapper '", mapper, "'");
     }
@@ -502,9 +608,11 @@ cmdMap(const Args &a)
                     mr.invalidReason.c_str());
         return 1;
     }
-    std::printf("mapper  %s (%.3f s, %lld candidates)\n\n",
+    std::printf("mapper  %s (%.3f s, %lld candidates, stop: %s)\n\n",
                 mapper.c_str(), mr.seconds,
-                static_cast<long long>(mr.mappingsEvaluated));
+                static_cast<long long>(mr.mappingsEvaluated),
+                mr.stopReason.empty() ? "exhausted"
+                                      : mr.stopReason.c_str());
     std::printf("%s\n", mr.mapping.toString(ba).c_str());
     printCost(ba, mr.cost);
     if (a.has("save-mapping"))
