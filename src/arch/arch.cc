@@ -51,9 +51,32 @@ BoundArch::BoundArch(
     : arch_(std::move(arch)), wl_(std::move(wl))
 {
     arch_.validate();
+    residency_.reserve(wl_.numTensors());
+    for (TensorId t = 0; t < wl_.numTensors(); ++t)
+        residency_.push_back(wl_.tensor(t).isOutput
+                                 ? Residency::OutputBoundary
+                                 : Residency::InputBoundary);
     assignPartitions(tensor_to_partition);
     computeStores();
     computeEnergies();
+}
+
+void
+BoundArch::setResidency(TensorId t, Residency r)
+{
+    residency_.at(t) = r;
+    anyEphemeral_ = false;
+    for (Residency x : residency_)
+        anyEphemeral_ |= (x == Residency::Ephemeral);
+}
+
+int
+BoundArch::residencyLevel(TensorId t) const
+{
+    for (int l = numLevels() - 1; l >= 0; --l)
+        if (!arch_.levels[l].isDram && stores_[l][t])
+            return l;
+    return -1;
 }
 
 void

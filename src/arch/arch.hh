@@ -102,6 +102,20 @@ struct ArchSpec
 };
 
 /**
+ * Residency class of a tensor within a fused-subgraph evaluation (see
+ * DESIGN.md §13). Boundary tensors behave exactly as in per-layer
+ * scheduling: they live in DRAM and stream through the hierarchy.
+ * Ephemeral tensors are inter-op intermediates of a fused subgraph: when
+ * a mapping keeps the whole tensor resident at its outermost on-chip
+ * storage level, the DRAM round-trip (the producer's final drain, the
+ * consumer's initial fill) is never performed and the cost model drops
+ * it; a mapping that does not achieve full residency is charged the DRAM
+ * traffic as usual (the "spill" behavior, identical to a boundary
+ * tensor), so evaluation stays well-defined over the whole search space.
+ */
+enum class Residency { InputBoundary, OutputBoundary, Ephemeral };
+
+/**
  * An architecture bound to a workload: every tensor is assigned to a
  * partition, so storage membership, capacity, and access energy become
  * per-(level, tensor) queries. Binding is by explicit map or by the
@@ -168,6 +182,31 @@ class BoundArch
     /** @return the partition name tensor t is assigned to. */
     const std::string &partitionOf(TensorId t) const;
 
+    // -- Fusion residency ----------------------------------------------
+
+    /**
+     * Declares the residency class of tensor t. Defaults are
+     * OutputBoundary for outputs and InputBoundary for inputs, which
+     * reproduce per-layer behavior exactly. Marking a tensor Ephemeral
+     * changes the cost model (conditionally — see Residency) and the
+     * engine's structural fingerprint, so fused and unfused variants of
+     * one op never share cache entries or dedup groups.
+     */
+    void setResidency(TensorId t, Residency r);
+
+    /** @return the residency class of tensor t. */
+    Residency residency(TensorId t) const { return residency_.at(t); }
+
+    /** @return true when any tensor was marked Ephemeral. */
+    bool anyEphemeral() const { return anyEphemeral_; }
+
+    /**
+     * @return the level an Ephemeral tensor lives at when fused: the
+     * outermost non-DRAM level storing it, or -1 when it is stored
+     * on-chip nowhere (such a tensor can never avoid DRAM).
+     */
+    int residencyLevel(TensorId t) const;
+
   private:
     void assignPartitions(
         const std::map<std::string, std::string> &explicit_map);
@@ -176,6 +215,8 @@ class BoundArch
 
     ArchSpec arch_;
     Workload wl_;
+    std::vector<Residency> residency_;
+    bool anyEphemeral_ = false;
     std::vector<std::string> tensorPartition;
     std::vector<std::vector<bool>> stores_;      // [level][tensor]
     std::vector<std::vector<double>> readPj;     // [level][tensor]

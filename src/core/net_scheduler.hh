@@ -18,6 +18,16 @@
  * Aggregates report the network as the paper's figures do: energies and
  * delays weighted by layer multiplicity (layers execute sequentially on
  * the accelerator), EDP as total energy x total delay.
+ *
+ * Given a NetGraph and FusionMode::Greedy, the scheduler additionally
+ * co-searches fusion grouping with per-subgraph mappings (DESIGN.md
+ * §13): producer→consumer chains whose shared tensor statically fits on
+ * chip are searched both per-op and as a fused subgraph (the shared
+ * tensors marked Ephemeral), and a chain is fused only when the fused
+ * mappings dominate the per-op ones (no worse energy and delay, strictly
+ * better EDP) with every ephemeral tensor fully resident — otherwise the
+ * group falls back to its per-op results, so fused totals never regress.
+ * FusionMode::Off runs the per-layer path unchanged.
  */
 
 #ifndef SUNSTONE_CORE_NET_SCHEDULER_HH
@@ -28,9 +38,19 @@
 
 #include "core/sunstone.hh"
 #include "model/eval_engine.hh"
+#include "workload/net_graph.hh"
 #include "workload/nets.hh"
 
 namespace sunstone {
+
+/** How the scheduler treats producer→consumer edges of a NetGraph. */
+enum class FusionMode
+{
+    /** Ignore edges; per-layer scheduling, bit-identical to before. */
+    Off,
+    /** Greedily fuse single-consumer chains when they win (see above). */
+    Greedy,
+};
 
 /** Scheduler configuration. */
 struct NetSchedulerOptions
@@ -47,6 +67,9 @@ struct NetSchedulerOptions
 
     /** Pool size for a private engine; 0 falls back to sunstone.threads. */
     unsigned threads = 0;
+
+    /** Fusion mode for the NetGraph overload (layer lists are flat). */
+    FusionMode fusion = FusionMode::Off;
 };
 
 /** Outcome for one input layer. */
@@ -63,8 +86,36 @@ struct LayerSchedule
     /** Wall-clock of the search (0 for deduplicated layers). */
     double seconds = 0;
     std::int64_t candidatesExamined = 0;
-    /** Why the layer's search ended ("" for deduplicated layers). */
+    /** Why the layer's search ended ("dedup" for deduplicated layers). */
     std::string stopReason;
+    /** Fused-group index (greedy mode; -1 when scheduled per-layer). */
+    int group = -1;
+    /** Whether the reported mapping is the fused (ephemeral) variant. */
+    bool fused = false;
+};
+
+/** Outcome for one fusion candidate group (greedy mode only). */
+struct GroupSchedule
+{
+    /** Node names, chain order. */
+    std::vector<std::string> members;
+    /** Multiplicity shared by all members. */
+    int count = 1;
+    /** Whether the fused variant was accepted. */
+    bool fused = false;
+    /**
+     * Why a multi-op group stayed unfused: "search" (a fused member
+     * search found nothing), "coverage" (a chosen mapping spills an
+     * ephemeral tensor), "cost" (fused mappings do not dominate), or ""
+     * for accepted and single-op groups.
+     */
+    std::string rejectReason;
+    /** Per-instance sums over members of the fused variant (when found). */
+    double fusedEnergyPj = 0;
+    double fusedDelaySeconds = 0;
+    /** Per-instance sums over members of the per-op variant. */
+    double unfusedEnergyPj = 0;
+    double unfusedDelaySeconds = 0;
 };
 
 /** Whole-network outcome. */
@@ -99,6 +150,19 @@ struct NetScheduleResult
     /** Engine telemetry snapshot taken after the schedule. */
     SearchStats stats;
 
+    /**
+     * "greedy" when fusion ran; empty otherwise. Gates all fusion
+     * fields in toJson() so FusionMode::Off output is bit-identical to
+     * the pre-fusion scheduler's.
+     */
+    std::string fusionMode;
+    /** Fusion candidate groups, including singletons (greedy mode). */
+    std::vector<GroupSchedule> groups;
+    /** Multi-op groups considered / accepted; members of accepted. */
+    int groupsFusable = 0;
+    int groupsFused = 0;
+    int opsFused = 0;
+
     /** Renders the result (aggregates, layers, stats) as JSON. */
     std::string toJson() const;
 };
@@ -125,6 +189,23 @@ NetScheduleResult scheduleNet(SearchContext &sc, const ArchSpec &arch,
 /** Convenience overload running under a fresh default context. */
 NetScheduleResult scheduleNet(const ArchSpec &arch,
                               const std::vector<Layer> &layers,
+                              const NetSchedulerOptions &opts = {});
+
+/**
+ * Schedules a network DAG. With FusionMode::Off (or an edge-free graph)
+ * this is exactly the per-layer scheduler over the graph's node list.
+ * With FusionMode::Greedy, single-consumer producer→consumer chains
+ * whose shared tensors statically fit on chip are searched both per-op
+ * and fused, and each chain keeps whichever variant dominates; the
+ * result gains per-group entries and fusion counters. The graph must
+ * validate(); fatal() otherwise.
+ */
+NetScheduleResult scheduleNet(SearchContext &sc, const ArchSpec &arch,
+                              const NetGraph &graph,
+                              const NetSchedulerOptions &opts = {});
+
+/** Convenience overload running under a fresh default context. */
+NetScheduleResult scheduleNet(const ArchSpec &arch, const NetGraph &graph,
                               const NetSchedulerOptions &opts = {});
 
 } // namespace sunstone

@@ -329,6 +329,23 @@ evaluateCore(const BoundArch &ba, const Mapping &m,
         for (std::size_t i = 1; i < chain.size(); ++i) {
             const int c = chain[i - 1];
             const int l = chain[i];
+
+            // Fused-subgraph residency (DESIGN.md §13): an Ephemeral
+            // tensor whose level-c tile spans the whole tensor is handed
+            // off on chip — the producer's drain to DRAM and the
+            // consumer's fill from DRAM never happen, so the entire
+            // (c, DRAM) pair contributes nothing. Without full coverage
+            // the tensor would be re-streamed and the DRAM leg is
+            // charged exactly like a boundary tensor's.
+            if (arch.levels[l].isDram &&
+                ba.residency(t) == Residency::Ephemeral) {
+                bool covered = true;
+                for (DimId d : idx)
+                    covered &= s.shapes[c][d] == wl.dimSize(d);
+                if (covered)
+                    continue;
+            }
+
             const PrefixTerms::Pair *pp = nullptr;
             if (prefix && l < prefix_levels) {
                 pp = &prefix->tensors[t].pairs[i - 1];

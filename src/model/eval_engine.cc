@@ -173,6 +173,15 @@ EvalEngine::context(const BoundArch &ba) const
                 h = fnvDouble(h, ba.writeEnergyPj(l, t));
             }
         }
+        // Residency classes change evaluation semantics, so a fused
+        // (ephemeral) variant of an op must never share cache entries
+        // or dedup groups with its per-layer twin. Folded only when an
+        // ephemeral tensor exists so every pre-fusion fingerprint (and
+        // any checkpoint carrying one) is preserved verbatim.
+        if (ba.anyEphemeral())
+            h = fnvStep(h, 0x45504845u ^
+                               static_cast<std::uint64_t>(
+                                   static_cast<int>(ba.residency(t))));
     }
     return Context(&ba, h);
 }

@@ -1,0 +1,224 @@
+#include "workload/net_graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Non-fatal tensor lookup; @return id or -1. */
+TensorId
+findTensor(const Workload &wl, const std::string &name)
+{
+    for (TensorId t = 0; t < wl.numTensors(); ++t)
+        if (wl.tensor(t).name == name)
+            return t;
+    return -1;
+}
+
+} // namespace
+
+int
+NetGraph::addNode(Workload wl, int count)
+{
+    nodes_.push_back({std::move(wl), count});
+    return numNodes() - 1;
+}
+
+void
+NetGraph::addEdge(int producer, const std::string &producer_tensor,
+                  int consumer, const std::string &consumer_tensor)
+{
+    edges_.push_back({producer, producer_tensor, consumer, consumer_tensor});
+}
+
+bool
+NetGraph::validate(std::string *err) const
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    for (int i = 0; i < numNodes(); ++i)
+        if (nodes_[i].count < 1)
+            return fail("node '" + nodes_[i].workload.name() +
+                        "' has count < 1");
+
+    for (int i = 0; i < numEdges(); ++i) {
+        const NetEdge &e = edges_[i];
+        std::ostringstream where;
+        where << "edge " << i << " (" << e.producerTensor << " -> "
+              << e.consumerTensor << ")";
+        if (e.producer < 0 || e.producer >= numNodes() || e.consumer < 0 ||
+            e.consumer >= numNodes())
+            return fail(where.str() + ": node index out of range");
+        if (e.producer == e.consumer)
+            return fail(where.str() + ": self-edge");
+
+        const Workload &pw = nodes_[e.producer].workload;
+        const Workload &cw = nodes_[e.consumer].workload;
+        const TensorId pt = findTensor(pw, e.producerTensor);
+        const TensorId ct = findTensor(cw, e.consumerTensor);
+        if (pt < 0)
+            return fail(where.str() + ": producer op '" + pw.name() +
+                        "' has no tensor '" + e.producerTensor + "'");
+        if (ct < 0)
+            return fail(where.str() + ": consumer op '" + cw.name() +
+                        "' has no tensor '" + e.consumerTensor + "'");
+        if (!pw.tensor(pt).isOutput)
+            return fail(where.str() + ": producer tensor is not an output");
+        if (cw.tensor(ct).isOutput)
+            return fail(where.str() + ": consumer tensor is not an input");
+        if (pw.tensor(pt).wordBits != cw.tensor(ct).wordBits)
+            return fail(where.str() + ": word widths disagree");
+        if (nodes_[e.producer].count != nodes_[e.consumer].count)
+            return fail(where.str() + ": endpoint multiplicities disagree");
+
+        const auto &pranks = pw.tensor(pt).ranks;
+        const auto &cranks = cw.tensor(ct).ranks;
+        if (pranks.size() != cranks.size())
+            return fail(where.str() + ": rank counts disagree");
+        for (std::size_t r = 0; r < pranks.size(); ++r) {
+            const std::int64_t pe = pranks[r].extent(pw.shape());
+            const std::int64_t ce = cranks[r].extent(cw.shape());
+            // A consumer halo (sliding window) may read past the
+            // produced extent; the reverse means the producer writes
+            // data the shapes cannot hold.
+            if (ce < pe) {
+                std::ostringstream os;
+                os << where.str() << ": rank " << r << " extent "
+                   << "shrinks from " << pe << " to " << ce;
+                return fail(os.str());
+            }
+        }
+    }
+
+    // A consumer input has at most one producer.
+    for (int i = 0; i < numEdges(); ++i)
+        for (int j = i + 1; j < numEdges(); ++j)
+            if (edges_[i].consumer == edges_[j].consumer &&
+                edges_[i].consumerTensor == edges_[j].consumerTensor)
+                return fail("tensor '" + edges_[i].consumerTensor +
+                            "' of node '" +
+                            nodes_[edges_[i].consumer].workload.name() +
+                            "' has two producers");
+
+    // Kahn's algorithm detects cycles.
+    std::vector<int> indeg(numNodes(), 0);
+    for (const NetEdge &e : edges_)
+        ++indeg[e.consumer];
+    std::vector<int> ready;
+    for (int i = 0; i < numNodes(); ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    int seen = 0;
+    while (!ready.empty()) {
+        const int v = ready.back();
+        ready.pop_back();
+        ++seen;
+        for (const NetEdge &e : edges_)
+            if (e.producer == v && --indeg[e.consumer] == 0)
+                ready.push_back(e.consumer);
+    }
+    if (seen != numNodes())
+        return fail("graph has a cycle");
+    return true;
+}
+
+std::vector<int>
+NetGraph::topoOrder() const
+{
+    std::vector<int> indeg(numNodes(), 0);
+    for (const NetEdge &e : edges_)
+        ++indeg[e.consumer];
+    // Smallest-index-first among ready nodes keeps the order stable
+    // under node insertion order, so schedules and checkpoints are
+    // deterministic.
+    std::vector<int> order;
+    order.reserve(numNodes());
+    std::vector<bool> done(numNodes(), false);
+    for (int step = 0; step < numNodes(); ++step) {
+        int pick = -1;
+        for (int i = 0; i < numNodes(); ++i)
+            if (!done[i] && indeg[i] == 0) {
+                pick = i;
+                break;
+            }
+        if (pick < 0)
+            SUNSTONE_FATAL("topoOrder on a cyclic graph");
+        done[pick] = true;
+        order.push_back(pick);
+        for (const NetEdge &e : edges_)
+            if (e.producer == pick)
+                --indeg[e.consumer];
+    }
+    return order;
+}
+
+int
+NetGraph::consumerCount(int producer, const std::string &tensor_name) const
+{
+    int n = 0;
+    for (const NetEdge &e : edges_)
+        n += (e.producer == producer && e.producerTensor == tensor_name);
+    return n;
+}
+
+std::vector<std::vector<std::string>>
+NetGraph::ephemeralTensors(const std::vector<int> &group) const
+{
+    auto inGroup = [&](int v) {
+        return std::find(group.begin(), group.end(), v) != group.end();
+    };
+    std::vector<std::vector<std::string>> eph(group.size());
+    for (const NetEdge &e : edges_) {
+        if (!inGroup(e.producer) || !inGroup(e.consumer))
+            continue;
+        // The producer side only becomes ephemeral when the group holds
+        // every consumer of the tensor; otherwise an outside reader
+        // still needs the DRAM copy.
+        bool allInside = true;
+        for (const NetEdge &o : edges_)
+            if (o.producer == e.producer &&
+                o.producerTensor == e.producerTensor)
+                allInside &= inGroup(o.consumer);
+        auto add = [&](std::size_t i, const std::string &name) {
+            if (std::find(eph[i].begin(), eph[i].end(), name) ==
+                eph[i].end())
+                eph[i].push_back(name);
+        };
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (group[i] == e.producer && allInside)
+                add(i, e.producerTensor);
+            if (group[i] == e.consumer)
+                add(i, e.consumerTensor);
+        }
+    }
+    return eph;
+}
+
+NetGraph
+NetGraph::fromLayers(const std::vector<Layer> &layers)
+{
+    NetGraph g;
+    for (const Layer &l : layers)
+        g.addNode(l.workload, l.count);
+    return g;
+}
+
+std::vector<Layer>
+NetGraph::toLayers() const
+{
+    std::vector<Layer> layers;
+    layers.reserve(nodes_.size());
+    for (const NetNode &n : nodes_)
+        layers.push_back({n.workload, n.count});
+    return layers;
+}
+
+} // namespace sunstone

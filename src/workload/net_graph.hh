@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tensor-level network DAG (ROADMAP item 3): nodes are einsum ops
+ * (reusing Workload), edges are named inter-op tensors — the producer's
+ * output feeding a consumer's input. The flat std::vector<Layer> nets
+ * are the degenerate edge-free case, adapted losslessly by fromLayers /
+ * toLayers, so every pre-DAG net keeps its exact per-layer semantics.
+ *
+ * Edges exist so the scheduler can treat inter-op tensors as first-class
+ * objects: a fused subgraph marks its internal edge tensors Ephemeral
+ * (see arch.hh) and the cost model drops their DRAM round-trip when a
+ * mapping keeps them resident on chip.
+ */
+
+#ifndef SUNSTONE_WORKLOAD_NET_GRAPH_HH
+#define SUNSTONE_WORKLOAD_NET_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/nets.hh"
+
+namespace sunstone {
+
+/** One op of the network plus its multiplicity (mirrors Layer). */
+struct NetNode
+{
+    Workload workload;
+    int count = 1;
+};
+
+/**
+ * An inter-op tensor: the producer's named output is (a slice of) the
+ * consumer's named input. Shapes must agree rank-by-rank, except that a
+ * consumer rank may have a larger extent than the producer's (halo of a
+ * sliding-window consumer); the surplus is boundary data the fusion
+ * machinery simply never drops.
+ */
+struct NetEdge
+{
+    int producer = -1;
+    std::string producerTensor;
+    int consumer = -1;
+    std::string consumerTensor;
+};
+
+/** A network as a DAG of einsum ops over named inter-op tensors. */
+class NetGraph
+{
+  public:
+    /** Appends a node; @return its index. */
+    int addNode(Workload wl, int count = 1);
+
+    /** Appends an edge (validated later by validate()). */
+    void addEdge(int producer, const std::string &producer_tensor,
+                 int consumer, const std::string &consumer_tensor);
+
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+    const NetNode &node(int i) const { return nodes_.at(i); }
+    NetNode &node(int i) { return nodes_.at(i); }
+    const NetEdge &edge(int i) const { return edges_.at(i); }
+    const std::vector<NetNode> &nodes() const { return nodes_; }
+    const std::vector<NetEdge> &edges() const { return edges_; }
+
+    /**
+     * Checks structural consistency: node counts >= 1; edge endpoints in
+     * range and distinct; the producer tensor is an output and the
+     * consumer tensor an input of the respective ops; word widths equal;
+     * rank counts equal with consumer extents >= producer extents;
+     * endpoint multiplicities equal; at most one edge into any consumer
+     * input; and acyclicity.
+     *
+     * @param err optional; receives a human-readable reason on failure
+     * @return true when the graph is well formed
+     */
+    bool validate(std::string *err = nullptr) const;
+
+    /**
+     * @return a deterministic topological order (Kahn's algorithm,
+     * smallest node index first among ready nodes). The graph must be
+     * acyclic; fatal() otherwise.
+     */
+    std::vector<int> topoOrder() const;
+
+    /**
+     * @return the number of edges consuming tensor `tensor_name`
+     * produced by node `producer`.
+     */
+    int consumerCount(int producer, const std::string &tensor_name) const;
+
+    /**
+     * Residency classification for a candidate fused subgraph: for each
+     * member (aligned with `group`), the names of its tensors that are
+     * internal to the group — produced and consumed entirely inside it —
+     * and therefore Ephemeral when the group is fused. Tensors touching
+     * any node outside the group stay boundary.
+     */
+    std::vector<std::vector<std::string>>
+    ephemeralTensors(const std::vector<int> &group) const;
+
+    /** Adapts a flat layer list to an edge-free graph (lossless). */
+    static NetGraph fromLayers(const std::vector<Layer> &layers);
+
+    /** @return the node list as layers (drops edges; node-lossless). */
+    std::vector<Layer> toLayers() const;
+
+  private:
+    std::vector<NetNode> nodes_;
+    std::vector<NetEdge> edges_;
+};
+
+/**
+ * Transformer attention per head as a three-op chain (Q·Kᵀ →
+ * softmax-scale → ·V): S[i,k] = Q[i,j]·K[k,j]; P[i,k] = S[i,k]·G[i]
+ * (the row-wise normalization as a scale proxy, keeping the op in the
+ * einsum IR); O[i,l] = P[i,k]·V[k,l]. Edges carry S and P, the
+ * seq×seq intermediates whose DRAM round-trip fusion removes.
+ *
+ * @param seq sequence length (i = k = seq; j = l = 64 per BERT head)
+ * @param heads node multiplicity (12 for BERT-base)
+ */
+NetGraph attentionGraph(std::int64_t seq = 512, int heads = 12);
+
+/**
+ * ResNet-18 with residual-block structure: the conv layers of
+ * resnet18Layers() unrolled into distinct nodes with producer→consumer
+ * edges wherever one conv's ofmap feeds the next conv's ifmap with
+ * agreeing shapes. Tensors feeding a residual add (two consumers) stay
+ * boundary, matching the single-consumer chain-fusion rule.
+ */
+NetGraph resnet18Graph(std::int64_t batch = 16);
+
+} // namespace sunstone
+
+#endif // SUNSTONE_WORKLOAD_NET_GRAPH_HH

@@ -1,5 +1,7 @@
 #include "workload/nets.hh"
 
+#include "workload/net_graph.hh"
+
 namespace sunstone {
 
 namespace {
@@ -186,6 +188,72 @@ attentionSuite(std::int64_t seq)
     // Whole-model projection chain with d_model = 768.
     suite.push_back({makeMMc(seq, 768, 768, 768, "attention_proj"), 1});
     return suite;
+}
+
+NetGraph
+attentionGraph(std::int64_t seq, int heads)
+{
+    NetGraph g;
+    // Per-head chain for BERT-base shapes (d_k = d_v = 64). The
+    // softmax is modeled as a row-wise scale so it stays inside the
+    // einsum IR; what matters to the scheduler is its access pattern:
+    // it reads and writes the full seq x seq score matrix.
+    const int qk = g.addNode(
+        parseEinsum("attn_qk", "S[i,k] = Q[i,j] * K[k,j]",
+                    {{"i", seq}, {"j", 64}, {"k", seq}}),
+        heads);
+    const int sm = g.addNode(
+        parseEinsum("attn_softmax", "P[i,k] = S[i,k] * G[i]",
+                    {{"i", seq}, {"k", seq}}),
+        heads);
+    const int pv = g.addNode(
+        parseEinsum("attn_pv", "O[i,l] = P[i,k] * V[k,l]",
+                    {{"i", seq}, {"k", seq}, {"l", 64}}),
+        heads);
+    g.addEdge(qk, "S", sm, "S");
+    g.addEdge(sm, "P", pv, "P");
+    return g;
+}
+
+NetGraph
+resnet18Graph(std::int64_t batch)
+{
+    NetGraph g;
+    auto add = [&](const ConvShape &sh) {
+        return g.addNode(makeConv2D(sh), 1);
+    };
+    // Same conv multiset as resnet18Layers (so fuse=off dedup finds the
+    // same unique structures), unrolled into residual blocks. Edges run
+    // only within a basic block (first conv -> second conv): a block's
+    // output also feeds the next block's skip connection, so it has two
+    // consumers and stays a boundary tensor.
+    add(conv("conv1", batch, 64, 3, 112, 7, 7, 2));
+    struct Stage
+    {
+        std::int64_t k, c, pq;
+    };
+    const Stage stages[] = {
+        {64, 64, 56}, {128, 64, 28}, {256, 128, 14}, {512, 256, 7}};
+    int stage = 2;
+    for (const auto &[k, c, pq] : stages) {
+        const std::string base = "conv" + std::to_string(stage);
+        const bool down = stage > 2; // stages 3-5 downsample on entry
+        if (down)
+            add(conv(base + "_ds", batch, k, c, pq, 1, 1, 2));
+        for (int block = 1; block <= 2; ++block) {
+            const std::string tag =
+                base + "_" + std::to_string(block);
+            const std::int64_t cin =
+                (block == 1 && down) ? c : k;
+            const int a = add(conv(tag + "a", batch, k, cin, pq, 3, 3,
+                                   (block == 1 && down) ? 2 : 1));
+            const int b = add(conv(tag + "b", batch, k, k, pq, 3, 3, 1));
+            g.addEdge(a, "ofmap", b, "ifmap");
+        }
+        ++stage;
+    }
+    g.addNode(makeGemm(batch, 1000, 512), 1);
+    return g;
 }
 
 std::vector<Layer>

@@ -256,7 +256,7 @@ TEST(NetScheduler, SurfacesUnschedulableLayers)
     NetSchedulerOptions opts;
     opts.sunstone.beamWidth = 4;
     NetScheduleResult empty =
-        scheduleNet(makeToyArch(64, 4), {}, opts);
+        scheduleNet(makeToyArch(64, 4), std::vector<Layer>{}, opts);
     EXPECT_TRUE(empty.allFound);
     EXPECT_EQ(empty.layersTotal, 0);
     EXPECT_EQ(empty.layersUnique, 0);

@@ -17,6 +17,8 @@
 #include <functional>
 
 #include "arch/presets.hh"
+#include "common/json.hh"
+#include "core/net_scheduler.hh"
 #include "core/refine.hh"
 #include "core/sunstone.hh"
 #include "mappers/dmaze_mapper.hh"
@@ -186,6 +188,99 @@ TEST_F(ResumeFixture, SunstoneResumesBitIdentically)
             return mr;
         },
         /*interrupt_at=*/3000, /*budget=*/6000);
+}
+
+TEST(NetResume, FusedNetResumesBitIdenticallyAcrossSubgraphBoundary)
+{
+    // Interrupt/resume for the fusion-aware network scheduler: the
+    // "net-fused" checkpoint records one entry per completed per-op
+    // baseline and one per completed fused unit. We take a complete
+    // checkpoint and truncate it so that one baseline and the whole
+    // fused unit are missing — exactly the state left by an interrupt
+    // that landed between subgraph searches, crossing the
+    // fused-subgraph boundary — then resume and demand bit-equality
+    // with the uninterrupted run.
+    const ArchSpec arch = makeConventional();
+    const NetGraph g = attentionGraph(64, 1);
+    NetSchedulerOptions opts;
+    opts.sunstone.threads = 2;
+    opts.fusion = FusionMode::Greedy;
+
+    StopPolicy pol;
+    pol.maxEvals = 300;
+    pol.plateau = 1'000'000'000;
+
+    SearchContext full;
+    full.setPolicy(pol);
+    full.setSeed(7);
+    const NetScheduleResult ra = scheduleNet(full, arch, g, opts);
+    ASSERT_TRUE(ra.allFound);
+    ASSERT_EQ(ra.groupsFused, 1);
+
+    const std::string path =
+        ::testing::TempDir() + "/resume_net_fused.json";
+    std::remove(path.c_str());
+    SearchContext writer;
+    writer.setPolicy(pol);
+    writer.setSeed(7);
+    writer.setCheckpointPath(path);
+    scheduleNet(writer, arch, g, opts);
+
+    SearchCheckpoint ck;
+    std::string err;
+    ASSERT_TRUE(SearchCheckpoint::load(path, ck, &err)) << err;
+    EXPECT_EQ(ck.search, "net-fused");
+
+    JsonValue state;
+    ASSERT_TRUE(parseJson(ck.streamState, state));
+    const JsonValue *done = state.find("done");
+    ASSERT_NE(done, nullptr);
+    std::vector<const JsonValue *> singles;
+    int fusedEntries = 0;
+    for (const JsonValue &e : done->items) {
+        if (e.find("fused"))
+            ++fusedEntries;
+        else
+            singles.push_back(&e);
+    }
+    ASSERT_EQ(singles.size(), 3u); // the three distinct attention ops
+    ASSERT_EQ(fusedEntries, 1);
+
+    ck.streamState = "{\"done\": [" + singles[0]->dump() + ", " +
+                     singles[1]->dump() + "]}";
+    ASSERT_TRUE(ck.save(path));
+
+    SearchCheckpoint truncated;
+    ASSERT_TRUE(SearchCheckpoint::load(path, truncated, &err)) << err;
+    SearchContext resumed;
+    resumed.setPolicy(pol);
+    resumed.setSeed(7);
+    resumed.setCheckpointPath(path);
+    resumed.setResume(std::move(truncated));
+    const NetScheduleResult rc = scheduleNet(resumed, arch, g, opts);
+
+    EXPECT_EQ(ra.allFound, rc.allFound);
+    EXPECT_EQ(ra.totalEnergyPj, rc.totalEnergyPj);
+    EXPECT_EQ(ra.totalDelaySeconds, rc.totalDelaySeconds);
+    EXPECT_EQ(ra.totalEdp, rc.totalEdp);
+    EXPECT_EQ(ra.stopReason, rc.stopReason);
+    EXPECT_EQ(ra.groupsFused, rc.groupsFused);
+    EXPECT_EQ(ra.opsFused, rc.opsFused);
+    ASSERT_EQ(ra.layers.size(), rc.layers.size());
+    for (std::size_t i = 0; i < ra.layers.size(); ++i) {
+        EXPECT_EQ(mappingToJson(ra.layers[i].mapping),
+                  mappingToJson(rc.layers[i].mapping))
+            << "layer " << i;
+        EXPECT_EQ(ra.layers[i].cost.edp, rc.layers[i].cost.edp);
+        EXPECT_EQ(ra.layers[i].cost.totalEnergyPj,
+                  rc.layers[i].cost.totalEnergyPj);
+        EXPECT_EQ(ra.layers[i].candidatesExamined,
+                  rc.layers[i].candidatesExamined);
+        EXPECT_EQ(ra.layers[i].stopReason, rc.layers[i].stopReason);
+        EXPECT_EQ(ra.layers[i].fused, rc.layers[i].fused);
+        EXPECT_EQ(ra.layers[i].group, rc.layers[i].group);
+    }
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -31,13 +31,20 @@
  * stops at the next batch boundary, writes a final checkpoint, and the
  * best-so-far result is reported with stop reason "cancelled".
  *
- *   sunstone map --net NAME [--batch N] [--arch ...] [--stats-json F]
+ *   sunstone map --net NAME [--batch N] [--seq N] [--fuse off|greedy]
+ *                [--arch ...] [--stats-json F]
  *                [--trace-json F] [--metrics-json F]
  *                [--convergence-json F]
- *       Schedule a whole network (resnet18, inception, inception-wu,
- *       alexnet, vgg16, nondnn, tcl, attention, depthwise) through the
- *       network scheduler: identical layers are deduplicated and the
- *       per-net aggregate energy/delay/EDP is reported.
+ *       Schedule a whole network (resnet18, resnet18-fused, inception,
+ *       inception-wu, alexnet, vgg16, nondnn, tcl, attention,
+ *       depthwise) through the network scheduler: identical layers are
+ *       deduplicated and the per-net aggregate energy/delay/EDP is
+ *       reported. --seq sets the attention sequence length. With
+ *       --fuse greedy, producer→consumer chains of the net's DAG whose
+ *       intermediate tensors fit on chip are additionally searched as
+ *       fused subgraphs (intermediates pinned on chip, DRAM traffic
+ *       dropped) and each chain keeps whichever variant wins; --fuse
+ *       off (the default) reproduces per-layer results exactly.
  *
  * Observability sinks (both map modes; see DESIGN.md §9):
  *   --stats-json F        one document {"result": ..., "engine": ...}
@@ -444,47 +451,90 @@ mapperResultJson(const std::string &mapper, const MapperResult &mr)
     return os.str();
 }
 
-std::vector<Layer>
-netFromArgs(const Args &a)
+/**
+ * Parses a strictly positive integer flag; fatal() with the offending
+ * text on junk, trailing garbage, or values <= 0 (the zoo builders
+ * would otherwise build degenerate shapes from them).
+ */
+std::int64_t
+positiveArg(const Args &a, const char *name)
+{
+    const std::string v = a.get(name);
+    std::int64_t x = 0;
+    std::size_t pos = 0;
+    try {
+        x = std::stoll(v, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != v.size() || v.empty())
+        SUNSTONE_FATAL("--", name, " expects a positive integer, got '",
+                       v, "'");
+    if (x <= 0)
+        SUNSTONE_FATAL("--", name, " must be > 0, got '", v, "'");
+    return x;
+}
+
+NetGraph
+netGraphFromArgs(const Args &a)
 {
     const std::string net = a.get("net");
     const std::int64_t batch =
-        a.has("batch") ? std::stoll(a.get("batch")) : -1;
+        a.has("batch") ? positiveArg(a, "batch") : -1;
     auto b = [&](std::int64_t dflt) { return batch > 0 ? batch : dflt; };
+    // --seq names the sequence length of attention nets; --batch is
+    // accepted there too for backward compatibility.
+    const std::int64_t seq =
+        a.has("seq") ? positiveArg(a, "seq") : b(512);
     if (net == "resnet18")
-        return resnet18Layers(b(16));
+        return NetGraph::fromLayers(resnet18Layers(b(16)));
+    if (net == "resnet18-fused")
+        return resnet18Graph(b(16));
     if (net == "inception")
-        return inceptionV3Layers(b(16));
+        return NetGraph::fromLayers(inceptionV3Layers(b(16)));
     if (net == "inception-wu")
-        return inceptionV3WeightUpdateLayers(b(16));
+        return NetGraph::fromLayers(inceptionV3WeightUpdateLayers(b(16)));
     if (net == "alexnet")
-        return alexnetLayers(b(4));
+        return NetGraph::fromLayers(alexnetLayers(b(4)));
     if (net == "vgg16")
-        return vgg16Layers(b(4));
+        return NetGraph::fromLayers(vgg16Layers(b(4)));
     if (net == "nondnn")
-        return nonDnnSuite();
+        return NetGraph::fromLayers(nonDnnSuite());
     if (net == "tcl")
-        return tclSuite();
+        return NetGraph::fromLayers(tclSuite());
     if (net == "attention")
-        return attentionSuite(b(512));
+        return attentionGraph(seq);
     if (net == "depthwise")
-        return depthwiseSuite(b(4));
+        return NetGraph::fromLayers(depthwiseSuite(b(4)));
     SUNSTONE_FATAL("unknown net '", net,
-                   "' (try resnet18, inception, inception-wu, alexnet, "
-                   "vgg16, nondnn, tcl, attention, depthwise)");
+                   "' (try resnet18, resnet18-fused, inception, "
+                   "inception-wu, alexnet, vgg16, nondnn, tcl, "
+                   "attention, depthwise)");
+}
+
+FusionMode
+fusionFromArgs(const Args &a)
+{
+    const std::string v = a.get("fuse", "off");
+    if (v == "off")
+        return FusionMode::Off;
+    if (v == "greedy")
+        return FusionMode::Greedy;
+    SUNSTONE_FATAL("--fuse expects 'off' or 'greedy', got '", v, "'");
 }
 
 int
 cmdMapNet(const Args &a)
 {
     ArchSpec arch = archFromArgs(a);
-    std::vector<Layer> layers = netFromArgs(a);
+    NetGraph graph = netGraphFromArgs(a);
     if (a.get("arch") == "simba" && !a.has("bits"))
-        for (auto &l : layers)
-            applySimbaPrecisions(l.workload);
+        for (int i = 0; i < graph.numNodes(); ++i)
+            applySimbaPrecisions(graph.node(i).workload);
 
     ObsSinks sinks(a);
     NetSchedulerOptions opts;
+    opts.fusion = fusionFromArgs(a);
     opts.sunstone.optimizeEdp = !a.has("energy");
     if (a.has("beam"))
         opts.sunstone.beamWidth = std::stoi(a.get("beam"));
@@ -495,23 +545,29 @@ cmdMapNet(const Args &a)
 
     SearchContext sc = searchContextFromArgs(a, engine,
                                              sinks.convergence());
-    NetScheduleResult r = scheduleNet(sc, arch, layers, opts);
+    NetScheduleResult r = scheduleNet(sc, arch, graph, opts);
 
     std::printf("%-12s | %5s | %10s | %12s | %8s | %s\n", "layer",
                 "count", "EDP", "energy pJ", "time s", "via");
     for (const auto &l : r.layers) {
+        const char *via = l.deduplicated ? "dedup"
+                          : l.fused      ? "fused"
+                                         : "search";
         if (l.found)
             std::printf("%-12s | %5d | %10.3g | %12.4g | %8.3f | %s\n",
                         l.name.c_str(), l.count, l.cost.edp,
-                        l.cost.totalEnergyPj, l.seconds,
-                        l.deduplicated ? "dedup" : "search");
+                        l.cost.totalEnergyPj, l.seconds, via);
         else
             std::printf("%-12s | %5d | %10s | %12s | %8.3f | %s\n",
                         l.name.c_str(), l.count, "invalid", "-",
-                        l.seconds, l.deduplicated ? "dedup" : "search");
+                        l.seconds, via);
     }
     std::printf("\nnetwork: %d layers (%d unique searched)\n",
                 r.layersTotal, r.layersUnique);
+    if (!r.fusionMode.empty())
+        std::printf("fusion: %d of %d fusable chains fused (%d ops "
+                    "scheduled fused)\n",
+                    r.groupsFused, r.groupsFusable, r.opsFused);
     std::printf("total energy %.6g pJ, total delay %.6g s, "
                 "EDP %.6g J*s\n",
                 r.totalEnergyPj, r.totalDelaySeconds, r.totalEdp);
