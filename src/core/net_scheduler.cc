@@ -12,7 +12,9 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
 #include "obs/trace.hh"
 #include "search/checkpoint.hh"
 
@@ -163,6 +165,9 @@ NetScheduleResult::toJson() const
             j += ",\"fusedDelaySeconds\":" + num(gr.fusedDelaySeconds);
             j += ",\"unfusedEnergyPj\":" + num(gr.unfusedEnergyPj);
             j += ",\"unfusedDelaySeconds\":" + num(gr.unfusedDelaySeconds);
+            j += ",\"searchSeconds\":" + num(gr.searchSeconds);
+            j += ",\"candidatesExamined\":" +
+                 std::to_string(gr.candidatesExamined);
             j += "}";
         }
         j += "]}";
@@ -313,11 +318,23 @@ scheduleNet(SearchContext &sc, const ArchSpec &arch,
         if (!ck.save(sc.checkpointPath()))
             SUNSTONE_WARN("failed to write checkpoint '",
                           sc.checkpointPath(), "'");
+        else
+            obs::flightRecorder().record(
+                "checkpoint.written",
+                "net evals=" + std::to_string(ck.evaluated) + " -> " +
+                    sc.checkpointPath());
     };
     {
         std::lock_guard<std::mutex> lk(checkpointMtx);
         writeNetCheckpoint(); // records the restored set immediately
     }
+
+    // Coarse phase units for the progress line: one per unique search.
+    obs::ProgressBoard &board = obs::progressBoard();
+    board.addUnits(static_cast<std::int64_t>(uniques.size()));
+    for (const Unique &u : uniques)
+        if (u.restored)
+            board.noteUnitDone();
 
     // One Sunstone search per unique structure, concurrently on the
     // shared pool. The search's own parallelFor nests on the same pool
@@ -349,9 +366,12 @@ scheduleNet(SearchContext &sc, const ArchSpec &arch,
         uniques[u].search = sunstoneOptimize(child, *uniques[u].ba, so);
         eng.addPhaseSeconds(
             "layer:" + uniques[u].ba->workload().name(), t.seconds());
-        std::lock_guard<std::mutex> lk(checkpointMtx);
-        uniques[u].restored = true; // completed: include in checkpoints
-        writeNetCheckpoint();
+        {
+            std::lock_guard<std::mutex> lk(checkpointMtx);
+            uniques[u].restored = true; // completed: in checkpoints now
+            writeNetCheckpoint();
+        }
+        board.noteUnitDone();
     });
     obs::metrics().counter("net.unique_searches").add(
         static_cast<std::int64_t>(uniques.size()));
@@ -799,11 +819,28 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
         if (!ck.save(sc.checkpointPath()))
             SUNSTONE_WARN("failed to write checkpoint '",
                           sc.checkpointPath(), "'");
+        else
+            obs::flightRecorder().record(
+                "checkpoint.written",
+                "net-fused evals=" + std::to_string(ck.evaluated) +
+                    " -> " + sc.checkpointPath());
     };
     {
         std::lock_guard<std::mutex> lk(checkpointMtx);
         writeNetCheckpoint();
     }
+
+    // Coarse phase units: one per unique per-op search, one per fused
+    // chain search.
+    obs::ProgressBoard &board = obs::progressBoard();
+    board.addUnits(
+        static_cast<std::int64_t>(uniques.size() + fusedUnits.size()));
+    for (const Unique &u : uniques)
+        if (u.restored)
+            board.noteUnitDone();
+    for (const FusedUnit &fu : fusedUnits)
+        if (fu.restored)
+            board.noteUnitDone();
 
     const auto makeChild = [&](const std::string &label,
                                SunstoneOptions &so,
@@ -840,9 +877,12 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
         uniques[u].search = sunstoneOptimize(child, *uniques[u].ba, so);
         eng.addPhaseSeconds(
             "layer:" + uniques[u].ba->workload().name(), t.seconds());
-        std::lock_guard<std::mutex> lk(checkpointMtx);
-        uniques[u].restored = true;
-        writeNetCheckpoint();
+        {
+            std::lock_guard<std::mutex> lk(checkpointMtx);
+            uniques[u].restored = true;
+            writeNetCheckpoint();
+        }
+        board.noteUnitDone();
     });
     obs::metrics().counter("net.unique_searches").add(
         static_cast<std::int64_t>(uniques.size()));
@@ -889,9 +929,12 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
         eng.addPhaseSeconds(
             "fused:" + fu.members.front().ba->workload().name(),
             t.seconds());
-        std::lock_guard<std::mutex> lk(checkpointMtx);
-        fu.restored = true;
-        writeNetCheckpoint();
+        {
+            std::lock_guard<std::mutex> lk(checkpointMtx);
+            fu.restored = true;
+            writeNetCheckpoint();
+        }
+        board.noteUnitDone();
     });
     obs::metrics().counter("net.fusion.unit_searches").add(
         static_cast<std::int64_t>(fusedUnits.size()));
@@ -921,6 +964,8 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
             gr.members.push_back(g.node(n).workload.name());
             const Unique &uq = uniques[nodeToUnique[n]];
             unfusedFound &= uq.search.found;
+            gr.searchSeconds += uq.search.seconds;
+            gr.candidatesExamined += uq.search.candidatesExamined;
             if (uq.search.found) {
                 gr.unfusedEnergyPj += uq.search.cost.totalEnergyPj;
                 gr.unfusedDelaySeconds += uq.search.cost.delaySeconds;
@@ -934,6 +979,8 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
         bool covered = true;
         for (const FusedMember &fm : fu.members) {
             fusedFound &= fm.search.found;
+            gr.searchSeconds += fm.search.seconds;
+            gr.candidatesExamined += fm.search.candidatesExamined;
             if (fm.search.found) {
                 covered &= coversEphemeral(*fm.ba, fm.search.mapping);
                 gr.fusedEnergyPj += fm.search.cost.totalEnergyPj;
@@ -959,6 +1006,14 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
             ++result.groupsFused;
             result.opsFused += static_cast<int>(chain.size());
         }
+        std::string detail = gr.members.front();
+        for (std::size_t m = 1; m < gr.members.size(); ++m)
+            detail += "+" + gr.members[m];
+        if (gr.fused)
+            obs::flightRecorder().record("chain.accepted", detail);
+        else
+            obs::flightRecorder().record(
+                "chain.rejected", detail + " reason=" + gr.rejectReason);
     }
     obs::metrics().counter("net.fusion.groups_fused").add(
         result.groupsFused);

@@ -33,6 +33,7 @@
 #ifndef SUNSTONE_CORE_NET_SCHEDULER_HH
 #define SUNSTONE_CORE_NET_SCHEDULER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,15 @@ struct GroupSchedule
     /** Per-instance sums over members of the per-op variant. */
     double unfusedEnergyPj = 0;
     double unfusedDelaySeconds = 0;
+    /**
+     * Attributed search cost of the whole chain: member per-op search
+     * wall-clock and candidate counts, plus the fused-variant searches
+     * for multi-op groups. Deduplicated members re-attribute the shared
+     * search's cost, so the sums answer "what did deciding this chain
+     * cost" rather than partitioning the wall-clock.
+     */
+    double searchSeconds = 0;
+    std::int64_t candidatesExamined = 0;
 };
 
 /** Whole-network outcome. */

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/json.hh"
+#include "obs/flight_recorder.hh"
 
 namespace sunstone {
 
@@ -297,6 +298,9 @@ EvalEngine::evaluateImpl(const Context &ctx, const Mapping &m,
         std::lock_guard<std::mutex> lk(shard.mtx);
         if (shard.map.size() >= opts_.maxEntriesPerShard) {
             evictions_.add(static_cast<std::int64_t>(shard.map.size()));
+            obs::flightRecorder().record(
+                "cache.epoch_reset",
+                "entries=" + std::to_string(shard.map.size()));
             shard.map.clear();
         }
         Entry &e = shard.map[h];

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Flight recorder and crash-time diagnostics (DESIGN.md §14).
+ *
+ * The FlightRecorder keeps a fixed-size ring of recent structured
+ * events — search started/finished, incumbent improved, checkpoint
+ * written, fusion chain accepted/rejected, cache epoch resets. Events
+ * are rare (nothing per-evaluation), so recording takes one short
+ * mutex; when the ring is full the oldest event is overwritten, so the
+ * recorder always holds the most recent window of history at a fixed
+ * memory cost. That window is what a crash dump ships.
+ *
+ * The diag-bundle half turns the recorder into a crash-time artifact:
+ * setDiagDir() names a directory, writeDiagBundle() flushes the event
+ * ring, the metrics registry (plus an optional caller-provided extra
+ * JSON document, e.g. engine stats), and the trace buffer into it, and
+ * installCrashHandlers() arranges for fatal signals (SIGSEGV, SIGABRT,
+ * SIGFPE, SIGILL, SIGBUS) and std::terminate to write the bundle
+ * before the process dies. The handlers are best-effort by nature:
+ * they allocate and take locks, which is not async-signal-safe, but a
+ * crashing process has nothing to lose — the alternative is no
+ * diagnostics at all. The cooperative SIGINT/SIGTERM path does not go
+ * through them; the CLI flushes the same bundle cleanly on exit.
+ */
+
+#ifndef SUNSTONE_OBS_FLIGHT_RECORDER_HH
+#define SUNSTONE_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sunstone {
+namespace obs {
+
+/** One recorded event. */
+struct FlightEvent
+{
+    /** Nanoseconds since the tracer epoch (process start). */
+    std::int64_t ns = 0;
+    /** Dotted event kind ("search.started", "chain.rejected", ...). */
+    std::string kind;
+    /** Free-form detail ("sunstone:conv3 evals=1200", ...). */
+    std::string detail;
+};
+
+/** Fixed-capacity ring of recent events. Thread-safe. */
+class FlightRecorder
+{
+  public:
+    /** @param capacity ring size in events (min 8). */
+    explicit FlightRecorder(std::size_t capacity = 512);
+
+    /** Appends an event stamped with the current time. */
+    void record(const std::string &kind, const std::string &detail = "");
+
+    /** Ring capacity in events. */
+    std::size_t capacity() const { return cap_; }
+
+    /** Events recorded since construction (overwritten included). */
+    std::uint64_t eventsRecorded() const;
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t eventsDropped() const;
+
+    /** The retained events, oldest first. */
+    std::vector<FlightEvent> events() const;
+
+    /** One JSON object per line: {"ns":..,"kind":"..","detail":".."}. */
+    std::string toJsonl() const;
+
+    /** Empties the ring (counters reset too). */
+    void clear();
+
+  private:
+    const std::size_t cap_;
+    mutable std::mutex mtx_;
+    std::vector<FlightEvent> ring_; // ring_[recorded_ % cap_] is next
+    std::uint64_t recorded_ = 0;
+};
+
+/** @return the process-wide recorder. */
+FlightRecorder &flightRecorder();
+
+// -- Diag bundle -------------------------------------------------------
+
+/**
+ * Names the directory diag bundles are written to (created on demand).
+ * An empty path (the default) disables bundle writing entirely.
+ */
+void setDiagDir(const std::string &dir);
+
+/** @return the configured diag directory ("" when unset). */
+std::string diagDir();
+
+/**
+ * Registers a callback rendering an extra JSON document (typically the
+ * evaluation engine's stats) stored as `engine.json` in the bundle.
+ */
+void setDiagExtraProvider(std::function<std::string()> provider);
+
+/**
+ * Writes the bundle into the configured directory:
+ *   crash.txt     - `reason` plus the flight-event count
+ *   events.jsonl  - the flight recorder ring
+ *   metrics.json  - the process-wide metrics registry
+ *   engine.json   - the extra provider's document (when registered)
+ *   trace.json    - the span tracer's retained window (when any)
+ * No-op when no directory is configured. Safe to call more than once;
+ * later calls overwrite (the latest state wins).
+ *
+ * @return true when a bundle was written.
+ */
+bool writeDiagBundle(const std::string &reason);
+
+/**
+ * Installs fatal-signal (SIGSEGV/SIGABRT/SIGFPE/SIGILL/SIGBUS) and
+ * std::terminate handlers that write the diag bundle and then re-raise
+ * with default disposition, so exit codes and core dumps are preserved.
+ * Idempotent.
+ */
+void installCrashHandlers();
+
+} // namespace obs
+} // namespace sunstone
+
+#endif // SUNSTONE_OBS_FLIGHT_RECORDER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace sunstone {
 namespace obs {
@@ -23,6 +24,36 @@ appendJsonDouble(std::string &out, double v)
 
 } // anonymous namespace
 
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count <= 0 || bounds.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    p = std::min(100.0, std::max(0.0, p));
+    // Rank of the requested percentile within the total mass, then the
+    // bucket that holds it.
+    const double rank = p / 100.0 * static_cast<double>(count);
+    std::int64_t below = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double hi = static_cast<double>(below + counts[i]);
+        if (rank <= hi || i + 1 == counts.size()) {
+            if (i >= bounds.size())
+                return bounds.back(); // +inf bucket: clamp
+            const double lo_bound = i == 0 ? 0.0 : bounds[i - 1];
+            const double hi_bound = bounds[i];
+            const double frac =
+                std::min(1.0, std::max(0.0, (rank - below) /
+                                                static_cast<double>(
+                                                    counts[i])));
+            return lo_bound + frac * (hi_bound - lo_bound);
+        }
+        below += counts[i];
+    }
+    return bounds.back();
+}
+
 std::string
 HistogramSnapshot::toJson() const
 {
@@ -41,6 +72,15 @@ HistogramSnapshot::toJson() const
     j += "],\"count\":" + std::to_string(count);
     j += ",\"sum\":";
     appendJsonDouble(j, sum);
+    for (const auto &[label, p] :
+         {std::pair<const char *, double>{"p50", 50.0},
+          {"p90", 90.0},
+          {"p99", 99.0}}) {
+        j += ",\"";
+        j += label;
+        j += "\":";
+        appendJsonDouble(j, percentile(p)); // NaN renders as null
+    }
     j += "}";
     return j;
 }

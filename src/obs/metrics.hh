@@ -82,7 +82,22 @@ struct HistogramSnapshot
     std::int64_t count = 0;
     double sum = 0;
 
-    /** Renders {"bounds": [...], "counts": [...], "count": n, "sum": x}. */
+    /**
+     * The p-th percentile (p in [0, 100]) interpolated linearly within
+     * the owning bucket, treating each bucket's mass as uniformly
+     * spread between its bounds (the first bucket spans [0, bounds[0]]).
+     * Ranks landing in the +inf bucket clamp to the last finite bound —
+     * the histogram cannot resolve beyond it. NaN when the histogram is
+     * empty or has no finite buckets.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Renders {"bounds": [...], "counts": [...], "count": n, "sum": x,
+     * "p50": ..., "p90": ..., "p99": ...}; the percentile summaries are
+     * null for empty histograms so consumers stop re-deriving them from
+     * the buckets.
+     */
     std::string toJson() const;
 };
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Periodic telemetry snapshots (DESIGN.md §14): a background thread
+ * serializing the metrics registry plus the live search-progress board
+ * into an append-only JSONL time series.
+ *
+ * Each record is one JSON object on one line. A record is rendered
+ * fully in memory and appended with a single write(2) on an O_APPEND
+ * descriptor, so a crashing or killed process can tear at most the
+ * final line — every complete line is a well-formed document, and the
+ * file as a whole is a parseable prefix of the run. That is the
+ * property the long-running serve daemon needs: a reader tailing the
+ * file never has to coordinate with the writer.
+ *
+ * Record schema (stable keys, additive evolution):
+ *   {"seq": N,                     // 0-based record index
+ *    "elapsed_seconds": S,        // since the writer started
+ *    "units": {"done": D, "total": T},
+ *    "searches": [{"label": L, "evaluated": E, "found": B,
+ *                  "best_metric": M|null, "improvements": I,
+ *                  "elapsed_seconds": S, "done": B,
+ *                  "stop_reason": R}, ...],
+ *    "registry": { ...MetricsRegistry::toJson()... },
+ *    "extra": { ... }}            // optional caller document
+ */
+
+#ifndef SUNSTONE_OBS_SNAPSHOT_HH
+#define SUNSTONE_OBS_SNAPSHOT_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sunstone {
+namespace obs {
+
+/** Background JSONL snapshot writer. */
+class SnapshotWriter
+{
+  public:
+    /**
+     * @param path JSONL file to append to (created when missing)
+     * @param interval_ms period between records (min 10, default 1000)
+     */
+    explicit SnapshotWriter(std::string path, int interval_ms = 1000);
+    ~SnapshotWriter();
+
+    SnapshotWriter(const SnapshotWriter &) = delete;
+    SnapshotWriter &operator=(const SnapshotWriter &) = delete;
+
+    /**
+     * Registers a callback whose JSON document is embedded under the
+     * record's "extra" key (typically engine stats). Set before start().
+     */
+    void setExtraProvider(std::function<std::string()> provider);
+
+    /**
+     * Opens the file and starts the periodic thread. An immediate
+     * record is written so even sub-interval runs leave a time series.
+     * @return false when the file cannot be opened.
+     */
+    bool start();
+
+    /** Writes one final record and stops the thread. Idempotent. */
+    void stop();
+
+    /**
+     * Renders and appends one record immediately (also what the
+     * periodic thread calls). Thread-safe. @return false on I/O error
+     * or when the writer is not started.
+     */
+    bool writeNow();
+
+    /** Records appended so far. */
+    std::int64_t recordsWritten() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &path() const { return path_; }
+
+    /** Renders the next record body (exposed for tests). */
+    std::string renderRecord();
+
+  private:
+    void loop();
+
+    const std::string path_;
+    const int intervalMs_;
+    std::function<std::string()> extra_;
+
+    int fd_ = -1;
+    std::atomic<std::int64_t> seq_{0};
+    std::chrono::steady_clock::time_point start_;
+
+    std::thread thread_;
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    bool running_ = false;
+    std::mutex writeMtx_; // serializes writeNow() renders + appends
+};
+
+} // namespace obs
+} // namespace sunstone
+
+#endif // SUNSTONE_OBS_SNAPSHOT_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -141,6 +142,10 @@ SearchDriver::SearchDriver(SearchContext &sc, EvalEngine &engine,
 {
     if (sc_.convergence())
         traj_ = &sc_.convergence()->start(label_);
+    const StopPolicy &pol = sc_.policy();
+    status_ = &obs::progressBoard().open(label_, pol.maxEvals,
+                                         pol.deadlineSeconds, pol.plateau);
+    obs::flightRecorder().record("search.started", label_);
 }
 
 double
@@ -193,6 +198,11 @@ SearchDriver::offer(const Mapping &m, const CostResult &cr)
         bestCost_ = cr;
         if (traj_)
             traj_->record(evaluated(), cr.totalEnergyPj, cr.edp, met);
+        status_->noteImprovement(met);
+        obs::flightRecorder().record(
+            "incumbent.improved",
+            label_ + " metric=" + std::to_string(met) +
+                " evals=" + std::to_string(evaluated()));
         return true;
     }
     return false;
@@ -275,6 +285,11 @@ SearchDriver::writeCheckpoint(const std::string &payload)
     if (!ck.save(sc_.checkpointPath()))
         SUNSTONE_WARN("failed to write checkpoint '",
                       sc_.checkpointPath(), "'");
+    else
+        obs::flightRecorder().record(
+            "checkpoint.written",
+            label_ + " evals=" + std::to_string(ck.evaluated) + " -> " +
+                sc_.checkpointPath());
 }
 
 DriverOutcome
@@ -345,8 +360,10 @@ SearchDriver::run(CandidateStream &stream)
             invalidStreak_ = 0;
             if (offer(batch[i], cr)) {
                 plateauLength_ = 0;
+                status_->notePlateau(0);
             } else {
                 ++plateauLength_;
+                status_->notePlateau(plateauLength_);
                 if (pol.plateau > 0 && plateauLength_ >= pol.plateau) {
                     latchReason(StopReason::Plateau);
                     midBatchStop = true;
@@ -383,6 +400,11 @@ SearchDriver::finish(StopReason natural)
         if (traj_ && found_)
             traj_->record(evaluated(), bestCost_.totalEnergyPj,
                           bestCost_.edp, bestMetric_);
+        status_->finish(stopReasonName(reason()));
+        obs::flightRecorder().record(
+            "search.finished",
+            label_ + " reason=" + stopReasonName(reason()) +
+                " evals=" + std::to_string(evaluated()));
         obs::MetricsRegistry &reg = obs::metrics();
         reg.counter("search." + label_ + ".stop." +
                     stopReasonName(reason()))

@@ -40,6 +40,7 @@
 
 #include "common/timer.hh"
 #include "model/eval_engine.hh"
+#include "obs/progress.hh"
 #include "search/search_context.hh"
 
 namespace sunstone {
@@ -199,6 +200,7 @@ class SearchDriver
     noteEvaluated(std::int64_t n = 1)
     {
         evaluated_.fetch_add(n, std::memory_order_relaxed);
+        status_->noteEvaluated(n);
     }
 
     /**
@@ -283,6 +285,7 @@ class SearchDriver
     std::int64_t invalidStreak_ = 0;
 
     obs::ConvergenceTrajectory *traj_ = nullptr;
+    obs::SearchStatus *status_ = nullptr; // board entry; never null
     double lastCheckpointSeconds_ = -1;
     bool finished_ = false;
 };

@@ -15,12 +15,23 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
 #include "arch/presets.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "core/sunstone.hh"
 #include "obs/convergence.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/snapshot.hh"
 #include "obs/thread_registry.hh"
 #include "obs/trace.hh"
 #include "workload/zoo.hh"
@@ -359,6 +370,293 @@ TEST(LogLevels, SetQuietShimMapsToLevels)
     setQuiet(false);
     EXPECT_FALSE(quiet());
     EXPECT_EQ(logLevel(), LogLevel::Info);
+}
+
+// ---------------------------------------------------------------------
+// Histogram percentiles (live-telemetry satellite)
+// ---------------------------------------------------------------------
+
+TEST(HistogramPercentiles, InterpolatesWithinBuckets)
+{
+    obs::Histogram h({10, 20, 40});
+    // 10 values in [0,10], 10 in (10,20]: p50 lands exactly on the
+    // first/second bucket boundary, p75 halfway through the second.
+    for (int i = 0; i < 10; ++i)
+        h.record(5);
+    for (int i = 0; i < 10; ++i)
+        h.record(15);
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(75), 15.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+    // p25 is halfway through the first bucket, which spans [0, 10].
+    EXPECT_DOUBLE_EQ(s.percentile(25), 5.0);
+}
+
+TEST(HistogramPercentiles, OverflowBucketClampsToLastBound)
+{
+    obs::Histogram h({10});
+    h.record(5);
+    h.record(1000); // +inf bucket
+    const obs::HistogramSnapshot s = h.snapshot();
+    // The histogram cannot resolve beyond its last finite bound.
+    EXPECT_DOUBLE_EQ(s.percentile(99), 10.0);
+}
+
+TEST(HistogramPercentiles, EmptyIsNaNAndJsonNull)
+{
+    obs::Histogram h({10, 20});
+    const obs::HistogramSnapshot empty = h.snapshot();
+    EXPECT_TRUE(std::isnan(empty.percentile(50)));
+    const std::string j = empty.toJson();
+    EXPECT_NE(j.find("\"p50\":null"), std::string::npos);
+    EXPECT_NE(j.find("\"p99\":null"), std::string::npos);
+
+    h.record(15);
+    const std::string j2 = h.snapshot().toJson();
+    JsonValue v;
+    ASSERT_TRUE(parseJson(j2, v));
+    ASSERT_NE(v.find("p50"), nullptr);
+    EXPECT_GT(v.find("p50")->asDouble(), 10.0);
+    EXPECT_LE(v.find("p99")->asDouble(), 20.0);
+}
+
+// ---------------------------------------------------------------------
+// ETA math (pure; no clocks or threads)
+// ---------------------------------------------------------------------
+
+TEST(ComputeEta, DeadlineDominatesWhenSoonest)
+{
+    // 5 s left on the deadline; 9000 evals left at 1000/s = 9 s.
+    const obs::EtaEstimate e =
+        obs::computeEta(1000, 10000, 5.0, 10.0, 0, 0, 1000.0);
+    EXPECT_STREQ(e.bound, "deadline");
+    EXPECT_DOUBLE_EQ(e.seconds, 5.0);
+}
+
+TEST(ComputeEta, MaxEvalsDominatesWhenSoonest)
+{
+    // 1000 evals left at 1000/s = 1 s, versus 100 s of deadline.
+    const obs::EtaEstimate e =
+        obs::computeEta(9000, 10000, 5.0, 105.0, 0, 0, 1000.0);
+    EXPECT_STREQ(e.bound, "max-evals");
+    EXPECT_DOUBLE_EQ(e.seconds, 1.0);
+}
+
+TEST(ComputeEta, PlateauDominatesWhenSoonest)
+{
+    // 100 non-improving evals to go at 1000/s = 0.1 s; no deadline, and
+    // max-evals is much further out.
+    const obs::EtaEstimate e =
+        obs::computeEta(1000, 100000, 5.0, 0, 900, 1000, 1000.0);
+    EXPECT_STREQ(e.bound, "plateau");
+    EXPECT_DOUBLE_EQ(e.seconds, 0.1);
+}
+
+TEST(ComputeEta, TiesBreakDeadlineThenEvalsThenPlateau)
+{
+    // All three project exactly 1 s: the wall-clock bound is exact, the
+    // others extrapolate, so the deadline must win.
+    const obs::EtaEstimate tie =
+        obs::computeEta(9000, 10000, 9.0, 10.0, 0, 1000, 1000.0);
+    EXPECT_STREQ(tie.bound, "deadline");
+    // Evals and plateau both 1 s, no deadline: max-evals wins.
+    const obs::EtaEstimate tie2 =
+        obs::computeEta(9000, 10000, 9.0, 0, 0, 1000, 1000.0);
+    EXPECT_STREQ(tie2.bound, "max-evals");
+}
+
+TEST(ComputeEta, ZeroRateLeavesEvalBoundsUnbounded)
+{
+    const obs::EtaEstimate e =
+        obs::computeEta(0, 10000, 1.0, 0, 0, 1000, 0.0);
+    EXPECT_STREQ(e.bound, "");
+    EXPECT_TRUE(std::isinf(e.seconds));
+}
+
+TEST(ComputeEta, ExceededBoundProjectsZero)
+{
+    const obs::EtaEstimate e =
+        obs::computeEta(10001, 10000, 1.0, 0, 0, 0, 1000.0);
+    EXPECT_STREQ(e.bound, "max-evals");
+    EXPECT_DOUBLE_EQ(e.seconds, 0.0);
+}
+
+TEST(ComputeEta, UnboundedSearchHasNoEta)
+{
+    const obs::EtaEstimate e = obs::computeEta(500, 0, 1.0, 0, 7, 0,
+                                               1000.0);
+    EXPECT_STREQ(e.bound, "");
+    EXPECT_TRUE(std::isinf(e.seconds));
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingOverwritesOldestAndCountsDrops)
+{
+    obs::FlightRecorder rec(8);
+    EXPECT_EQ(rec.capacity(), 8u);
+    for (int i = 0; i < 20; ++i)
+        rec.record("ev", std::to_string(i));
+    EXPECT_EQ(rec.eventsRecorded(), 20u);
+    EXPECT_EQ(rec.eventsDropped(), 12u);
+    const std::vector<obs::FlightEvent> evs = rec.events();
+    ASSERT_EQ(evs.size(), 8u);
+    // Oldest-first window of the most recent 8 events: 12..19.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(evs[i].detail, std::to_string(12 + i));
+    // Timestamps are monotone in ring order.
+    for (int i = 1; i < 8; ++i)
+        EXPECT_GE(evs[i].ns, evs[i - 1].ns);
+}
+
+TEST(FlightRecorder, JsonlLinesParse)
+{
+    obs::FlightRecorder rec(8);
+    rec.record("search.started", "a \"quoted\" label");
+    rec.record("chain.rejected", "x+y reason=cost");
+    std::istringstream is(rec.toJsonl());
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        ASSERT_TRUE(parseJson(line, v)) << line;
+        ASSERT_NE(v.find("kind"), nullptr);
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+}
+
+// ---------------------------------------------------------------------
+// Progress board + snapshot writer
+// ---------------------------------------------------------------------
+
+TEST(ProgressBoard, TracksSearchesAndUnits)
+{
+    obs::ProgressBoard &board = obs::progressBoard();
+    board.resetForTests();
+    obs::SearchStatus &s = board.open("t.search", 1000, 2.0, 50);
+    s.noteEvaluated(10);
+    s.noteImprovement(42.0);
+    s.notePlateau(3);
+    board.addUnits(2);
+    board.noteUnitDone();
+    EXPECT_EQ(board.totalEvaluated(), 10);
+    EXPECT_EQ(board.unitsTotal(), 2);
+    EXPECT_EQ(board.unitsDone(), 1);
+    const auto snap = board.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0]->label(), "t.search");
+    EXPECT_FALSE(snap[0]->done());
+    EXPECT_STREQ(snap[0]->stopReason(), "");
+    s.finish("exhausted");
+    EXPECT_TRUE(snap[0]->done());
+    EXPECT_STREQ(snap[0]->stopReason(), "exhausted");
+    EXPECT_DOUBLE_EQ(snap[0]->bestMetric(), 42.0);
+    board.resetForTests();
+}
+
+TEST(SnapshotWriter, JsonlWellFormedUnderConcurrentUpdates)
+{
+    obs::ProgressBoard &board = obs::progressBoard();
+    board.resetForTests();
+    const std::string path =
+        ::testing::TempDir() + "sunstone_snapshot_test.jsonl";
+    std::remove(path.c_str());
+
+    obs::SearchStatus &s = board.open("snap.search", 100000, 0, 0);
+    obs::SnapshotWriter w(path, 10);
+    w.setExtraProvider([] { return std::string("{\"k\":1}"); });
+    ASSERT_TRUE(w.start());
+
+    // Hammer the board and a registry histogram from two threads while
+    // records are being written.
+    std::atomic<bool> stop{false};
+    std::thread t1([&] {
+        while (!stop.load())
+            s.noteEvaluated(1);
+    });
+    std::thread t2([&] {
+        obs::Histogram &h = obs::metrics().histogram("snap.lat");
+        while (!stop.load())
+            h.record(3.0);
+    });
+    for (int i = 0; i < 30; ++i)
+        ASSERT_TRUE(w.writeNow());
+    stop.store(true);
+    t1.join();
+    t2.join();
+    s.finish("exhausted");
+    w.stop();
+    EXPECT_GE(w.recordsWritten(), 32); // 30 + initial + final
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string line;
+    std::int64_t lines = 0, last_evals = -1;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        ASSERT_TRUE(parseJson(line, v)) << "line " << lines;
+        ASSERT_TRUE(balancedJson(line));
+        ASSERT_NE(v.find("searches"), nullptr);
+        ASSERT_NE(v.find("registry"), nullptr);
+        ASSERT_NE(v.find("extra"), nullptr);
+        const JsonValue &searches = *v.find("searches");
+        ASSERT_EQ(searches.items.size(), 1u);
+        // Evaluations are monotone across records even while the
+        // counter is being hammered.
+        const std::int64_t evals =
+            searches.items[0].find("evaluated")->asInt();
+        EXPECT_GE(evals, last_evals);
+        last_evals = evals;
+        ++lines;
+    }
+    EXPECT_EQ(lines, w.recordsWritten());
+    std::remove(path.c_str());
+    board.resetForTests();
+}
+
+TEST(SnapshotWriter, EveryRecordIsOneLineAndAppendsAreAtomicUnits)
+{
+    obs::ProgressBoard &board = obs::progressBoard();
+    board.resetForTests();
+    board.open("atomic.search", 0, 0, 0);
+    const std::string path =
+        ::testing::TempDir() + "sunstone_snapshot_atomic.jsonl";
+    std::remove(path.c_str());
+    obs::SnapshotWriter w(path, 10000); // periodic thread stays idle
+    ASSERT_TRUE(w.start());
+    // A record never embeds a newline: the one '\n' per write(2) is the
+    // record separator, which is what makes a killed writer tear at
+    // most the final line.
+    const std::string rec = w.renderRecord();
+    EXPECT_EQ(rec.find('\n'), std::string::npos);
+    EXPECT_TRUE(balancedJson(rec));
+
+    // Concurrent writeNow() callers interleave only at line level.
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&] {
+            for (int i = 0; i < 25; ++i)
+                w.writeNow();
+        });
+    for (auto &t : writers)
+        t.join();
+    w.stop();
+
+    std::ifstream is(path);
+    std::string line;
+    std::int64_t lines = 0;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        ASSERT_TRUE(parseJson(line, v)) << "line " << lines;
+        ++lines;
+    }
+    EXPECT_EQ(lines, w.recordsWritten());
+    std::remove(path.c_str());
+    board.resetForTests();
 }
 
 } // namespace

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -35,6 +36,8 @@
 #include "core/sunstone.hh"
 #include "model/diffcheck.hh"
 #include "model/eval_engine.hh"
+#include "obs/progress.hh"
+#include "obs/snapshot.hh"
 #include "workload/zoo.hh"
 
 namespace sunstone {
@@ -288,6 +291,25 @@ run(const std::map<std::string, std::string> &kv)
         return cfg.only.empty() || name.find(cfg.only) != std::string::npos;
     };
 
+    // Live telemetry (DESIGN.md §14), mainly so its overhead can be
+    // measured against a telemetry-off run of the same benchmarks.
+    std::unique_ptr<obs::SnapshotWriter> snapshot;
+    if (const auto *v = get("snapshot-json")) {
+        int interval = 1000;
+        if (const auto *i = get("snapshot-interval-ms"))
+            interval = std::stoi(*i);
+        snapshot = std::make_unique<obs::SnapshotWriter>(*v, interval);
+        if (!snapshot->start()) {
+            std::fprintf(stderr, "cannot write '%s'\n", v->c_str());
+            return 1;
+        }
+    }
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (kv.count("progress")) {
+        progress = std::make_unique<obs::ProgressReporter>();
+        progress->start();
+    }
+
     std::vector<BenchResult> results;
     if (wanted("eval_random"))
         results.push_back(benchEvalRandom(cfg));
@@ -297,6 +319,11 @@ run(const std::map<std::string, std::string> &kv)
         results.push_back(benchSearch(cfg, "conventional"));
     if (wanted("search_simba"))
         results.push_back(benchSearch(cfg, "simba"));
+
+    if (progress)
+        progress->stop();
+    if (snapshot)
+        snapshot->stop();
 
     std::printf("%-20s %-7s %12s %12s %14s\n", "benchmark", "kind",
                 "best s", "mean s", "evals/sec");

@@ -57,6 +57,31 @@
  *   --convergence-json F  incumbent-vs-evaluations trajectories
  * --threads defaults to hardware_concurrency clamped to [2, 8].
  *
+ * Live telemetry (both map modes; see DESIGN.md §14):
+ *   --progress            throttled single-line progress on stderr
+ *                         (units done, evals/sec, incumbent, ETA to the
+ *                         dominant StopPolicy bound)
+ *   --snapshot-json F     append-only JSONL time series of the metrics
+ *                         registry + live per-search state; every
+ *                         complete line is a parseable record even if
+ *                         the process is killed mid-run
+ *   --snapshot-interval-ms N  snapshot period (default 1000)
+ *   --diag-dir D          on fatal signals, std::terminate, repeated
+ *                         SIGINT/SIGTERM, or cancelled exit, write a
+ *                         diagnostics bundle (crash.txt, events.jsonl
+ *                         flight-recorder ring, metrics.json,
+ *                         engine.json, trace.json) into D
+ * A second SIGINT/SIGTERM while the cooperative cancellation is still
+ * draining force-flushes all telemetry sinks and exits immediately.
+ *
+ *   sunstone report [--stats-json F] [--metrics-json F]
+ *                   [--snapshot-json F] [--convergence-json F]
+ *                   [--trace-json F] [--diag-dir D]
+ *       Digest run artifacts offline: wall-clock attribution by
+ *       phase/mapper, eval-latency percentiles, cache hit/miss
+ *       breakdown, per-layer/per-chain fusion outcomes, snapshot and
+ *       convergence series, span totals, flight-event tail.
+ *
  *   sunstone eval --mapping F [workload opts] [--arch ...]
  *       Re-evaluate a saved mapping.
  *
@@ -83,9 +108,12 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -107,7 +135,10 @@
 #include "search/stop_policy.hh"
 #include "model/eval_engine.hh"
 #include "obs/convergence.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/snapshot.hh"
 #include "obs/thread_registry.hh"
 #include "obs/trace.hh"
 #include "workload/nets.hh"
@@ -290,16 +321,36 @@ writeStatsJson(const std::string &path, const std::string &json)
 }
 
 /**
- * Cooperative cancellation: SIGINT/SIGTERM only raise this flag; the
- * SearchDriver polls it at batch boundaries, checkpoints, and returns
- * the best-so-far result with stop reason "cancelled".
+ * Cooperative cancellation: the first SIGINT/SIGTERM only raises this
+ * flag; the SearchDriver polls it at batch boundaries, checkpoints, and
+ * returns the best-so-far result with stop reason "cancelled", after
+ * which every requested telemetry sink is written by the normal exit
+ * path.
  */
 std::atomic<bool> g_cancelRequested{false};
+std::atomic<int> g_terminationSignals{0};
+
+/**
+ * Force-flushes telemetry when the cooperative path cannot: installed
+ * by the map commands once their sinks exist, invoked on a *second*
+ * SIGINT/SIGTERM. Like the crash handlers it is best-effort (allocates,
+ * takes locks — not async-signal-safe), but at that point the process
+ * is exiting regardless and partial telemetry beats none.
+ */
+std::function<void()> g_signalFlush;
 
 void
-onTerminationSignal(int)
+onTerminationSignal(int sig)
 {
-    g_cancelRequested.store(true);
+    if (g_terminationSignals.fetch_add(1) == 0) {
+        g_cancelRequested.store(true);
+        return;
+    }
+    // Second signal: the search is stuck or draining too slowly. Flush
+    // what we can and exit with the conventional signal status.
+    if (g_signalFlush)
+        g_signalFlush();
+    std::_Exit(128 + sig);
 }
 
 void
@@ -412,21 +463,111 @@ struct ObsSinks
     void
     write(const EvalEngine &engine)
     {
+        flush(engine, /*best_effort=*/false);
+    }
+
+    /**
+     * Renders every requested sink. The best-effort variant (the
+     * forced-exit signal path) neither fatals nor prints — it just gets
+     * as much telemetry to disk as it can.
+     */
+    void
+    flush(const EvalEngine &engine, bool best_effort)
+    {
         if (!tracePath.empty()) {
             obs::tracer().setEnabled(false);
-            if (!obs::tracer().writeChromeJson(tracePath))
+            const bool ok = obs::tracer().writeChromeJson(tracePath);
+            if (!ok && !best_effort)
                 SUNSTONE_FATAL("cannot write '", tracePath, "'");
-            std::printf("wrote %s\n", tracePath.c_str());
+            if (!best_effort)
+                std::printf("wrote %s\n", tracePath.c_str());
         }
-        if (!metricsPath.empty())
-            writeStatsJson(metricsPath,
-                           "{\"engine\": " + engine.stats().toJson() +
-                               ", \"registry\": " +
-                               obs::metrics().toJson() + "}");
+        if (!metricsPath.empty()) {
+            const std::string doc =
+                "{\"engine\": " + engine.stats().toJson() +
+                ", \"registry\": " + obs::metrics().toJson() + "}";
+            if (best_effort) {
+                std::ofstream os(metricsPath);
+                os << doc << "\n";
+            } else {
+                writeStatsJson(metricsPath, doc);
+            }
+        }
         if (!convergencePath.empty()) {
-            if (!recorder.writeJson(convergencePath))
+            const bool ok = recorder.writeJson(convergencePath);
+            if (!ok && !best_effort)
                 SUNSTONE_FATAL("cannot write '", convergencePath, "'");
-            std::printf("wrote %s\n", convergencePath.c_str());
+            if (!best_effort)
+                std::printf("wrote %s\n", convergencePath.c_str());
+        }
+    }
+};
+
+/**
+ * The live-telemetry bundle (DESIGN.md §14): --progress, --snapshot-json
+ * [--snapshot-interval-ms], and --diag-dir, shared by both map modes.
+ * start() must run before the search, stop() after it has quiesced (the
+ * destructor stops too). While active, a second SIGINT/SIGTERM and the
+ * fatal-signal handlers can flush everything the run has produced.
+ */
+struct LiveTelemetry
+{
+    std::unique_ptr<obs::SnapshotWriter> snapshot;
+    std::unique_ptr<obs::ProgressReporter> progress;
+    bool diag = false;
+
+    LiveTelemetry(const Args &a, EvalEngine &engine)
+    {
+        if (a.has("snapshot-json")) {
+            int interval = 1000;
+            if (a.has("snapshot-interval-ms"))
+                interval = std::stoi(a.get("snapshot-interval-ms"));
+            snapshot = std::make_unique<obs::SnapshotWriter>(
+                a.get("snapshot-json"), interval);
+            snapshot->setExtraProvider([&engine] {
+                return "{\"engine\": " + engine.stats().toJson() + "}";
+            });
+        }
+        if (a.has("progress"))
+            progress = std::make_unique<obs::ProgressReporter>();
+        if (a.has("diag-dir")) {
+            diag = true;
+            obs::setDiagDir(a.get("diag-dir"));
+            obs::setDiagExtraProvider([&engine] {
+                return "{\"engine\": " + engine.stats().toJson() + "}";
+            });
+            obs::installCrashHandlers();
+        }
+    }
+
+    ~LiveTelemetry() { stop(); }
+
+    void
+    start()
+    {
+        if (snapshot && !snapshot->start())
+            SUNSTONE_FATAL("cannot write '", snapshot->path(), "'");
+        if (progress)
+            progress->start();
+    }
+
+    /**
+     * Stops the threads, writes the cooperative-cancellation diag
+     * bundle when one was requested, and detaches the global providers
+     * (they capture the engine, which dies with the command).
+     */
+    void
+    stop()
+    {
+        if (progress)
+            progress->stop();
+        if (snapshot)
+            snapshot->stop();
+        if (diag) {
+            if (g_terminationSignals.load() > 0)
+                obs::writeDiagBundle("termination signal (cooperative)");
+            obs::setDiagExtraProvider(nullptr);
+            diag = false;
         }
     }
 };
@@ -545,7 +686,16 @@ cmdMapNet(const Args &a)
 
     SearchContext sc = searchContextFromArgs(a, engine,
                                              sinks.convergence());
+    LiveTelemetry telemetry(a, engine);
+    g_signalFlush = [&] {
+        if (telemetry.snapshot)
+            telemetry.snapshot->writeNow();
+        sinks.flush(engine, /*best_effort=*/true);
+        obs::writeDiagBundle("forced exit: repeated termination signal");
+    };
+    telemetry.start();
     NetScheduleResult r = scheduleNet(sc, arch, graph, opts);
+    telemetry.stop();
 
     std::printf("%-12s | %5s | %10s | %12s | %8s | %s\n", "layer",
                 "count", "EDP", "energy pJ", "time s", "via");
@@ -582,6 +732,7 @@ cmdMapNet(const Args &a)
                        "{\"result\": " + r.toJson() + ", \"engine\": " +
                            engine.stats().toJson() + "}");
     sinks.write(engine);
+    g_signalFlush = nullptr;
     return r.allFound ? 0 : 1;
 }
 
@@ -610,6 +761,14 @@ cmdMap(const Args &a)
     EvalEngine engine(EvalEngineOptions{.threads = threads});
     SearchContext sc = searchContextFromArgs(a, engine,
                                              sinks.convergence());
+    LiveTelemetry telemetry(a, engine);
+    g_signalFlush = [&] {
+        if (telemetry.snapshot)
+            telemetry.snapshot->writeNow();
+        sinks.flush(engine, /*best_effort=*/true);
+        obs::writeDiagBundle("forced exit: repeated termination signal");
+    };
+    telemetry.start();
     MapperResult mr;
     if (mapper == "sunstone") {
         SunstoneOptions opts;
@@ -652,12 +811,14 @@ cmdMap(const Args &a)
     } else {
         SUNSTONE_FATAL("unknown mapper '", mapper, "'");
     }
+    telemetry.stop();
     if (a.has("stats-json"))
         writeStatsJson(a.get("stats-json"),
                        "{\"result\": " + mapperResultJson(mapper, mr) +
                            ", \"engine\": " + engine.stats().toJson() +
                            "}");
     sinks.write(engine);
+    g_signalFlush = nullptr;
 
     if (!mr.found) {
         std::printf("no valid mapping found: %s\n",
@@ -773,7 +934,8 @@ void
 usage()
 {
     std::printf(
-        "usage: sunstone <describe|map|eval|arch|check|bench> [options]\n"
+        "usage: sunstone <describe|map|eval|arch|check|bench|report> "
+        "[options]\n"
         "see the header of tools/sunstone_cli.cc for the full option "
         "list\n");
 }
@@ -785,6 +947,10 @@ namespace bench {
 // Implemented in tools/bench.cc (compiled into this binary).
 int run(const std::map<std::string, std::string> &kv);
 } // namespace bench
+namespace report {
+// Implemented in tools/report.cc (compiled into this binary).
+int run(const std::map<std::string, std::string> &kv);
+} // namespace report
 } // namespace sunstone
 
 int
@@ -804,6 +970,8 @@ main(int argc, char **argv)
         return cmdCheck(a);
     if (a.command == "bench")
         return sunstone::bench::run(a.kv);
+    if (a.command == "report")
+        return sunstone::report::run(a.kv);
     usage();
     return a.command.empty() ? 1 : 2;
 }
