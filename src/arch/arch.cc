@@ -1,6 +1,7 @@
 #include "arch/arch.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "arch/energy_model.hh"
@@ -50,6 +51,9 @@ BoundArch::BoundArch(
     const std::map<std::string, std::string> &tensor_to_partition)
     : arch_(std::move(arch)), wl_(std::move(wl))
 {
+    // uid 0 is reserved as "no binding yet" by scratch arenas.
+    static std::atomic<std::uint64_t> next{1};
+    uid_ = next.fetch_add(1, std::memory_order_relaxed);
     arch_.validate();
     residency_.reserve(wl_.numTensors());
     for (TensorId t = 0; t < wl_.numTensors(); ++t)
@@ -244,46 +248,6 @@ BoundArch::nextLevelAbove(int level, TensorId t) const
         if (stores_[l][t])
             return l;
     return -1;
-}
-
-double
-BoundArch::readEnergyPj(int level, TensorId t) const
-{
-    return readPj.at(level).at(t);
-}
-
-double
-BoundArch::writeEnergyPj(int level, TensorId t) const
-{
-    return writePj.at(level).at(t);
-}
-
-bool
-BoundArch::fits(int level,
-                const std::vector<std::int64_t> &footprint_words) const
-{
-    const auto &lv = arch_.levels[level];
-    if (lv.isDram)
-        return true;
-    SUNSTONE_ASSERT((int)footprint_words.size() == numTensors(),
-                    "footprint vector size mismatch");
-    const std::int64_t shrink = lv.doubleBuffered ? 2 : 1;
-    if (lv.partitions.empty()) {
-        std::int64_t bits = 0;
-        for (TensorId t = 0; t < numTensors(); ++t)
-            if (stores_[level][t])
-                bits += footprint_words[t] * wl_.tensor(t).wordBits;
-        return bits <= lv.capacityBits / shrink;
-    }
-    for (const auto &p : lv.partitions) {
-        std::int64_t bits = 0;
-        for (TensorId t = 0; t < numTensors(); ++t)
-            if (stores_[level][t] && tensorPartition[t] == p.name)
-                bits += footprint_words[t] * wl_.tensor(t).wordBits;
-        if (bits > p.capacityBits / shrink)
-            return false;
-    }
-    return true;
 }
 
 std::int64_t

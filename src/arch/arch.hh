@@ -140,6 +140,17 @@ class BoundArch
     const ArchSpec &arch() const { return arch_; }
     const Workload &workload() const { return wl_; }
 
+    /**
+     * Process-unique identity of this binding's construction, from a
+     * monotone counter (never recycled, so a new BoundArch landing at a
+     * freed one's address can never alias it). Copies share the uid:
+     * a copy is semantically identical, and the only post-construction
+     * mutation (setResidency) does not affect anything callers key on
+     * the uid — EvalScratch caches only residency-independent derived
+     * data (storage chains, problem footprints, indexing-dim sets).
+     */
+    std::uint64_t uid() const { return uid_; }
+
     int numLevels() const { return arch_.numLevels(); }
     int numTensors() const { return wl_.numTensors(); }
 
@@ -152,25 +163,60 @@ class BoundArch
     /** @return next level above `level` that stores t, or -1 if none. */
     int nextLevelAbove(int level, TensorId t) const;
 
-    /** @return read energy (pJ) for one word of tensor t at level l. */
-    double readEnergyPj(int level, TensorId t) const;
+    /** @return read energy (pJ) for one word of tensor t at level l.
+     *  Inline: the cost model charges energy per (level, tensor) of
+     *  every evaluation. */
+    double
+    readEnergyPj(int level, TensorId t) const
+    {
+        return readPj.at(level).at(t);
+    }
 
     /** @return write energy (pJ) for one word of tensor t at level l. */
-    double writeEnergyPj(int level, TensorId t) const;
+    double
+    writeEnergyPj(int level, TensorId t) const
+    {
+        return writePj.at(level).at(t);
+    }
 
     /** @return MAC energy (pJ) per operation. */
     double macEnergyPj() const { return macPj_; }
 
     /**
      * Checks that per-tensor footprints (words) fit level l, respecting
-     * partitions. DRAM always fits.
+     * partitions. DRAM always fits. Inline: the validity check calls
+     * this for every non-DRAM level of every evaluation.
      *
      * @param level level index
      * @param footprint_words per-tensor footprints; entries for tensors
      *        not stored at this level are ignored
      */
-    bool fits(int level, const std::vector<std::int64_t> &footprint_words)
-        const;
+    bool
+    fits(int level, const std::vector<std::int64_t> &footprint_words) const
+    {
+        const auto &lv = arch_.levels[level];
+        if (lv.isDram)
+            return true;
+        SUNSTONE_ASSERT((int)footprint_words.size() == numTensors(),
+                        "footprint vector size mismatch");
+        const std::int64_t shrink = lv.doubleBuffered ? 2 : 1;
+        if (lv.partitions.empty()) {
+            std::int64_t bits = 0;
+            for (TensorId t = 0; t < numTensors(); ++t)
+                if (stores_[level][t])
+                    bits += footprint_words[t] * wl_.tensor(t).wordBits;
+            return bits <= lv.capacityBits / shrink;
+        }
+        for (const auto &p : lv.partitions) {
+            std::int64_t bits = 0;
+            for (TensorId t = 0; t < numTensors(); ++t)
+                if (stores_[level][t] && tensorPartition[t] == p.name)
+                    bits += footprint_words[t] * wl_.tensor(t).wordBits;
+            if (bits > p.capacityBits / shrink)
+                return false;
+        }
+        return true;
+    }
 
     /**
      * @return the capacity budget (bits) available to tensor t at level l
@@ -215,6 +261,7 @@ class BoundArch
 
     ArchSpec arch_;
     Workload wl_;
+    std::uint64_t uid_ = 0;
     std::vector<Residency> residency_;
     bool anyEphemeral_ = false;
     std::vector<std::string> tensorPartition;

@@ -1,6 +1,7 @@
 #include "common/parse.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace sunstone {
@@ -18,6 +19,24 @@ tryParseInt64(const std::string &s, std::int64_t &out)
     if (end != s.c_str() + s.size())
         return false; // trailing garbage (or no digits at all)
     out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+tryParseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE)
+        return false;
+    if (end != s.c_str() + s.size())
+        return false; // trailing garbage (or no digits at all)
+    if (!std::isfinite(v))
+        return false; // "inf"/"nan" are never meaningful option values
+    out = v;
     return true;
 }
 

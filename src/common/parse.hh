@@ -24,6 +24,16 @@ namespace sunstone {
  */
 bool tryParseInt64(const std::string &s, std::int64_t &out);
 
+/**
+ * Parses a whole string as a finite double (decimal or scientific).
+ *
+ * @param s text to parse (leading/trailing whitespace not allowed)
+ * @param out receives the value on success
+ * @return false when `s` is empty, contains trailing garbage, overflows,
+ *         or spells a non-finite value ("inf", "nan")
+ */
+bool tryParseDouble(const std::string &s, double &out);
+
 } // namespace sunstone
 
 #endif // SUNSTONE_COMMON_PARSE_HH

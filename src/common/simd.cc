@@ -1,0 +1,53 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sunstone {
+namespace simd {
+
+namespace {
+
+/** -1 unset, 0 disabled, 1 enabled. */
+std::atomic<int> g_runtime{-1};
+
+bool
+envDefault()
+{
+    // SUNSTONE_SIMD=off|0|scalar|false disables the packed kernels at
+    // process startup; anything else (including unset) leaves them on.
+    const char *v = std::getenv("SUNSTONE_SIMD");
+    if (!v)
+        return true;
+    return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+             std::strcmp(v, "scalar") == 0 || std::strcmp(v, "false") == 0);
+}
+
+} // anonymous namespace
+
+bool
+simdRuntimeEnabled()
+{
+    int s = g_runtime.load(std::memory_order_relaxed);
+    if (s < 0) {
+        s = envDefault() ? 1 : 0;
+        g_runtime.store(s, std::memory_order_relaxed);
+    }
+    return s == 1;
+}
+
+void
+setSimdRuntimeEnabled(bool enabled)
+{
+    g_runtime.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char *
+activeBackendDescription()
+{
+    return simdRuntimeEnabled() ? vec4d::backendName() : "scalar (runtime)";
+}
+
+} // namespace simd
+} // namespace sunstone

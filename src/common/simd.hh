@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Minimal portable SIMD wrapper for the batch cost evaluator: a
+ * four-lane double vector with the handful of operations the hot
+ * finalization loops need (load/store, broadcast, add, mul, div, max,
+ * sqrt). Backends:
+ *
+ *   - AVX2 (x86-64, compiled with -mavx2; see SUNSTONE_SIMD in CMake)
+ *   - NEON (aarch64; two float64x2_t halves)
+ *   - scalar (everything else) — a plain double[4] loop the compiler
+ *     unrolls; numerically identical because every wrapped operation
+ *     (+, *, /, sqrt, max) is IEEE correctly rounded in every backend,
+ *     so a fixed per-lane operation order gives the same bits whether
+ *     the lanes run packed or one at a time. FMA contraction is the
+ *     only way packed/scalar code could diverge, and the wrapper never
+ *     uses FMA.
+ *
+ * Runtime selection: vec4d::backendName() reports what was compiled
+ * in; simdRuntimeEnabled() additionally honours the SUNSTONE_SIMD
+ * environment variable ("off"/"0"/"scalar" force the scalar fallback
+ * paths) and setSimdRuntimeEnabled() lets tests flip it per-process.
+ * Consumers (model/batch_eval.cc) branch on simdRuntimeEnabled() to
+ * pick between the SoA kernels and the reference scalar evaluation.
+ */
+
+#ifndef SUNSTONE_COMMON_SIMD_HH
+#define SUNSTONE_COMMON_SIMD_HH
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define SUNSTONE_SIMD_AVX2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define SUNSTONE_SIMD_NEON 1
+#endif
+
+namespace sunstone {
+namespace simd {
+
+/** Lane count of vec4d; also the SoA group width in batch_eval. */
+constexpr int kLanes = 4;
+
+/**
+ * @return false when the SUNSTONE_SIMD environment variable (read once)
+ *         or a prior setSimdRuntimeEnabled(false) forces the scalar
+ *         fallback; callers must then take their reference paths.
+ */
+bool simdRuntimeEnabled();
+
+/** Overrides the environment-derived default (tests, CLI plumbing). */
+void setSimdRuntimeEnabled(bool enabled);
+
+/** Four doubles, operated on element-wise. */
+struct vec4d
+{
+#if defined(SUNSTONE_SIMD_AVX2)
+    __m256d v;
+
+    static vec4d load(const double *p) { return {_mm256_loadu_pd(p)}; }
+    static vec4d broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    static vec4d zero() { return {_mm256_setzero_pd()}; }
+    void store(double *p) const { _mm256_storeu_pd(p, v); }
+    friend vec4d operator+(vec4d a, vec4d b)
+    {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+    friend vec4d operator-(vec4d a, vec4d b)
+    {
+        return {_mm256_sub_pd(a.v, b.v)};
+    }
+    friend vec4d operator*(vec4d a, vec4d b)
+    {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+    friend vec4d operator/(vec4d a, vec4d b)
+    {
+        return {_mm256_div_pd(a.v, b.v)};
+    }
+    static vec4d max(vec4d a, vec4d b)
+    {
+        return {_mm256_max_pd(a.v, b.v)};
+    }
+    static vec4d sqrt(vec4d a) { return {_mm256_sqrt_pd(a.v)}; }
+
+    static constexpr const char *backendName() { return "avx2"; }
+#elif defined(SUNSTONE_SIMD_NEON)
+    float64x2_t lo, hi;
+
+    static vec4d
+    load(const double *p)
+    {
+        return {vld1q_f64(p), vld1q_f64(p + 2)};
+    }
+    static vec4d
+    broadcast(double x)
+    {
+        return {vdupq_n_f64(x), vdupq_n_f64(x)};
+    }
+    static vec4d zero() { return broadcast(0.0); }
+    void
+    store(double *p) const
+    {
+        vst1q_f64(p, lo);
+        vst1q_f64(p + 2, hi);
+    }
+    friend vec4d
+    operator+(vec4d a, vec4d b)
+    {
+        return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+    }
+    friend vec4d
+    operator-(vec4d a, vec4d b)
+    {
+        return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+    }
+    friend vec4d
+    operator*(vec4d a, vec4d b)
+    {
+        return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+    }
+    friend vec4d
+    operator/(vec4d a, vec4d b)
+    {
+        return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+    }
+    static vec4d
+    max(vec4d a, vec4d b)
+    {
+        return {vmaxq_f64(a.lo, b.lo), vmaxq_f64(a.hi, b.hi)};
+    }
+    static vec4d
+    sqrt(vec4d a)
+    {
+        return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)};
+    }
+
+    static constexpr const char *backendName() { return "neon"; }
+#else
+    double v[kLanes];
+
+    static vec4d
+    load(const double *p)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = p[i];
+        return r;
+    }
+    static vec4d
+    broadcast(double x)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = x;
+        return r;
+    }
+    static vec4d zero() { return broadcast(0.0); }
+    void
+    store(double *p) const
+    {
+        for (int i = 0; i < kLanes; ++i)
+            p[i] = v[i];
+    }
+    friend vec4d
+    operator+(vec4d a, vec4d b)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+    friend vec4d
+    operator-(vec4d a, vec4d b)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] - b.v[i];
+        return r;
+    }
+    friend vec4d
+    operator*(vec4d a, vec4d b)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+    friend vec4d
+    operator/(vec4d a, vec4d b)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] / b.v[i];
+        return r;
+    }
+    static vec4d
+    max(vec4d a, vec4d b)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+        return r;
+    }
+    static vec4d
+    sqrt(vec4d a)
+    {
+        vec4d r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = std::sqrt(a.v[i]);
+        return r;
+    }
+
+    static constexpr const char *backendName() { return "scalar"; }
+#endif
+};
+
+/** @return compile-time backend plus the runtime switch, e.g.
+ *          "avx2" or "avx2 (runtime-disabled)". */
+const char *activeBackendDescription();
+
+} // namespace simd
+} // namespace sunstone
+
+#endif // SUNSTONE_COMMON_SIMD_HH

@@ -67,6 +67,16 @@ Mapping::totalSpatial() const
 bool
 Mapping::valid(const BoundArch &ba, std::string *why) const
 {
+    // Non-hot callers go through a per-thread scratch; the cost model's
+    // fast path supplies its own (embedded in EvalScratch).
+    thread_local ValidityScratch vs;
+    return valid(ba, vs, why);
+}
+
+bool
+Mapping::valid(const BoundArch &ba, ValidityScratch &vs,
+               std::string *why) const
+{
     const Workload &wl = ba.workload();
     auto fail = [&](const std::string &msg) {
         if (why)
@@ -95,12 +105,12 @@ Mapping::valid(const BoundArch &ba, std::string *why) const
         const auto &lm = levels[l];
         if ((int)lm.order.size() != wl.numDims())
             return fail("bad order length at level " + std::to_string(l));
-        std::vector<bool> seen(wl.numDims(), false);
+        vs.seen.assign(wl.numDims(), 0);
         for (DimId d : lm.order) {
-            if (d < 0 || d >= wl.numDims() || seen[d])
+            if (d < 0 || d >= wl.numDims() || vs.seen[d])
                 return fail("order at level " + std::to_string(l) +
                             " is not a permutation");
-            seen[d] = true;
+            vs.seen[d] = 1;
         }
         const auto &lv = ba.arch().levels[l];
         if (lm.spatialProduct() > lv.fanout)
@@ -111,7 +121,8 @@ Mapping::valid(const BoundArch &ba, std::string *why) const
             // mesh: some subset's product <= meshX with the complement's
             // product <= meshY. Dimension counts are tiny, so subsets
             // are enumerated directly.
-            std::vector<std::int64_t> factors;
+            auto &factors = vs.meshFactors;
+            factors.clear();
             for (DimId d = 0; d < wl.numDims(); ++d)
                 if (lm.spatial[d] > 1)
                     factors.push_back(lm.spatial[d]);
@@ -139,11 +150,22 @@ Mapping::valid(const BoundArch &ba, std::string *why) const
         }
     }
 
-    // Every stored tile must fit its level.
+    // Every stored tile must fit its level. The cumulative shape
+    // accumulates across levels (satMul folds in the same inner-to-outer
+    // order tileShape() uses, so the products are identical), turning
+    // the historical O(levels^2) re-derivation into one pass.
+    vs.shape.assign(wl.numDims(), 1);
+    vs.footprints.resize(wl.numTensors());
     for (int l = 0; l < numLevels(); ++l) {
+        const auto &lm = levels[l];
+        for (DimId d = 0; d < wl.numDims(); ++d)
+            vs.shape[d] = satMul(
+                vs.shape[d], satMul(lm.temporal[d], lm.spatial[d]));
         if (ba.arch().levels[l].isDram)
             continue;
-        if (!ba.fits(l, footprints(l, wl)))
+        for (TensorId t = 0; t < wl.numTensors(); ++t)
+            vs.footprints[t] = wl.tensor(t).footprint(vs.shape);
+        if (!ba.fits(l, vs.footprints))
             return fail("tile does not fit level '" +
                         ba.arch().levels[l].name + "'");
     }

@@ -46,6 +46,23 @@ struct LevelMapping
     std::int64_t spatialProduct() const;
 };
 
+/**
+ * Reusable buffers for Mapping::valid(): the running cumulative tile
+ * shape, per-tensor footprints, the permutation-check bitmap, and the
+ * mesh-packing factor list. Validity is on every evaluation's critical
+ * path, and the historical implementation re-allocated (and re-derived
+ * tile shapes from scratch) per level; with a scratch the check is
+ * allocation-free and incremental. One scratch per thread — see
+ * EvalScratch, which embeds one for the cost model's hot path.
+ */
+struct ValidityScratch
+{
+    std::vector<std::int64_t> shape;
+    std::vector<std::int64_t> footprints;
+    std::vector<char> seen;
+    std::vector<std::int64_t> meshFactors;
+};
+
 /** A complete mapping of a workload onto an architecture. */
 class Mapping
 {
@@ -83,6 +100,15 @@ class Mapping
      * @param why optional out-parameter receiving the failure reason
      */
     bool valid(const BoundArch &ba, std::string *why = nullptr) const;
+
+    /**
+     * Allocation-free variant of valid(): identical checks in the
+     * identical order with identical failure strings, but every
+     * temporary lives in the caller-provided scratch and tile shapes
+     * accumulate incrementally instead of being re-derived per level.
+     */
+    bool valid(const BoundArch &ba, ValidityScratch &vs,
+               std::string *why = nullptr) const;
 
     /** Renders the mapping as an indented loop nest for humans. */
     std::string toString(const BoundArch &ba) const;

@@ -1,0 +1,276 @@
+#include "model/batch_eval.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sunstone {
+
+using simd::vec4d;
+
+BatchEvaluator::BatchEvaluator(const BoundArch &ba,
+                               const CostModelOptions &opts)
+    : ba_(&ba), opts_(opts)
+{
+    const Workload &wl = ba.workload();
+    const ArchSpec &arch = ba.arch();
+    nl_ = ba.numLevels();
+    nt_ = ba.numTensors();
+
+    readPj_.resize(static_cast<std::size_t>(nl_) * nt_);
+    writePj_.resize(static_cast<std::size_t>(nl_) * nt_);
+    for (int l = 0; l < nl_; ++l)
+        for (TensorId t = 0; t < nt_; ++t) {
+            readPj_[static_cast<std::size_t>(l) * nt_ + t] =
+                ba.readEnergyPj(l, t);
+            writePj_[static_cast<std::size_t>(l) * nt_ + t] =
+                ba.writeEnergyPj(l, t);
+        }
+    readBw_.resize(nl_);
+    writeBw_.resize(nl_);
+    for (int l = 0; l < nl_; ++l) {
+        readBw_[l] = arch.levels[l].readBwWordsPerCycle;
+        writeBw_[l] = arch.levels[l].writeBwWordsPerCycle;
+    }
+
+    const std::int64_t ops = wl.totalOps();
+    // Same expressions the scalar finalization evaluates per call;
+    // hoisting them is bit-preserving (pure functions of the pair).
+    macEnergyPj_ = (double)ops * ba.macEnergyPj() * wl.multipliesPerOp();
+    opsD_ = (double)ops;
+    clockHz_ = arch.clockGhz * 1e9;
+    fanoutD_ = (double)std::max<std::int64_t>(1, arch.totalFanout());
+
+    const std::size_t cells = static_cast<std::size_t>(nl_) * nt_ * kW;
+    soaWordsR_.assign(cells, 0.0);
+    soaWordsW_.assign(cells, 0.0);
+    soaSpatial_.assign(static_cast<std::size_t>(nl_ + 1) * kW, 1);
+    laneLevelE_.assign(static_cast<std::size_t>(nl_) * kW, 0.0);
+}
+
+const char *
+BatchEvaluator::backendName()
+{
+    return vec4d::backendName();
+}
+
+bool
+BatchEvaluator::simdActive()
+{
+    return simd::simdRuntimeEnabled();
+}
+
+void
+BatchEvaluator::evaluate(std::span<const Mapping> ms, CostResult *out)
+{
+    if (!simd::simdRuntimeEnabled()) {
+        // Runtime scalar fallback: the historical serial batch path,
+        // bit-identical to evaluateMapping() per element.
+        for (std::size_t i = 0; i < ms.size(); ++i)
+            evaluateMappingInto(*ba_, ms[i], opts_, scratch_, out[i]);
+        return;
+    }
+    const Mapping *lanes[kW];
+    CostResult *res[kW];
+    for (std::size_t base = 0; base < ms.size(); base += kW) {
+        const int n =
+            static_cast<int>(std::min<std::size_t>(kW, ms.size() - base));
+        for (int k = 0; k < n; ++k) {
+            lanes[k] = &ms[base + k];
+            res[k] = &out[base + k];
+        }
+        evaluateGroup(lanes, n, res);
+    }
+}
+
+void
+BatchEvaluator::evaluate(const Mapping *const *ms, std::size_t n,
+                         CostResult *const *out)
+{
+    if (!simd::simdRuntimeEnabled()) {
+        for (std::size_t i = 0; i < n; ++i)
+            evaluateMappingInto(*ba_, *ms[i], opts_, scratch_, *out[i]);
+        return;
+    }
+    for (std::size_t base = 0; base < n; base += kW) {
+        const int g =
+            static_cast<int>(std::min<std::size_t>(kW, n - base));
+        evaluateGroup(ms + base, g, out + base);
+    }
+}
+
+void
+BatchEvaluator::evaluateGroup(const Mapping *const *ms, int n,
+                              CostResult *const *out)
+{
+    scratch_.prepare(*ba_);
+
+    for (int k = 0; k < kW; ++k) {
+        laneNoc_[k] = 0;
+        laneValid_[k] = false;
+    }
+
+    // Integer phase, one lane at a time: validity through the shared
+    // allocation-free scratch (sharing its tile footprints with the
+    // access counts), then the scalar access-count kernel. Counters are
+    // emitted into the caller's CostResult immediately; only the double
+    // word sums the packed kernels consume are gathered into SoA cells.
+    for (int k = 0; k < n; ++k) {
+        const Mapping &m = *ms[k];
+        CostResult &res = *out[k];
+        if (!opts_.assumeValid &&
+            !detail::checkValid(*ba_, m, scratch_, &laneWhy_[k])) {
+            detail::resetCostResult(res, nl_, nt_);
+            res.invalidReason = laneWhy_[k];
+            res.edp = std::numeric_limits<double>::infinity();
+            res.totalEnergyPj = std::numeric_limits<double>::infinity();
+            continue;
+        }
+        if (opts_.assumeValid)
+            detail::fillTables(m, scratch_);
+        laneValid_[k] = true;
+        laneNoc_[k] = detail::countAccess(*ba_, m, opts_, nullptr,
+                                          scratch_);
+
+        // Shape the result buffers without the full clear: every cell
+        // below and every scalar field in emitLane() is overwritten.
+        res.invalidReason.clear();
+        res.access.resize(nl_);
+        res.levelEnergyPj.resize(nl_);
+        for (int l = 0; l < nl_; ++l) {
+            auto &row = res.access[l];
+            row.resize(nt_);
+            for (int t = 0; t < nt_; ++t) {
+                const std::size_t i = static_cast<std::size_t>(l) * nt_ + t;
+                const AccessCounts &a = scratch_.access[i];
+                row[t] = a;
+                const std::size_t j = i * kW + k;
+                soaWordsR_[j] = (double)a.totalReads();
+                soaWordsW_[j] = (double)a.totalWrites();
+            }
+        }
+        for (int l = 0; l <= nl_; ++l)
+            soaSpatial_[static_cast<std::size_t>(l) * kW + k] =
+                scratch_.spatialSuffix[l];
+    }
+
+    // Neutral state for padding and invalid lanes only (valid lanes were
+    // fully gathered above): zero word sums and unit spatial products
+    // keep the packed arithmetic finite.
+    for (int k = 0; k < kW; ++k) {
+        if (k < n && laneValid_[k])
+            continue;
+        const std::size_t cells = static_cast<std::size_t>(nl_) * nt_;
+        for (std::size_t i = 0; i < cells; ++i) {
+            soaWordsR_[i * kW + k] = 0.0;
+            soaWordsW_[i * kW + k] = 0.0;
+        }
+        for (int l = 0; l <= nl_; ++l)
+            soaSpatial_[static_cast<std::size_t>(l) * kW + k] = 1;
+    }
+
+    finalizeLanes();
+
+    for (int k = 0; k < n; ++k)
+        if (laneValid_[k])
+            emitLane(k, *out[k]);
+}
+
+void
+BatchEvaluator::finalizeLanes()
+{
+    static_assert(kW == 4, "packed kernels assume 4 lanes");
+
+    // Latency seed: compute cycles per lane (the level loop below
+    // raises it to any bandwidth bottleneck it finds).
+    double lanesD[kW];
+    for (int k = 0; k < kW; ++k) {
+        const std::int64_t lanes =
+            std::max<std::int64_t>(1, soaSpatial_[k]);
+        lanesD[k] = (double)lanes;
+        laneUtil_[k] = (double)lanes / fanoutD_;
+        laneBottleneck_[k] = -1;
+    }
+    (vec4d::broadcast(opsD_) / vec4d::load(lanesD)).store(laneCycles_);
+
+    // One pass per level loads the pre-converted lane word sums once and
+    // feeds both consumers: the energy accumulation (acc += totalReads *
+    // readPj + totalWrites * writePj over tensors in order — the scalar
+    // loop, lane-packed) and the bandwidth word sums for the (cheap,
+    // branchy) per-lane bottleneck comparison.
+    vec4d totalE = vec4d::zero();
+    double rsum[kW], wsum[kW];
+    for (int l = 0; l < nl_; ++l) {
+        vec4d acc = vec4d::zero();
+        vec4d rs = vec4d::zero();
+        vec4d ws = vec4d::zero();
+        for (int t = 0; t < nt_; ++t) {
+            const std::size_t j =
+                (static_cast<std::size_t>(l) * nt_ + t) * kW;
+            const vec4d trv = vec4d::load(&soaWordsR_[j]);
+            const vec4d twv = vec4d::load(&soaWordsW_[j]);
+            const vec4d rp = vec4d::broadcast(
+                readPj_[static_cast<std::size_t>(l) * nt_ + t]);
+            const vec4d wp = vec4d::broadcast(
+                writePj_[static_cast<std::size_t>(l) * nt_ + t]);
+            acc = acc + (trv * rp + twv * wp);
+            rs = rs + trv;
+            ws = ws + twv;
+        }
+        acc.store(&laneLevelE_[static_cast<std::size_t>(l) * kW]);
+        totalE = totalE + acc;
+        rs.store(rsum);
+        ws.store(wsum);
+        for (int k = 0; k < kW; ++k) {
+            const double inst =
+                (double)soaSpatial_[static_cast<std::size_t>(l + 1) * kW +
+                                    k];
+            auto dir_cycles = [inst](double words, double bw) {
+                if (words <= 0)
+                    return 0.0;
+                if (bw <= 0)
+                    return std::numeric_limits<double>::infinity();
+                return words / (bw * inst);
+            };
+            const double level_cycles =
+                std::max(dir_cycles(rsum[k], readBw_[l]),
+                         dir_cycles(wsum[k], writeBw_[l]));
+            if (level_cycles > laneCycles_[k]) {
+                laneCycles_[k] = level_cycles;
+                laneBottleneck_[k] = l;
+            }
+        }
+    }
+
+    totalE = totalE + vec4d::broadcast(macEnergyPj_);
+    if (opts_.modelNoc)
+        totalE = totalE + vec4d::load(laneNoc_);
+    totalE.store(laneTotalE_);
+}
+
+void
+BatchEvaluator::emitLane(int k, CostResult &res) const
+{
+    res.valid = true;
+    for (int l = 0; l < nl_; ++l)
+        res.levelEnergyPj[l] =
+            laneLevelE_[static_cast<std::size_t>(l) * kW + k];
+    res.macEnergyPj = macEnergyPj_;
+    res.nocEnergyPj = laneNoc_[k];
+    res.totalEnergyPj = laneTotalE_[k];
+    res.cycles = laneCycles_[k];
+    res.delaySeconds = laneCycles_[k] / clockHz_;
+    res.utilization = laneUtil_[k];
+    res.edp = res.totalEnergyPj * 1e-12 * res.delaySeconds;
+    const int b = laneBottleneck_[k];
+    if (b < 0) {
+        res.bottleneck = "compute";
+    } else {
+        const auto &lv = ba_->arch().levels[b];
+        res.bottleneck = std::isinf(laneCycles_[k])
+                             ? lv.name + " (zero bandwidth)"
+                             : lv.name;
+    }
+}
+
+} // namespace sunstone

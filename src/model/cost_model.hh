@@ -114,20 +114,31 @@ struct CostModelOptions
  * same (workload, arch) pair allocate nothing in steady state.
  *
  * Lifetime rules: a scratch may be reused across different bound pairs
- * (prepare() resizes when the shape changes) but must not be shared
+ * (prepare() rebuilds when the BoundArch changes) but must not be shared
  * between threads; use threadEvalScratch() for the common case. Buffers
  * are only valid during a single evaluateMappingInto() call — nothing in
  * here outlives the call it serves.
+ *
+ * Reuse keying: prepare() keys on BoundArch::uid(), not on the buffer
+ * dimensions. Two bindings with identical (levels, tensors, dims) — e.g.
+ * a bypass or residency variant of the same architecture — never share
+ * the cached per-binding invariants below, because uids are process
+ * unique and never recycled (see tests/test_batch_eval.cc,
+ * ScratchRekeysAcrossBoundArchVariants).
  */
 struct EvalScratch
 {
-    /** (Re)sizes every buffer for the bound pair; cheap when unchanged. */
+    /**
+     * Rebuilds every buffer and per-binding invariant for the bound
+     * pair; cheap (counter bump only) when the binding is unchanged.
+     */
     void prepare(const BoundArch &ba);
 
-    /** @return evaluations served without resizing (telemetry). */
+    /** @return evaluations served without rebuilding (telemetry). */
     std::int64_t reuseCount() const { return reuses; }
 
-    // Bound shape the buffers are sized for.
+    // Binding the buffers and invariants are built for.
+    std::uint64_t baUid = 0;
     int nl = -1;
     int nt = -1;
     int nd = -1;
@@ -152,6 +163,89 @@ struct EvalScratch
     std::vector<std::pair<std::int64_t, std::int64_t>> split;
     std::vector<std::int64_t> starts;
     std::vector<std::int64_t> startsNext;
+
+    /** Buffers for the allocation-free Mapping::valid() overload. */
+    ValidityScratch validity;
+
+    /**
+     * Suffix products over the linearized loops and the per-level
+     * spatial factors, rebuilt per mapping by fillTables. satMul over
+     * operands >= 1 is fold-order independent (including saturation),
+     * so replacing the historical per-pair walks with suffix lookups is
+     * bit-exact — see DESIGN.md §11.
+     */
+    std::vector<std::int64_t> loopSuffix;   // [i] = prod factor[i..); L+1
+    std::vector<std::int64_t> spatialSuffix; // [l] = prod spatial[l..); nl+1
+    /** Per-tensor: first linearized loop at >= i over an indexing dim
+     *  (-1 sentinel), rebuilt per (mapping, tensor). */
+    std::vector<int> firstIdx;
+
+    /**
+     * Per-binding invariants, computed once per prepare() instead of per
+     * evaluation: total operation count, per-tensor problem footprints
+     * and indexing-dim sets, and the bypass-aware storage chains
+     * (chainFlat[chainBegin[t]..chainBegin[t+1]) lists the levels
+     * storing t, innermost first). All are residency-independent, which
+     * is what makes uid sharing across BoundArch copies safe.
+     */
+    std::int64_t totalOps = 0;
+    std::vector<std::int64_t> problemFp; // [t]
+    std::vector<DimSet> idxDims;         // [t]
+    std::vector<int> chainFlat;
+    std::vector<int> chainBegin;         // [nt + 1]
+
+    /**
+     * Physical fanout product of the networks in (c, l] and its
+     * sqrt-hop factor for every storage-chain pair, aligned with
+     * chainFlat: pair (chain[i-1], chain[i]) of tensor t lives at index
+     * chainBegin[t] + i (index chainBegin[t] itself is unused). Pure
+     * binding invariants — the NoC model reads them instead of walking
+     * the level range per evaluation.
+     */
+    std::vector<std::int64_t> chainFan;
+    std::vector<double> chainHops;
+
+    /**
+     * Flattened per-(tensor, rank) index structure with per-dim merged
+     * coefficients: tensor t's ranks are rankBegin[t]..rankBegin[t+1),
+     * rank r's (dim, summed coeff) pairs are termBegin[r]..termBegin[r+1)
+     * of termDim/termCoeff. Extents and footprints computed from the
+     * merged pairs are bit-identical to IndexExpr::extent() /
+     * TensorSpec::footprint() (coefficient merging distributes over the
+     * shared (shape[d] - 1) factor; the satMul fold order over ranks is
+     * preserved), but never rescan TensorSpec term lists per evaluation.
+     */
+    std::vector<int> rankBegin;           // [nt + 1]
+    std::vector<int> termBegin;           // [numRanks + 1]
+    std::vector<DimId> termDim;
+    std::vector<std::int64_t> termCoeff;
+
+    /**
+     * nonMcPrefix[l] counts levels < l whose fanout network cannot
+     * multicast, so "every network in (c, l] multicasts" is the O(1)
+     * test nonMcPrefix[l + 1] == nonMcPrefix[c + 1].
+     */
+    std::vector<int> nonMcPrefix;         // [nl + 1]
+
+    /**
+     * Per-(level, tensor) tile footprints of the current mapping,
+     * filled by detail::checkValid() as a side product of the fits
+     * checks and consumed by detail::countAccess() so the tile
+     * footprint of a chain pair is never computed twice. Only valid for
+     * non-DRAM levels, and only when tileFpReady (checkValid ran and
+     * passed for this mapping).
+     */
+    std::vector<std::int64_t> tileFp;    // [l * nt + t]
+    bool tileFpReady = false;
+
+    /**
+     * Per-(level, rank) tile extents recorded by the same fits pass
+     * (rank indices are the flattened rankBegin space). The multicast
+     * union recomputes per-rank extents of a consumer tile otherwise;
+     * like tileFp, entries are valid for non-DRAM levels when
+     * tileFpReady.
+     */
+    std::vector<std::int64_t> rankExt;   // [l * numRanks + r]
 };
 
 /** @return this thread's lazily constructed scratch arena. */
@@ -244,6 +338,61 @@ void evaluateMappingWithPrefixInto(const BoundArch &ba,
  * This is the alpha-beta lower-bound surrogate of Section V-C.
  */
 double partialEnergyPj(const BoundArch &ba, const Mapping &m, int max_level);
+
+namespace detail {
+
+/**
+ * Internal stages of evaluateMappingInto(), exported so the SoA batch
+ * evaluator (model/batch_eval.hh) can reuse the exact integer kernels
+ * and share the scalar path's bit-identity guarantees. Not a public API.
+ */
+
+/** Resets `res` to a freshly constructed state, reusing capacity. */
+void resetCostResult(CostResult &res, int nl, int nt);
+
+/**
+ * Builds the per-mapping tables (cumulative tile shapes, per-level
+ * spatial products, linearized loop nest, suffix products) into the
+ * scratch. Requires a prepared scratch and a mapping whose level/dim
+ * counts and per-level orders are well formed (checkValid() runs it
+ * only after establishing that; assumeValid callers vouch for it).
+ */
+void fillTables(const Mapping &m, EvalScratch &s);
+
+/**
+ * Validity check of the evaluation fast path: same checks, in the same
+ * order, producing byte-identical failure messages as the public
+ * Mapping::valid() (pinned by tests/test_batch_eval.cc,
+ * CheckValidMatchesMappingValid — keep the two in sync). On the fits
+ * pass it runs fillTables() and reuses the cumulative shapes, storing
+ * every per-(level, tensor) footprint into s.tileFp for countAccess()
+ * to consume. On success the scratch tables are fully built.
+ */
+bool checkValid(const BoundArch &ba, const Mapping &m, EvalScratch &s,
+                std::string *why);
+
+/**
+ * Computes every per-(level, tensor) access counter of `m` into
+ * scratch.access. Requires the scratch tables to be built for `m`
+ * (by checkValid() or fillTables()). Assumes the mapping is valid.
+ *
+ * @return the NoC energy (pJ) accumulated in chain-pair order — exactly
+ *         the res.nocEnergyPj the monolithic evaluation produced
+ */
+double countAccess(const BoundArch &ba, const Mapping &m,
+                   const CostModelOptions &opts, const PrefixTerms *prefix,
+                   EvalScratch &s);
+
+/**
+ * Scalar finalization: copies the scratch counters into res.access and
+ * derives energy, latency, utilization, and EDP, in the historical
+ * accumulation order.
+ */
+void finalizeResult(const BoundArch &ba, const CostModelOptions &opts,
+                    const EvalScratch &s, double noc_energy_pj,
+                    CostResult &res);
+
+} // namespace detail
 
 } // namespace sunstone
 

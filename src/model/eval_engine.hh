@@ -209,10 +209,23 @@ class EvalEngine
                        const Mapping &m, const CostModelOptions &opts = {});
 
     /**
-     * Evaluates a batch of mappings across the shared pool (falls back
-     * to a serial loop for singleton batches or single-threaded
-     * engines). out[i] corresponds to ms[i]; results are identical to
-     * calling evaluate() per mapping.
+     * Evaluates a batch of mappings through the SoA batch evaluator
+     * (model/batch_eval.hh): the batch is cut into fixed-size chunks
+     * (independent of the pool size, so results and cache contents are
+     * deterministic for any thread count) and each chunk runs through a
+     * per-thread BatchEvaluator with the floating-point finalization
+     * vectorized across candidate lanes. out[i] corresponds to ms[i].
+     *
+     * Results are identical to calling evaluate() per mapping: bitwise
+     * when the runtime scalar fallback is active (SUNSTONE_SIMD=off),
+     * and on mainstream toolchains also with the packed kernels (same
+     * IEEE operations in the same per-lane order, no FMA); the pinned
+     * contract for the packed path is integer-exact counters plus
+     * tightly tolerance-bounded doubles (tests/test_batch_eval.cc).
+     * Under CachePolicy::UseCache, hits are served per mapping and only
+     * the misses run through the SoA path (and are then inserted).
+     * The per-eval latency histogram records one sample per chunk (the
+     * chunk mean) rather than one per evaluation.
      */
     void evaluateBatch(const Context &ctx, std::span<const Mapping> ms,
                        const CostModelOptions &opts, CachePolicy policy,
@@ -272,6 +285,10 @@ class EvalEngine
     CostResult evaluateImpl(const Context &ctx, const Mapping &m,
                             const CostModelOptions &opts, CachePolicy policy,
                             const PrefixTerms *prefix);
+    void evaluateChunk(const Context &ctx, std::span<const Mapping> ms,
+                       const CostModelOptions &opts, CachePolicy policy,
+                       std::vector<CostResult> &out, std::size_t lo,
+                       std::size_t hi);
 
     EvalEngineOptions opts_;
     std::vector<std::unique_ptr<Shard>> shards_;

@@ -18,20 +18,6 @@ IndexExpr::dims() const
     return s;
 }
 
-std::int64_t
-IndexExpr::extent(const std::vector<std::int64_t> &shape) const
-{
-    // The index values span [0, sum coeff_i * (extent_i - 1)], hence the
-    // accessed extent along this rank is that sum plus one.
-    std::int64_t e = 1;
-    for (const auto &t : terms) {
-        SUNSTONE_ASSERT(t.dim >= 0 && t.dim < (int)shape.size(),
-                        "dim out of range in IndexExpr");
-        e += t.coeff * (shape[t.dim] - 1);
-    }
-    return e;
-}
-
 DimSet
 TensorSpec::indexingDims() const
 {
@@ -39,15 +25,6 @@ TensorSpec::indexingDims() const
     for (const auto &r : ranks)
         s = s.unionWith(r.dims());
     return s;
-}
-
-std::int64_t
-TensorSpec::footprint(const std::vector<std::int64_t> &shape) const
-{
-    std::int64_t fp = 1;
-    for (const auto &r : ranks)
-        fp = satMul(fp, r.extent(shape));
-    return fp;
 }
 
 DimId

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/math_utils.hh"
 #include "workload/dim_set.hh"
 
 namespace sunstone {
@@ -49,9 +51,22 @@ struct IndexExpr
     /**
      * Extent of this rank when each dim d spans [0, shape[d]).
      * For p + r with extents Pt, Rt this is (Pt - 1) + (Rt - 1) + 1,
-     * the standard halo'd tile width.
+     * the standard halo'd tile width. Inline: the cost model calls this
+     * for every rank of every tensor of every evaluation.
      */
-    std::int64_t extent(const std::vector<std::int64_t> &shape) const;
+    std::int64_t
+    extent(const std::vector<std::int64_t> &shape) const
+    {
+        // The index values span [0, sum coeff_i * (extent_i - 1)], hence
+        // the accessed extent along this rank is that sum plus one.
+        std::int64_t e = 1;
+        for (const auto &t : terms) {
+            SUNSTONE_ASSERT(t.dim >= 0 && t.dim < (int)shape.size(),
+                            "dim out of range in IndexExpr");
+            e += t.coeff * (shape[t.dim] - 1);
+        }
+        return e;
+    }
 
     bool operator==(const IndexExpr &) const = default;
 };
@@ -68,8 +83,16 @@ struct TensorSpec
     /** @return union of dims over all ranks (the indexing dims). */
     DimSet indexingDims() const;
 
-    /** @return tensor footprint (in words) for the given tile shape. */
-    std::int64_t footprint(const std::vector<std::int64_t> &shape) const;
+    /** @return tensor footprint (in words) for the given tile shape.
+     *  Inline for the same reason as IndexExpr::extent(). */
+    std::int64_t
+    footprint(const std::vector<std::int64_t> &shape) const
+    {
+        std::int64_t fp = 1;
+        for (const auto &r : ranks)
+            fp = satMul(fp, r.extent(shape));
+        return fp;
+    }
 };
 
 /** Identifies a tensor within its workload. */

@@ -1,0 +1,373 @@
+/** @file
+ * Contract tests for the SoA batch evaluator (model/batch_eval.hh) and
+ * the validity/scratch plumbing it leans on:
+ *
+ *  - The packed SIMD path must agree with the scalar evaluateMapping()
+ *    reference: integer access counters exactly, floating-point outputs
+ *    within a tight relative tolerance (bitwise on mainstream
+ *    toolchains — the packed kernels replay the scalar operation order
+ *    with correctly rounded ops and no FMA contraction — but the
+ *    contract here allows 1e-12 relative for exotic platforms).
+ *  - The runtime scalar fallback (setSimdRuntimeEnabled(false)) must be
+ *    bit-identical to evaluateMappingInto(), including invalid lanes.
+ *  - detail::checkValid() must return the same verdict AND the same
+ *    failure string as Mapping::valid() — the batch path surfaces its
+ *    strings to users, so divergence would be visible.
+ *  - EvalScratch must re-derive its cached invariants when the bound
+ *    architecture changes identity, even when the (levels, tensors,
+ *    dims) shape is unchanged (bypass variants), and must stay correct
+ *    across residency mutations of one binding (which share a uid).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "common/simd.hh"
+#include "model/batch_eval.hh"
+#include "model/cost_model.hh"
+#include "model/diffcheck.hh"
+#include "workload/zoo.hh"
+
+namespace sunstone {
+namespace {
+
+/** RAII guard: force the SIMD runtime switch for one test body. */
+struct SimdGuard
+{
+    explicit SimdGuard(bool enabled) : saved_(simd::simdRuntimeEnabled())
+    {
+        simd::setSimdRuntimeEnabled(enabled);
+    }
+    ~SimdGuard() { simd::setSimdRuntimeEnabled(saved_); }
+    bool saved_;
+};
+
+/** Exact (bitwise for doubles) equality of two evaluation results. */
+void
+expectIdentical(const CostResult &a, const CostResult &b,
+                const std::string &what)
+{
+    ASSERT_EQ(a.valid, b.valid) << what;
+    EXPECT_EQ(a.invalidReason, b.invalidReason) << what;
+    ASSERT_EQ(a.access.size(), b.access.size()) << what;
+    for (std::size_t l = 0; l < a.access.size(); ++l) {
+        ASSERT_EQ(a.access[l].size(), b.access[l].size()) << what;
+        for (std::size_t t = 0; t < a.access[l].size(); ++t) {
+            const AccessCounts &x = a.access[l][t];
+            const AccessCounts &y = b.access[l][t];
+            EXPECT_EQ(x.reads, y.reads) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.fills, y.fills) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.updates, y.updates)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.accumReads, y.accumReads)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.drains, y.drains)
+                << what << " l=" << l << " t=" << t;
+        }
+    }
+    ASSERT_EQ(a.levelEnergyPj.size(), b.levelEnergyPj.size()) << what;
+    for (std::size_t l = 0; l < a.levelEnergyPj.size(); ++l)
+        EXPECT_EQ(a.levelEnergyPj[l], b.levelEnergyPj[l])
+            << what << " l=" << l;
+    EXPECT_EQ(a.macEnergyPj, b.macEnergyPj) << what;
+    EXPECT_EQ(a.nocEnergyPj, b.nocEnergyPj) << what;
+    EXPECT_EQ(a.totalEnergyPj, b.totalEnergyPj) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.delaySeconds, b.delaySeconds) << what;
+    EXPECT_EQ(a.edp, b.edp) << what;
+    EXPECT_EQ(a.utilization, b.utilization) << what;
+    EXPECT_EQ(a.bottleneck, b.bottleneck) << what;
+}
+
+/** Relative closeness for the doubles the packed kernels produce. */
+void
+expectClose(double a, double b, const std::string &what)
+{
+    if (std::isinf(a) || std::isinf(b)) {
+        EXPECT_EQ(a, b) << what;
+        return;
+    }
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    EXPECT_NEAR(a, b, 1e-12 * scale) << what;
+}
+
+/** Scalar-reference comparison for the packed path: integer counters and
+ *  validity metadata exact, floating-point outputs within tolerance. */
+void
+expectMatchesReference(const CostResult &ref, const CostResult &got,
+                       const std::string &what)
+{
+    ASSERT_EQ(ref.valid, got.valid) << what;
+    EXPECT_EQ(ref.invalidReason, got.invalidReason) << what;
+    ASSERT_EQ(ref.access.size(), got.access.size()) << what;
+    for (std::size_t l = 0; l < ref.access.size(); ++l) {
+        ASSERT_EQ(ref.access[l].size(), got.access[l].size()) << what;
+        for (std::size_t t = 0; t < ref.access[l].size(); ++t) {
+            const AccessCounts &x = ref.access[l][t];
+            const AccessCounts &y = got.access[l][t];
+            EXPECT_EQ(x.reads, y.reads) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.fills, y.fills) << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.updates, y.updates)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.accumReads, y.accumReads)
+                << what << " l=" << l << " t=" << t;
+            EXPECT_EQ(x.drains, y.drains)
+                << what << " l=" << l << " t=" << t;
+        }
+    }
+    if (!ref.valid)
+        return;
+    ASSERT_EQ(ref.levelEnergyPj.size(), got.levelEnergyPj.size()) << what;
+    for (std::size_t l = 0; l < ref.levelEnergyPj.size(); ++l)
+        expectClose(ref.levelEnergyPj[l], got.levelEnergyPj[l],
+                    what + " levelE " + std::to_string(l));
+    expectClose(ref.macEnergyPj, got.macEnergyPj, what + " macE");
+    expectClose(ref.nocEnergyPj, got.nocEnergyPj, what + " nocE");
+    expectClose(ref.totalEnergyPj, got.totalEnergyPj, what + " totalE");
+    expectClose(ref.cycles, got.cycles, what + " cycles");
+    expectClose(ref.delaySeconds, got.delaySeconds, what + " delay");
+    expectClose(ref.edp, got.edp, what + " edp");
+    expectClose(ref.utilization, got.utilization, what + " util");
+    EXPECT_EQ(ref.bottleneck, got.bottleneck) << what;
+}
+
+/** A batch mixing valid diffcheck mappings with deliberately broken
+ *  mutants, so the lane-masking of invalid candidates is exercised. */
+std::vector<Mapping>
+mixedBatch(const BoundArch &ba, std::mt19937_64 &rng, int n)
+{
+    std::vector<Mapping> ms;
+    for (int i = 0; i < n; ++i) {
+        Mapping m = randomDiffcheckMapping(ba, rng);
+        switch (i % 5) {
+        case 3: // factor-product violation
+            m.level(0).temporal[i % m.numDims()] *= 2;
+            break;
+        case 4: // fanout violation
+            m.level(m.numLevels() - 1).spatial[i % m.numDims()] *= 1024;
+            break;
+        default:
+            break; // keep valid
+        }
+        ms.push_back(std::move(m));
+    }
+    return ms;
+}
+
+TEST(BatchEval, PackedPathMatchesScalarReference)
+{
+    SimdGuard simd_on(true);
+    constexpr int kTrials = 60;
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(51000 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        const ArchSpec arch = randomDiffcheckArch(wl, rng);
+        const BoundArch ba(arch, wl);
+        // 7 per trial: a non-multiple of the lane width, so the final
+        // partially filled group runs every trial.
+        const std::vector<Mapping> ms = mixedBatch(ba, rng, 7);
+
+        BatchEvaluator be(ba, CostModelOptions{});
+        std::vector<CostResult> out(ms.size());
+        be.evaluate(ms, out.data());
+
+        for (std::size_t j = 0; j < ms.size(); ++j)
+            expectMatchesReference(
+                evaluateMapping(ba, ms[j]), out[j],
+                "trial " + std::to_string(i) + " lane " +
+                    std::to_string(j));
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(BatchEval, ScalarFallbackBitIdenticalToSerialPath)
+{
+    SimdGuard simd_off(false);
+    ASSERT_FALSE(BatchEvaluator::simdActive());
+    constexpr int kTrials = 40;
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(52000 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        const ArchSpec arch = randomDiffcheckArch(wl, rng);
+        const BoundArch ba(arch, wl);
+        const std::vector<Mapping> ms = mixedBatch(ba, rng, 6);
+
+        BatchEvaluator be(ba, CostModelOptions{});
+        std::vector<CostResult> out(ms.size());
+        be.evaluate(ms, out.data());
+
+        EvalScratch &scratch = threadEvalScratch();
+        for (std::size_t j = 0; j < ms.size(); ++j) {
+            CostResult ref;
+            evaluateMappingInto(ba, ms[j], {}, scratch, ref);
+            expectIdentical(ref, out[j],
+                            "trial " + std::to_string(i) + " lane " +
+                                std::to_string(j));
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(BatchEval, GatherFormMatchesSpanForm)
+{
+    SimdGuard simd_on(true);
+    std::mt19937_64 rng = diffcheckTrialRng(53001);
+    const Workload wl = randomDiffcheckWorkload(rng);
+    const ArchSpec arch = randomDiffcheckArch(wl, rng);
+    const BoundArch ba(arch, wl);
+    const std::vector<Mapping> ms = mixedBatch(ba, rng, 9);
+
+    BatchEvaluator be(ba, CostModelOptions{});
+    std::vector<CostResult> span_out(ms.size());
+    be.evaluate(ms, span_out.data());
+
+    std::vector<const Mapping *> mp;
+    std::vector<CostResult> gather_out(ms.size());
+    std::vector<CostResult *> op;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        mp.push_back(&ms[i]);
+        op.push_back(&gather_out[i]);
+    }
+    BatchEvaluator be2(ba, CostModelOptions{});
+    be2.evaluate(mp.data(), mp.size(), op.data());
+
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectIdentical(span_out[i], gather_out[i],
+                        "index " + std::to_string(i));
+}
+
+/** The batch path's validity check is a separate implementation from
+ *  Mapping::valid(); both the verdict and the human-readable reason it
+ *  reports must stay in lockstep. */
+TEST(BatchEval, CheckValidMatchesMappingValid)
+{
+    constexpr int kTrials = 120;
+    EvalScratch scratch;
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(54000 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        const ArchSpec arch = randomDiffcheckArch(wl, rng);
+        const BoundArch ba(arch, wl);
+        Mapping m = randomDiffcheckMapping(ba, rng);
+
+        // Mutate a share of the trials into each failure class; the
+        // rest stay valid-by-construction.
+        const int nd = m.numDims();
+        const int nl = m.numLevels();
+        switch (i % 6) {
+        case 1: // factor product too large
+            m.level(i % nl).temporal[i % nd] *= 3;
+            break;
+        case 2: // spatial product exceeds the fanout
+            m.level(i % nl).spatial[i % nd] *= 4096;
+            break;
+        case 3: // order is not a permutation
+            if (nd >= 2)
+                m.level(i % nl).order[0] = m.level(i % nl).order[1];
+            break;
+        case 4: // order has the wrong arity
+            m.level(i % nl).order.push_back(0);
+            break;
+        case 5: // tile overflows the innermost capacity
+            m.level(0).temporal[i % nd] *= 64;
+            m.level(nl - 1).temporal[i % nd] *= 64;
+            break;
+        default:
+            break;
+        }
+
+        std::string ref_why, got_why;
+        const bool ref_ok = m.valid(ba, &ref_why);
+        scratch.prepare(ba);
+        const bool got_ok = detail::checkValid(ba, m, scratch, &got_why);
+        EXPECT_EQ(ref_ok, got_ok) << "trial " << i;
+        EXPECT_EQ(ref_why, got_why) << "trial " << i;
+    }
+}
+
+/** One EvalScratch alternating between two bindings with the same
+ *  (levels, tensors, dims) shape but different bypass structure must
+ *  re-derive its invariants on every switch (keyed on BoundArch::uid),
+ *  never serving one binding's storage chains to the other. */
+TEST(BatchEval, ScratchRekeysAcrossSameShapeArchVariants)
+{
+    constexpr int kTrials = 40;
+    EvalScratch shared;
+    for (int i = 0; i < kTrials; ++i) {
+        std::mt19937_64 rng = diffcheckTrialRng(55000 + i);
+        const Workload wl = randomDiffcheckWorkload(rng);
+        // Two independent three-level machines over the SAME workload:
+        // identical (nl, nt, nd), typically different bypass/multicast.
+        const ArchSpec arch_a = randomDiffcheckArch(wl, rng);
+        const ArchSpec arch_b = randomDiffcheckArch(wl, rng);
+        const BoundArch ba_a(arch_a, wl);
+        const BoundArch ba_b(arch_b, wl);
+        ASSERT_NE(ba_a.uid(), ba_b.uid());
+        const Mapping m_a = randomDiffcheckMapping(ba_a, rng);
+        const Mapping m_b = randomDiffcheckMapping(ba_b, rng);
+
+        // Interleave the two bindings through the one shared scratch;
+        // every result must match a fresh-state reference bitwise.
+        for (int round = 0; round < 2; ++round) {
+            CostResult out_a, out_b;
+            evaluateMappingInto(ba_a, m_a, {}, shared, out_a);
+            evaluateMappingInto(ba_b, m_b, {}, shared, out_b);
+            expectIdentical(evaluateMapping(ba_a, m_a), out_a,
+                            "trial " + std::to_string(i) + " arch A round " +
+                                std::to_string(round));
+            expectIdentical(evaluateMapping(ba_b, m_b), out_b,
+                            "trial " + std::to_string(i) + " arch B round " +
+                                std::to_string(round));
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/** Residency mutations share the binding's uid (copies are semantically
+ *  identical for everything the scratch caches), so a scratch warmed on
+ *  the boundary variant must still evaluate the ephemeral variant
+ *  correctly — the residency-dependent terms are recomputed per call. */
+TEST(BatchEval, ScratchSurvivesResidencyMutation)
+{
+    ConvShape sh;
+    sh.n = 1;
+    sh.k = 16;
+    sh.c = 16;
+    sh.p = 7;
+    sh.q = 7;
+    sh.r = 3;
+    sh.s = 3;
+    const Workload wl = makeConv2D(sh);
+    const ArchSpec arch = makeConventional();
+    const BoundArch boundary(arch, wl);
+    BoundArch ephemeral = boundary; // shares the uid
+    ASSERT_EQ(boundary.uid(), ephemeral.uid());
+    ASSERT_FALSE(wl.outputs().empty());
+    ephemeral.setResidency(wl.outputs()[0], Residency::Ephemeral);
+
+    std::mt19937_64 rng = diffcheckTrialRng(56001);
+    EvalScratch shared;
+    for (int i = 0; i < 8; ++i) {
+        const Mapping m = randomDiffcheckMapping(boundary, rng);
+        CostResult out_b, out_e;
+        evaluateMappingInto(boundary, m, {}, shared, out_b);
+        evaluateMappingInto(ephemeral, m, {}, shared, out_e);
+        expectIdentical(evaluateMapping(boundary, m), out_b,
+                        "boundary " + std::to_string(i));
+        expectIdentical(evaluateMapping(ephemeral, m), out_e,
+                        "ephemeral " + std::to_string(i));
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+} // namespace
+} // namespace sunstone

@@ -81,6 +81,70 @@ TEST(Cli, OptionValuesMayBeNegativeNumbers)
         << r.output;
 }
 
+/** Expects a run to die with the shared clean usage error: exit code 1,
+ *  a "fatal:" banner naming the flag, and no uncaught-exception noise
+ *  (the historical std::stoi path aborted with "terminate called"). */
+void
+expectUsageError(const std::string &args, const std::string &flag)
+{
+    auto r = runCli(args);
+    EXPECT_EQ(r.exitCode, 1) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("fatal:"), std::string::npos)
+        << args << "\n" << r.output;
+    EXPECT_NE(r.output.find(flag), std::string::npos)
+        << args << "\n" << r.output;
+    EXPECT_EQ(r.output.find("terminate called"), std::string::npos)
+        << args << "\n" << r.output;
+}
+
+TEST(Cli, NumericFlagMatrixRejectsJunkCleanly)
+{
+    const std::string conv = "map --conv n=1,k=4,c=4,p=4,q=4,r=1,s=1 ";
+    const std::string net = "map --net tcl --arch conventional ";
+
+    // Strictly positive integer flags: zero, negative, garbage, trailing
+    // garbage, and overflow must all die with the same usage error, in
+    // both map modes where the flag applies.
+    const char *kBad[] = {"0", "-3", "abc", "12x",
+                          "99999999999999999999999"};
+    for (const std::string v : kBad) {
+        expectUsageError(conv + "--threads " + v, "--threads");
+        expectUsageError(conv + "--beam " + v, "--beam");
+        expectUsageError(conv + "--max-evals " + v, "--max-evals");
+        expectUsageError(conv + "--plateau " + v, "--plateau");
+        expectUsageError(net + "--beam " + v, "--beam");
+    }
+    // Net-only sizing flags (smaller sample: same shared validator).
+    for (const std::string v : {"0", "abc"}) {
+        expectUsageError(net + "--batch " + v, "--batch");
+        expectUsageError(net + "--seq " + v, "--seq");
+        expectUsageError(net + "--threads " + v, "--threads");
+    }
+    // Bounded flags reject values past their inclusive cap.
+    expectUsageError(conv + "--threads 4097", "--threads");
+
+    // --snapshot-interval-ms is only parsed alongside --snapshot-json.
+    const std::string snap =
+        conv + "--snapshot-json " + ::testing::TempDir() + "/s.json ";
+    for (const std::string v : {"0", "-5", "abc"})
+        expectUsageError(snap + "--snapshot-interval-ms " + v,
+                         "--snapshot-interval-ms");
+
+    // --seed allows zero but not negatives, garbage, or overflow.
+    for (const std::string v :
+         {"-1", "abc", "99999999999999999999999"})
+        expectUsageError(conv + "--seed " + v, "--seed");
+
+    // Finite-double flags (negatives are legal — see
+    // OptionValuesMayBeNegativeNumbers): junk and non-finite die.
+    for (const std::string v : {"abc", "1.5x", "inf", "nan"}) {
+        expectUsageError(conv + "--deadline-ms " + v, "--deadline-ms");
+        expectUsageError(conv + "--mapper timeloop --budget " + v,
+                         "--budget");
+        expectUsageError(net + "--deadline-ms " + v, "--deadline-ms");
+    }
+}
+
 TEST(Cli, MapNetSchedulesWholeNetworkWithStatsJson)
 {
     const std::string dir = ::testing::TempDir();

@@ -3,12 +3,19 @@
  * Implementation of `sunstone bench`: a seeded micro/macro benchmark of
  * the evaluation engine and the Sunstone search.
  *
- * Four benchmarks run, each `--warmup` throwaway + `--repeat` timed
+ * Five benchmarks run, each `--warmup` throwaway + `--repeat` timed
  * iterations (best-of wins, mean reported alongside):
  *
- *  - eval_random     raw cost-model throughput over a fixed set of
+ *  - eval_random     SoA batch-evaluator throughput over a fixed set of
  *                    seeded diffcheck triples (single thread, no engine,
- *                    no memo cache) — isolates the analytical model.
+ *                    no memo cache): per triple, a pre-built
+ *                    BatchEvaluator evaluates a seeded batch of random
+ *                    mappings into persistent result buffers — the
+ *                    steady-state fast path of the model.
+ *  - eval_scalar     the historical spec: one evaluateMapping() call
+ *                    (fresh CostResult, thread scratch) per evaluation.
+ *                    Kept so the trajectory of the scalar path stays
+ *                    comparable across optimization PRs.
  *  - batch_conv      EvalEngine::evaluateBatch() over random valid
  *                    mappings of one conv layer (cache bypassed) — the
  *                    batched fast path across the shared pool.
@@ -17,6 +24,13 @@
  *                    conv layer; evals/sec is the engine's evaluation
  *                    counter delta over the search wall-clock.
  *
+ * Every eval/batch benchmark reports a `checksum` extra: a deterministic
+ * reduction (fixed index order, computed once from the final results,
+ * outside the timed region), so it is a pure function of the seed —
+ * independent of --repeat/--warmup and bitwise comparable across runs
+ * and hosts. (It used to accumulate across every warmup and timed
+ * iteration inside the loop, which changed with the iteration counts.)
+ *
  * Results land in --out (default BENCH_eval.json) under the stable
  * "sunstone-bench-v1" schema so CI can archive and diff them.
  */
@@ -24,6 +38,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -32,8 +47,10 @@
 #include <vector>
 
 #include "arch/presets.hh"
+#include "common/parse.hh"
 #include "common/timer.hh"
 #include "core/sunstone.hh"
+#include "model/batch_eval.hh"
 #include "model/diffcheck.hh"
 #include "model/eval_engine.hh"
 #include "obs/progress.hh"
@@ -125,26 +142,83 @@ makeTriples(std::uint64_t seed, int n)
     return out;
 }
 
-/** Raw analytical-model throughput, no engine, single thread. */
+/**
+ * Raw batch-evaluator throughput, no engine, single thread: per triple a
+ * pre-built BatchEvaluator runs a seeded batch of random mappings into
+ * persistent results — nothing allocates inside the timed region.
+ */
 BenchResult
 benchEvalRandom(const BenchConfig &cfg)
+{
+    constexpr int kTriples = 256;
+    constexpr int kMappings = 20;
+    auto triples = makeTriples(cfg.seed, kTriples);
+
+    std::vector<std::vector<Mapping>> batches(kTriples);
+    std::vector<std::vector<CostResult>> out(kTriples);
+    std::vector<BatchEvaluator> evals;
+    evals.reserve(kTriples);
+    for (int i = 0; i < kTriples; ++i) {
+        // A fresh stream, offset past the triple seeds so mapping draws
+        // never replay a triple's construction stream.
+        std::mt19937_64 rng = diffcheckTrialRng(cfg.seed + kTriples + i);
+        batches[i].reserve(kMappings);
+        for (int j = 0; j < kMappings; ++j)
+            batches[i].push_back(
+                randomDiffcheckMapping(triples[i].ba, rng));
+        out[i].resize(kMappings);
+        evals.emplace_back(triples[i].ba, CostModelOptions{});
+    }
+
+    BenchResult r;
+    r.name = "eval_random";
+    r.kind = "eval";
+    r.evalsPerIter = static_cast<std::int64_t>(kTriples) * kMappings;
+    auto secs = timeIters(cfg, [&] {
+        for (int i = 0; i < kTriples; ++i)
+            evals[i].evaluate(batches[i], out[i].data());
+    });
+    finalize(r, secs);
+
+    // Deterministic reduction in fixed index order from the final
+    // results: a pure function of the seed.
+    double checksum = 0;
+    for (int i = 0; i < kTriples; ++i)
+        for (int j = 0; j < kMappings; ++j)
+            checksum += out[i][j].valid ? out[i][j].totalEnergyPj : 0.0;
+    r.extra["checksum"] = checksum;
+    r.extra["simd_active"] = BatchEvaluator::simdActive() ? 1 : 0;
+    return r;
+}
+
+/** The historical per-call scalar spec (fresh CostResult per eval). */
+BenchResult
+benchEvalScalar(const BenchConfig &cfg)
 {
     constexpr int kTriples = 256;
     constexpr int kPasses = 20;
     auto triples = makeTriples(cfg.seed, kTriples);
     BenchResult r;
-    r.name = "eval_random";
+    r.name = "eval_scalar";
     r.kind = "eval";
     r.evalsPerIter = static_cast<std::int64_t>(kTriples) * kPasses;
-    double checksum = 0;
     auto secs = timeIters(cfg, [&] {
         for (int p = 0; p < kPasses; ++p)
             for (const auto &t : triples) {
                 CostResult cr = evaluateMapping(t.ba, t.m);
-                checksum += cr.valid ? cr.totalEnergyPj : 0.0;
+                // The result feeds the post-run checksum only; keep the
+                // call from being optimized out.
+                if (cr.cycles < 0)
+                    std::abort();
             }
     });
     finalize(r, secs);
+
+    double checksum = 0;
+    for (const auto &t : triples) {
+        const CostResult cr = evaluateMapping(t.ba, t.m);
+        checksum += cr.valid ? cr.totalEnergyPj : 0.0;
+    }
     r.extra["checksum"] = checksum;
     return r;
 }
@@ -188,6 +262,13 @@ benchBatchConv(const BenchConfig &cfg)
     });
     finalize(r, secs);
     r.extra["batch_size"] = kBatch;
+
+    // Deterministic reduction over the final batch results, in index
+    // order, outside the timed region: a pure function of the seed.
+    double checksum = 0;
+    for (const CostResult &cr : res)
+        checksum += cr.valid ? cr.totalEnergyPj : 0.0;
+    r.extra["checksum"] = checksum;
     return r;
 }
 
@@ -240,7 +321,10 @@ toJson(const BenchConfig &cfg, const std::vector<BenchResult> &results)
     os << "{\"schema\": \"sunstone-bench-v1\""
        << ", \"seed\": " << cfg.seed << ", \"repeat\": " << cfg.repeat
        << ", \"warmup\": " << cfg.warmup
-       << ", \"threads\": " << cfg.threads << ", \"benchmarks\": [";
+       << ", \"threads\": " << cfg.threads << ", \"simd_backend\": \""
+       << BatchEvaluator::backendName() << "\", \"simd_active\": "
+       << (BatchEvaluator::simdActive() ? "true" : "false")
+       << ", \"benchmarks\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
         if (i)
@@ -268,24 +352,71 @@ run(const std::map<std::string, std::string> &kv)
         auto it = kv.find(k);
         return it == kv.end() ? nullptr : &it->second;
     };
-    if (const auto *v = get("seed"))
-        cfg.seed = std::stoull(*v);
-    if (const auto *v = get("repeat"))
-        cfg.repeat = std::max(1, std::stoi(*v));
-    if (const auto *v = get("warmup"))
-        cfg.warmup = std::max(0, std::stoi(*v));
-    if (const auto *v = get("threads"))
-        cfg.threads = static_cast<unsigned>(std::stoi(*v));
+    // Validated numeric parsing: every malformed or out-of-range value
+    // is a clean usage error, never an exception or silent truncation.
+    bool parseOk = true;
+    const auto intArg = [&](const char *k, std::int64_t lo,
+                            std::int64_t hi, std::int64_t dflt) {
+        const auto *v = get(k);
+        if (!v)
+            return dflt;
+        std::int64_t n = 0;
+        if (!tryParseInt64(*v, n) || n < lo || n > hi) {
+            std::fprintf(stderr,
+                         "bench: --%s expects an integer in [%lld, %lld], "
+                         "got '%s'\n",
+                         k, (long long)lo, (long long)hi, v->c_str());
+            parseOk = false;
+            return dflt;
+        }
+        return n;
+    };
+    const auto doubleArg = [&](const char *k, double dflt) {
+        const auto *v = get(k);
+        if (!v)
+            return dflt;
+        double d = 0;
+        if (!tryParseDouble(*v, d)) {
+            std::fprintf(stderr,
+                         "bench: --%s expects a finite number, got '%s'\n",
+                         k, v->c_str());
+            parseOk = false;
+            return dflt;
+        }
+        return d;
+    };
+    if (const auto *v = get("seed")) {
+        std::int64_t n = 0;
+        if (!tryParseInt64(*v, n) || n < 0) {
+            std::fprintf(stderr,
+                         "bench: --seed expects a non-negative integer, "
+                         "got '%s'\n",
+                         v->c_str());
+            parseOk = false;
+        } else {
+            cfg.seed = static_cast<std::uint64_t>(n);
+        }
+    }
+    cfg.repeat = static_cast<int>(intArg("repeat", 1, 1 << 20, cfg.repeat));
+    cfg.warmup = static_cast<int>(intArg("warmup", 0, 1 << 20, cfg.warmup));
+    cfg.threads = static_cast<unsigned>(
+        intArg("threads", 1, 4096, cfg.threads));
     if (const auto *v = get("out"))
         cfg.out = *v;
     if (const auto *v = get("only"))
         cfg.only = *v;
-    if (const auto *v = get("deadline-ms"))
-        cfg.policy.deadlineSeconds = std::stod(*v) / 1000.0;
-    if (const auto *v = get("max-evals"))
-        cfg.policy.maxEvals = std::stoll(*v);
-    if (const auto *v = get("plateau"))
-        cfg.policy.plateau = std::stoll(*v);
+    if (get("deadline-ms"))
+        cfg.policy.deadlineSeconds = doubleArg("deadline-ms", 0) / 1000.0;
+    if (get("max-evals"))
+        cfg.policy.maxEvals =
+            intArg("max-evals", 1, std::numeric_limits<std::int64_t>::max(),
+                   0);
+    if (get("plateau"))
+        cfg.policy.plateau =
+            intArg("plateau", 1, std::numeric_limits<std::int64_t>::max(),
+                   0);
+    if (!parseOk)
+        return 1;
 
     const auto wanted = [&](const std::string &name) {
         return cfg.only.empty() || name.find(cfg.only) != std::string::npos;
@@ -295,9 +426,10 @@ run(const std::map<std::string, std::string> &kv)
     // measured against a telemetry-off run of the same benchmarks.
     std::unique_ptr<obs::SnapshotWriter> snapshot;
     if (const auto *v = get("snapshot-json")) {
-        int interval = 1000;
-        if (const auto *i = get("snapshot-interval-ms"))
-            interval = std::stoi(*i);
+        const int interval = static_cast<int>(
+            intArg("snapshot-interval-ms", 1, 1 << 30, 1000));
+        if (!parseOk)
+            return 1;
         snapshot = std::make_unique<obs::SnapshotWriter>(*v, interval);
         if (!snapshot->start()) {
             std::fprintf(stderr, "cannot write '%s'\n", v->c_str());
@@ -313,6 +445,8 @@ run(const std::map<std::string, std::string> &kv)
     std::vector<BenchResult> results;
     if (wanted("eval_random"))
         results.push_back(benchEvalRandom(cfg));
+    if (wanted("eval_scalar"))
+        results.push_back(benchEvalScalar(cfg));
     if (wanted("batch_conv"))
         results.push_back(benchBatchConv(cfg));
     if (wanted("search_conventional"))

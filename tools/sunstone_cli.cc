@@ -361,6 +361,57 @@ installCancellationHandler()
 }
 
 /**
+ * Parses a strictly positive integer flag; fatal() with the offending
+ * text on junk, trailing garbage, overflow, or values <= 0 (the zoo
+ * builders would otherwise build degenerate shapes from them). The
+ * shared validator for every positive-integer flag — --threads, --beam,
+ * --snapshot-interval-ms, --batch, --seq — so zero, negative, overflown,
+ * and garbage values all die with the same clean usage error instead of
+ * an uncaught std::stoi exception.
+ */
+std::int64_t
+positiveArg(const Args &a, const char *name)
+{
+    const std::string v = a.get(name);
+    std::int64_t x = 0;
+    if (!tryParseInt64(v, x))
+        SUNSTONE_FATAL("--", name, " expects a positive integer, got '",
+                       v, "'");
+    if (x <= 0)
+        SUNSTONE_FATAL("--", name, " must be > 0, got '", v, "'");
+    return x;
+}
+
+/** positiveArg with an inclusive upper bound, for flags that feed
+ *  fixed-width consumers (thread counts, beam widths, intervals). */
+std::int64_t
+positiveArg(const Args &a, const char *name, std::int64_t max_value)
+{
+    const std::int64_t x = positiveArg(a, name);
+    if (x > max_value)
+        SUNSTONE_FATAL("--", name, " must be <= ", max_value, ", got '",
+                       a.get(name), "'");
+    return x;
+}
+
+/**
+ * Parses a finite double flag; fatal() on junk, trailing garbage, or
+ * inf/nan. Negative values pass — "--budget -0.5" is a legal
+ * instantly-expiring budget (see test_cli OptionValuesMayBeNegative-
+ * Numbers).
+ */
+double
+finiteArg(const Args &a, const char *name)
+{
+    const std::string v = a.get(name);
+    double x = 0;
+    if (!tryParseDouble(v, x))
+        SUNSTONE_FATAL("--", name, " expects a finite number, got '", v,
+                       "'");
+    return x;
+}
+
+/**
  * Builds the unified StopPolicy from --stop-policy (lowest precedence),
  * then the individual flags, and attaches the cancellation flag. A
  * `seed` key / --seed lands in `seed`.
@@ -376,7 +427,7 @@ stopPolicyFromArgs(const Args &a, std::optional<std::uint64_t> &seed)
                            "': ", err);
     }
     if (a.has("deadline-ms"))
-        p.deadlineSeconds = std::stod(a.get("deadline-ms")) / 1000.0;
+        p.deadlineSeconds = finiteArg(a, "deadline-ms") / 1000.0;
     std::int64_t v;
     if (a.has("max-evals")) {
         if (!tryParseInt64(a.get("max-evals"), v) || v < 1)
@@ -428,7 +479,7 @@ unsigned
 threadsFromArgs(const Args &a)
 {
     if (a.has("threads"))
-        return static_cast<unsigned>(std::stoi(a.get("threads")));
+        return static_cast<unsigned>(positiveArg(a, "threads", 4096));
     // Default to a small pool so traces show real parallelism even on
     // boxes where hardware_concurrency() reports 1 (CI containers).
     return std::clamp(std::thread::hardware_concurrency(), 2u, 8u);
@@ -521,7 +572,8 @@ struct LiveTelemetry
         if (a.has("snapshot-json")) {
             int interval = 1000;
             if (a.has("snapshot-interval-ms"))
-                interval = std::stoi(a.get("snapshot-interval-ms"));
+                interval = static_cast<int>(
+                    positiveArg(a, "snapshot-interval-ms", 1 << 30));
             snapshot = std::make_unique<obs::SnapshotWriter>(
                 a.get("snapshot-json"), interval);
             snapshot->setExtraProvider([&engine] {
@@ -592,30 +644,6 @@ mapperResultJson(const std::string &mapper, const MapperResult &mr)
     return os.str();
 }
 
-/**
- * Parses a strictly positive integer flag; fatal() with the offending
- * text on junk, trailing garbage, or values <= 0 (the zoo builders
- * would otherwise build degenerate shapes from them).
- */
-std::int64_t
-positiveArg(const Args &a, const char *name)
-{
-    const std::string v = a.get(name);
-    std::int64_t x = 0;
-    std::size_t pos = 0;
-    try {
-        x = std::stoll(v, &pos);
-    } catch (const std::exception &) {
-        pos = 0;
-    }
-    if (pos != v.size() || v.empty())
-        SUNSTONE_FATAL("--", name, " expects a positive integer, got '",
-                       v, "'");
-    if (x <= 0)
-        SUNSTONE_FATAL("--", name, " must be > 0, got '", v, "'");
-    return x;
-}
-
 NetGraph
 netGraphFromArgs(const Args &a)
 {
@@ -678,7 +706,8 @@ cmdMapNet(const Args &a)
     opts.fusion = fusionFromArgs(a);
     opts.sunstone.optimizeEdp = !a.has("energy");
     if (a.has("beam"))
-        opts.sunstone.beamWidth = std::stoi(a.get("beam"));
+        opts.sunstone.beamWidth =
+            static_cast<int>(positiveArg(a, "beam", 1 << 30));
     opts.sunstone.threads = threadsFromArgs(a);
     EvalEngine engine(
         EvalEngineOptions{.threads = opts.sunstone.threads});
@@ -774,7 +803,8 @@ cmdMap(const Args &a)
         SunstoneOptions opts;
         opts.optimizeEdp = edp;
         if (a.has("beam"))
-            opts.beamWidth = std::stoi(a.get("beam"));
+            opts.beamWidth =
+                static_cast<int>(positiveArg(a, "beam", 1 << 30));
         opts.threads = threads;
         SunstoneResult r = sunstoneOptimize(sc, ba, opts);
         mr.found = r.found;
@@ -792,7 +822,7 @@ cmdMap(const Args &a)
         opts.optimizeEdp = edp;
         opts.threads = threads;
         if (a.has("budget"))
-            opts.maxSeconds = std::stod(a.get("budget"));
+            opts.maxSeconds = finiteArg(a, "budget");
         mr = TimeloopMapper(opts).optimize(sc, ba);
     } else if (mapper == "dmaze") {
         mr = DMazeMapper(DMazeOptions::slow()).optimize(sc, ba);
