@@ -17,6 +17,7 @@
 #include "obs/progress.hh"
 #include "obs/trace.hh"
 #include "search/checkpoint.hh"
+#include "search/warmstart.hh"
 
 namespace sunstone {
 
@@ -336,6 +337,15 @@ scheduleNet(SearchContext &sc, const ArchSpec &arch,
         if (u.restored)
             board.noteUnitDone();
 
+    // Warm-start store: loaded once before the fan-out (a missing file
+    // just means an empty store) and only *read* while searches run,
+    // so concurrent queries need no locking and results stay
+    // deterministic. Realized bests are recorded back serially below.
+    WarmStartStore wstore;
+    const bool useWarmstart = !opts.warmstartStore.empty();
+    if (useWarmstart)
+        wstore.load(opts.warmstartStore);
+
     // One Sunstone search per unique structure, concurrently on the
     // shared pool. The search's own parallelFor nests on the same pool
     // through group-scoped joins, so no thread oversubscription.
@@ -362,6 +372,9 @@ scheduleNet(SearchContext &sc, const ArchSpec &arch,
             child.setHardDeadline(*sc.hardDeadline());
         if (sc.hasSeed())
             child.setSeed(sc.seed());
+        child.setSurrogate(sc.surrogate());
+        if (useWarmstart)
+            child.setWarmStarts(wstore.query(*uniques[u].ba));
         Timer t;
         uniques[u].search = sunstoneOptimize(child, *uniques[u].ba, so);
         eng.addPhaseSeconds(
@@ -375,6 +388,21 @@ scheduleNet(SearchContext &sc, const ArchSpec &arch,
     });
     obs::metrics().counter("net.unique_searches").add(
         static_cast<std::int64_t>(uniques.size()));
+
+    if (useWarmstart) {
+        // Serial, in unique order: deterministic store contents.
+        bool changed = false;
+        for (const Unique &u : uniques)
+            if (u.search.found &&
+                wstore.record(*u.ba, u.ba->workload().name(),
+                              u.search.cost.edp, u.search.mapping))
+                changed = true;
+        if (changed && !wstore.save(opts.warmstartStore))
+            SUNSTONE_WARN("failed to write warm-start store '",
+                          opts.warmstartStore, "'");
+        obs::metrics().gauge("net.warmstart.store_entries")
+            .set(static_cast<double>(wstore.size()));
+    }
 
     result.allFound = true;
     result.stopReason = "exhausted";
@@ -857,6 +885,13 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
         return opts.sunstone.optimizeEdp ? c.edp : c.totalEnergyPj;
     };
 
+    // Warm-start store (see the flat-path comment): read-only while
+    // the fan-outs run, recorded back serially after pass 2.
+    WarmStartStore wstore;
+    const bool useWarmstart = !opts.warmstartStore.empty();
+    if (useWarmstart)
+        wstore.load(opts.warmstartStore);
+
     // ---- Pass 1: per-op baseline searches ----------------------------
     parallelFor(eng.pool(), uniques.size(), [&](std::size_t u) {
         if (uniques[u].restored)
@@ -873,6 +908,9 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
             child.setHardDeadline(*sc.hardDeadline());
         if (sc.hasSeed())
             child.setSeed(sc.seed());
+        child.setSurrogate(sc.surrogate());
+        if (useWarmstart)
+            child.setWarmStarts(wstore.query(*uniques[u].ba));
         Timer t;
         uniques[u].search = sunstoneOptimize(child, *uniques[u].ba, so);
         eng.addPhaseSeconds(
@@ -910,6 +948,12 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
                 child.setHardDeadline(*sc.hardDeadline());
             if (sc.hasSeed())
                 child.setSeed(sc.seed());
+            child.setSurrogate(sc.surrogate());
+            // Fused variants share the per-op structure, so stored
+            // per-op bests still seed them; fused results are not
+            // recorded back (their costs assume ephemeral residency).
+            if (useWarmstart)
+                child.setWarmStarts(wstore.query(*fm.ba));
             fm.search = sunstoneOptimize(child, *fm.ba, so);
             const Unique &base = uniques[nodeToUnique[fm.node]];
             if (base.search.found) {
@@ -938,6 +982,22 @@ scheduleNetGreedy(SearchContext &sc, const ArchSpec &arch, const NetGraph &g,
     });
     obs::metrics().counter("net.fusion.unit_searches").add(
         static_cast<std::int64_t>(fusedUnits.size()));
+
+    if (useWarmstart) {
+        // Serial, in unique order: deterministic store contents. Only
+        // per-op results are recorded (fused costs assume residency).
+        bool changed = false;
+        for (const Unique &u : uniques)
+            if (u.search.found &&
+                wstore.record(*u.ba, u.ba->workload().name(),
+                              u.search.cost.edp, u.search.mapping))
+                changed = true;
+        if (changed && !wstore.save(opts.warmstartStore))
+            SUNSTONE_WARN("failed to write warm-start store '",
+                          opts.warmstartStore, "'");
+        obs::metrics().gauge("net.warmstart.store_entries")
+            .set(static_cast<double>(wstore.size()));
+    }
 
     // ---- Decide per group --------------------------------------------
     result.stopReason = "exhausted";

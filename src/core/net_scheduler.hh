@@ -71,6 +71,15 @@ struct NetSchedulerOptions
 
     /** Fusion mode for the NetGraph overload (layer lists are flat). */
     FusionMode fusion = FusionMode::Off;
+
+    /**
+     * Path of the persistent warm-start store (see warmstart.hh).
+     * When set, each unique layer's search is seeded from the stored
+     * best mappings of structurally similar layers, and every realized
+     * best is recorded back (the file is created when missing). Empty
+     * disables warm starting.
+     */
+    std::string warmstartStore;
 };
 
 /** Outcome for one input layer. */

@@ -157,10 +157,30 @@ class Driver
         int step = bottom_up ? 0 : nLevels - 1;
         std::vector<Partial> beam;
         const std::string payload = drv.consumeResumePayload();
-        if (!payload.empty())
+        if (!payload.empty()) {
             restoreBeamState(payload, bottom_up, step, beam);
-        else
+        } else {
             beam = initialBeam();
+            if (!sc.warmStarts().empty()) {
+                // Warm starts from structurally similar layers: the
+                // driver evaluates them (they may set the incumbent
+                // outright), and their completion-score energies seed
+                // the alpha-beta bound so the beam prunes against a
+                // realistic target from step zero.
+                drv.seedWarmStarts();
+                CostModelOptions cmo;
+                cmo.assumeValid = true;
+                cmo.modelNoc = false;
+                for (const Mapping &seed : sc.warmStarts()) {
+                    if (!seed.valid(ba))
+                        continue;
+                    const double e = engine.scoreEnergy(
+                        ctx, EvalEngine::PrefixHandle{}, seed, cmo);
+                    if (e < incumbent_)
+                        incumbent_ = e;
+                }
+            }
+        }
 
         if (bottom_up) {
             for (int k = step; k < nLevels - 1; ++k) {

@@ -283,7 +283,10 @@ DMazeMapper::optimize(SearchContext &sc, const BoundArch &ba)
 
     DriverOutcome o;
     {
-        GeneratorStream stream(producer);
+        // A plain enumeration: every candidate is interchangeable, so
+        // the surrogate may prune ranked batch tails freely.
+        GeneratorStream stream(producer, 2048,
+                               SurrogatePolicy::RankAndPrune);
         o = drv.run(stream);
     } // joins the producer before the utilization flags are read
 

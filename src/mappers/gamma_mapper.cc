@@ -116,6 +116,18 @@ class GammaStream : public CandidateStream
         return !done_;
     }
 
+    /**
+     * The GA scores whole generations: every generated individual's
+     * fitness must come back (in generation order) before the
+     * population can promote. Batches may be reordered best-first but
+     * never truncated.
+     */
+    SurrogatePolicy
+    surrogatePolicy() const override
+    {
+        return SurrogatePolicy::RankOnly;
+    }
+
     void
     onResult(std::size_t, const Mapping &, const CostResult &cr) override
     {

@@ -215,7 +215,9 @@ InterstellarMapper::optimize(SearchContext &sc, const BoundArch &ba)
         }
     };
 
-    GeneratorStream stream(producer);
+    // Preset-dataflow enumeration; batch tails may be pruned.
+    GeneratorStream stream(producer, 2048,
+                           SurrogatePolicy::RankAndPrune);
     DriverOutcome o = drv.run(stream);
     return toMapperResult(
         o, o.found ? "" : "no valid mapping with the preset unrolling");

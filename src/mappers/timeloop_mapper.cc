@@ -96,6 +96,13 @@ class TimeloopStream : public CandidateStream
 
     ResumeMode resumeMode() const override { return ResumeMode::State; }
 
+    /** Uniform random samples are interchangeable; prune freely. */
+    SurrogatePolicy
+    surrogatePolicy() const override
+    {
+        return SurrogatePolicy::RankAndPrune;
+    }
+
     std::string
     saveState() const override
     {

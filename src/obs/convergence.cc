@@ -95,6 +95,31 @@ ConvergenceRecorder::trajectories() const
     return out;
 }
 
+TimeToQuality
+timeToQuality(const std::vector<ConvergencePoint> &points)
+{
+    TimeToQuality t;
+    if (points.empty())
+        return t;
+    const ConvergencePoint &last = points.back();
+    t.finalMetric = last.metric;
+    t.finalEvaluations = last.evaluations;
+    const double band1 = last.metric * 1.01;
+    const double band5 = last.metric * 1.05;
+    for (const ConvergencePoint &p : points) {
+        if (t.evalsTo5pct < 0 && p.metric <= band5) {
+            t.evalsTo5pct = p.evaluations;
+            t.secondsTo5pct = p.seconds;
+        }
+        if (t.evalsTo1pct < 0 && p.metric <= band1) {
+            t.evalsTo1pct = p.evaluations;
+            t.secondsTo1pct = p.seconds;
+            break;
+        }
+    }
+    return t;
+}
+
 std::string
 ConvergenceRecorder::toJson() const
 {

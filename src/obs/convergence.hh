@@ -63,6 +63,32 @@ class ConvergenceTrajectory
 };
 
 /**
+ * Time-to-quality summary of one trajectory: how much search effort it
+ * took to first come within 1% / 5% of the trajectory's final metric.
+ * The sample-efficiency scalar behind the paper's convergence figures,
+ * and the quantity the surrogate ranker is meant to shrink.
+ */
+struct TimeToQuality
+{
+    /** Final (best) metric; 0 when the trajectory is empty. */
+    double finalMetric = 0;
+    std::int64_t finalEvaluations = 0;
+
+    /** -1 when the band was never reached (empty trajectory). */
+    std::int64_t evalsTo1pct = -1;
+    double secondsTo1pct = -1;
+    std::int64_t evalsTo5pct = -1;
+    double secondsTo5pct = -1;
+};
+
+/**
+ * Computes the time-to-quality summary of a trajectory (points in
+ * record order; the last point is the final result, as recorders
+ * guarantee).
+ */
+TimeToQuality timeToQuality(const std::vector<ConvergencePoint> &points);
+
+/**
  * Collects trajectories from any number of concurrent searches. Pass a
  * recorder through the search options; each search calls start() once
  * and records into its own trajectory.

@@ -103,12 +103,16 @@ SearchCheckpoint::toJson() const
     os << "]"
        << ", \"evaluated\": " << evaluated
        << ", \"plateau_length\": " << plateauLength
-       << ", \"invalid_streak\": " << invalidStreak
-       << ", \"seconds\": " << jsonDouble(seconds)
+       << ", \"invalid_streak\": " << invalidStreak;
+    if (consumed >= 0 && consumed != evaluated)
+        os << ", \"consumed\": " << consumed;
+    os << ", \"seconds\": " << jsonDouble(seconds)
        << ", \"found\": " << (found ? "true" : "false")
        << ", \"best_metric\": " << jsonDouble(bestMetric);
     if (found)
         os << ", \"best_mapping\": " << mappingToJson(bestMapping);
+    if (!surrogateState.empty())
+        os << ", \"surrogate\": " << surrogateState;
     os << ", \"stream\": " << streamState << "}";
     return os.str();
 }
@@ -154,6 +158,8 @@ SearchCheckpoint::fromJson(const std::string &text, SearchCheckpoint &out,
         out.plateauLength = f->asInt();
     if (const JsonValue *f = root.find("invalid_streak"))
         out.invalidStreak = f->asInt();
+    if (const JsonValue *f = root.find("consumed"))
+        out.consumed = f->asInt(-1);
     if (const JsonValue *f = root.find("seconds"))
         out.seconds = f->asDouble();
     if (const JsonValue *f = root.find("found"))
@@ -169,6 +175,14 @@ SearchCheckpoint::fromJson(const std::string &text, SearchCheckpoint &out,
                 *err = "malformed best_mapping";
             return false;
         }
+    }
+    if (const JsonValue *f = root.find("surrogate")) {
+        if (!f->isObject()) {
+            if (err)
+                *err = "surrogate payload is not an object";
+            return false;
+        }
+        out.surrogateState = f->dump();
     }
     if (const JsonValue *f = root.find("stream")) {
         if (!f->isObject()) {

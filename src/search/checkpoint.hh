@@ -65,10 +65,26 @@ struct SearchCheckpoint
     std::int64_t invalidStreak = 0;
     double seconds = 0;
 
+    /**
+     * Stream positions consumed, which exceeds `evaluated` when the
+     * surrogate pruned candidates or warm-start seeds were evaluated
+     * outside the stream. Serialized only when it differs from
+     * `evaluated` (so legacy checkpoints stay byte-identical); -1 on
+     * load means "same as evaluated".
+     */
+    std::int64_t consumed = -1;
+
     /** Incumbent, when any valid candidate has been seen. */
     bool found = false;
     double bestMetric = std::numeric_limits<double>::infinity();
     Mapping bestMapping;
+
+    /**
+     * Surrogate model state (SurrogateModel::saveState() text), empty
+     * when the surrogate is off; omitted from the JSON when empty so
+     * surrogate-off checkpoints keep their pre-surrogate byte layout.
+     */
+    std::string surrogateState;
 
     /** Opaque per-stream payload (a JSON object rendered to text). */
     std::string streamState = "{}";

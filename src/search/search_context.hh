@@ -28,6 +28,7 @@
 #include "search/checkpoint.hh"
 #include "search/rng.hh"
 #include "search/stop_policy.hh"
+#include "search/surrogate.hh"
 
 namespace sunstone {
 
@@ -118,6 +119,22 @@ class SearchContext
     /** Consumes the pending resume snapshot (driver-internal). */
     std::optional<SearchCheckpoint> takeResume();
 
+    // -- Surrogate ranking / warm starts -------------------------------
+
+    /** Surrogate ranker configuration (disabled by default). */
+    const SurrogateOptions &surrogate() const { return surrogate_; }
+    void setSurrogate(const SurrogateOptions &o) { surrogate_ = o; }
+
+    /**
+     * Seed mappings evaluated once at a fresh search start (warm
+     * starting from structurally similar layers). Ignored on resume.
+     */
+    const std::vector<Mapping> &warmStarts() const { return warmStarts_; }
+    void setWarmStarts(std::vector<Mapping> w)
+    {
+        warmStarts_ = std::move(w);
+    }
+
     // -- Hard deadline -------------------------------------------------
 
     /**
@@ -146,6 +163,8 @@ class SearchContext
     std::vector<RngStream> streams_;
     std::string checkpointPath_;
     std::optional<SearchCheckpoint> resume_;
+    SurrogateOptions surrogate_;
+    std::vector<Mapping> warmStarts_;
     std::optional<std::chrono::steady_clock::time_point> hardDeadline_;
 };
 

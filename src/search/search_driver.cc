@@ -50,9 +50,10 @@ CandidateStream::skip(std::int64_t n)
 // ---------------------------------------------------------------------
 
 GeneratorStream::GeneratorStream(Producer producer,
-                                 std::size_t queue_capacity)
-    : producer_(std::move(producer)), cap_(std::max<std::size_t>(
-                                          1, queue_capacity))
+                                 std::size_t queue_capacity,
+                                 SurrogatePolicy policy)
+    : producer_(std::move(producer)),
+      cap_(std::max<std::size_t>(1, queue_capacity)), policy_(policy)
 {
 }
 
@@ -140,6 +141,8 @@ SearchDriver::SearchDriver(SearchContext &sc, EvalEngine &engine,
     : sc_(sc), engine_(engine), evalCtx_(engine.context(ba)),
       label_(std::move(label)), optimizeEdp_(optimize_edp)
 {
+    if (sc_.surrogate().enabled)
+        surrogate_ = std::make_unique<SurrogateModel>(ba, sc_.surrogate());
     if (sc_.convergence())
         traj_ = &sc_.convergence()->start(label_);
     const StopPolicy &pol = sc_.policy();
@@ -230,6 +233,11 @@ SearchDriver::consumeResumePayload()
     evaluated_.store(ck->evaluated, std::memory_order_relaxed);
     plateauLength_ = ck->plateauLength;
     invalidStreak_ = ck->invalidStreak;
+    consumed_ = ck->consumed >= 0 ? ck->consumed : ck->evaluated;
+    if (surrogate_ && !ck->surrogateState.empty() &&
+        !surrogate_->restoreState(ck->surrogateState))
+        SUNSTONE_FATAL("malformed surrogate state in '", label_,
+                       "' checkpoint");
     baseSeconds_ = ck->seconds;
     if (ck->found) {
         found_ = true;
@@ -276,6 +284,12 @@ SearchDriver::writeCheckpoint(const std::string &payload)
     ck.evaluated = evaluated();
     ck.plateauLength = plateauLength_;
     ck.invalidStreak = invalidStreak_;
+    // Manual-mode searches do not pull from a stream, so their consumed
+    // position is by definition the evaluation count (and the field is
+    // then omitted from the JSON, keeping legacy byte layout).
+    ck.consumed = streamMode_ ? consumed_ : evaluated();
+    if (surrogate_)
+        ck.surrogateState = surrogate_->saveState();
     ck.seconds = seconds();
     ck.found = found_;
     ck.bestMetric = bestMetric_;
@@ -296,6 +310,7 @@ DriverOutcome
 SearchDriver::run(CandidateStream &stream)
 {
     SUNSTONE_TRACE_SPAN("search.drive." + label_);
+    streamMode_ = true;
 
     const std::string payload = consumeResumePayload();
     if (!payload.empty()) {
@@ -306,11 +321,15 @@ SearchDriver::run(CandidateStream &stream)
                                "' checkpoint stream payload");
             break;
         case CandidateStream::ResumeMode::Replay:
-            stream.skip(evaluated());
+            // consumed_, not evaluated(): pruned candidates were
+            // generated too and must be replayed past.
+            stream.skip(consumed_);
             break;
         case CandidateStream::ResumeMode::RngCursor:
             break;
         }
+    } else {
+        seedWarmStarts();
     }
 
     const StopPolicy &pol = sc_.policy();
@@ -334,6 +353,21 @@ SearchDriver::run(CandidateStream &stream)
         const bool more = stream.nextBatch(room, batch);
         if (batch.empty())
             break; // exhausted
+        consumed_ += static_cast<std::int64_t>(batch.size());
+
+        if (surrogate_ && surrogate_->ranking()) {
+            midBatchStop = runRankedBatch(stream, batch, results);
+            if (midBatchStop)
+                break;
+            if (pol.maxEvals > 0 && evaluated() >= pol.maxEvals) {
+                latchReason(StopReason::MaxEvals);
+                break;
+            }
+            maybeCheckpoint(&stream, false);
+            if (!more)
+                break; // exhausted
+            continue;
+        }
 
         engine_.evaluateBatch(evalCtx_, batch, stream.costOptions(),
                               stream.cachePolicy(), results);
@@ -344,6 +378,16 @@ SearchDriver::run(CandidateStream &stream)
         for (std::size_t i = 0; i < batch.size(); ++i) {
             noteEvaluated(1);
             const CostResult &cr = results[i];
+            if (surrogate_) {
+                // Cold start: keep training pass-through until the
+                // ranking warmup is met; the search itself is
+                // byte-identical to surrogate-off in this phase.
+                surrogate_->featurize(batch[i], featRow_);
+                surrogate_->observe(
+                    featRow_,
+                    cr.valid ? metricOf(cr)
+                             : std::numeric_limits<double>::infinity());
+            }
             stream.onResult(i, batch[i], cr);
             if (!cr.valid) {
                 if (firstInvalidReason_.empty())
@@ -391,6 +435,122 @@ SearchDriver::run(CandidateStream &stream)
     return finish(StopReason::Exhausted);
 }
 
+bool
+SearchDriver::runRankedBatch(CandidateStream &stream,
+                             const std::vector<Mapping> &batch,
+                             std::vector<CostResult> &results)
+{
+    const StopPolicy &pol = sc_.policy();
+    const std::size_t n = batch.size();
+    surrogate_->rankBatch(batch, rankOrder_, rankPreds_);
+
+    std::size_t keep = n;
+    if (stream.surrogatePolicy() == SurrogatePolicy::RankAndPrune &&
+        surrogate_->gateOpen()) {
+        const double pf = std::clamp(
+            surrogate_->options().pruneFraction, 0.0, 0.95);
+        keep = std::max<std::size_t>(
+            1, n - static_cast<std::size_t>(pf * static_cast<double>(n)));
+    }
+    if (keep < n)
+        noteSurrogatePruned(static_cast<std::int64_t>(n - keep));
+
+    keptBatch_.clear();
+    for (std::size_t j = 0; j < keep; ++j)
+        keptBatch_.push_back(batch[rankOrder_[j]]);
+    engine_.evaluateBatch(evalCtx_, keptBatch_, stream.costOptions(),
+                          stream.cachePolicy(), results);
+
+    // Rank-correlation gate: this batch's predictions (made with the
+    // pre-batch weights) against realized metrics.
+    gatePreds_.clear();
+    gateMetrics_.clear();
+    for (std::size_t j = 0; j < keep; ++j) {
+        gatePreds_.push_back(rankPreds_[rankOrder_[j]]);
+        gateMetrics_.push_back(
+            results[j].valid ? metricOf(results[j])
+                             : std::numeric_limits<double>::infinity());
+    }
+    surrogate_->updateGate(gatePreds_, gateMetrics_);
+
+    // Serial bookkeeping in ranked (consumption) order. Pruned
+    // candidates never reach this loop: only full-model evaluations
+    // advance the plateau and invalid-streak windows.
+    bool midBatchStop = false;
+    std::size_t done = 0;
+    for (std::size_t j = 0; j < keep; ++j) {
+        noteEvaluated(1);
+        const CostResult &cr = results[j];
+        surrogate_->featurize(keptBatch_[j], featRow_);
+        surrogate_->observe(featRow_, gateMetrics_[j]);
+        ++done;
+        if (!cr.valid) {
+            if (firstInvalidReason_.empty())
+                firstInvalidReason_ = cr.invalidReason;
+            ++invalidStreak_;
+            if (pol.maxConsecutiveInvalid > 0 &&
+                invalidStreak_ >= pol.maxConsecutiveInvalid) {
+                latchReason(StopReason::InvalidStreak);
+                midBatchStop = true;
+                break;
+            }
+            continue;
+        }
+        invalidStreak_ = 0;
+        if (offer(keptBatch_[j], cr)) {
+            plateauLength_ = 0;
+            status_->notePlateau(0);
+        } else {
+            ++plateauLength_;
+            status_->notePlateau(plateauLength_);
+            if (pol.plateau > 0 && plateauLength_ >= pol.plateau) {
+                latchReason(StopReason::Plateau);
+                midBatchStop = true;
+                break;
+            }
+        }
+    }
+
+    // The stream observes results in generation order, exactly like
+    // the pass-through path (the GA attributes fitness by arrival
+    // order, so delivery order is part of the stream contract).
+    deliver_.clear();
+    for (std::size_t j = 0; j < done; ++j)
+        deliver_.emplace_back(rankOrder_[j], j);
+    std::sort(deliver_.begin(), deliver_.end());
+    for (const auto &[orig, res] : deliver_)
+        stream.onResult(orig, batch[orig], results[res]);
+    return midBatchStop;
+}
+
+void
+SearchDriver::seedWarmStarts()
+{
+    const std::vector<Mapping> &seeds = sc_.warmStarts();
+    if (seeds.empty())
+        return;
+    obs::MetricsRegistry &reg = obs::metrics();
+    for (const Mapping &m : seeds) {
+        if (shouldStop())
+            break;
+        const CostResult cr = engine_.evaluate(evalCtx_, m);
+        noteEvaluated(1);
+        if (surrogate_) {
+            surrogate_->featurize(m, featRow_);
+            surrogate_->observe(
+                featRow_,
+                cr.valid ? metricOf(cr)
+                         : std::numeric_limits<double>::infinity());
+        }
+        reg.counter("search." + label_ + ".warmstart.seeds").add(1);
+        obs::flightRecorder().record(
+            "warmstart.seeded",
+            label_ + (cr.valid ? " valid" : " invalid"));
+        if (cr.valid && offer(m, cr))
+            reg.counter("search." + label_ + ".warmstart.hits").add(1);
+    }
+}
+
 DriverOutcome
 SearchDriver::finish(StopReason natural)
 {
@@ -411,6 +571,16 @@ SearchDriver::finish(StopReason natural)
             .add(1);
         reg.gauge("search." + label_ + ".rng_shards")
             .set(static_cast<double>(sc_.rngStates().size()));
+        if (surrogate_) {
+            reg.counter("search." + label_ + ".surrogate.pruned")
+                .add(prunedTotal_);
+            reg.counter("search." + label_ + ".surrogate.observed")
+                .add(surrogate_->observed());
+            reg.gauge("search." + label_ + ".surrogate.tau")
+                .set(surrogate_->tau());
+            reg.gauge("search." + label_ + ".surrogate.gate_open")
+                .set(surrogate_->gateOpen() ? 1.0 : 0.0);
+        }
     }
     DriverOutcome o;
     o.found = found_;

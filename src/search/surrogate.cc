@@ -1,0 +1,496 @@
+#include "search/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace sunstone {
+
+namespace {
+
+/** Relative ridge strength: lambda = kRidge * mean feature variance. */
+constexpr double kRidge = 1e-3;
+
+/** EWMA smoothing for the per-batch Kendall-tau estimates. */
+constexpr double kTauAlpha = 0.2;
+
+/** Minimum comparable pairs before a batch contributes a tau sample. */
+constexpr int kMinTauPairs = 16;
+
+double
+log2Clamped(double v)
+{
+    return std::log2(std::max(v, 1.0));
+}
+
+/** Upper-triangle packed index (i <= j) for an f x f matrix. */
+std::size_t
+triIndex(std::size_t i, std::size_t j, std::size_t f)
+{
+    return i * f - i * (i - 1) / 2 + (j - i);
+}
+
+} // namespace
+
+SurrogateModel::SurrogateModel(const BoundArch &ba,
+                               const SurrogateOptions &opts)
+    : ba_(ba), opts_(opts)
+{
+    const int nl = ba.numLevels();
+    const int nd = ba.workload().numDims();
+    const int nt = ba.numTensors();
+    // Per level: log2 temporal volume, log2 spatial volume, log2 stored
+    // footprint bits, log2 footprint/capacity pressure, its positive
+    // part (the overflow hinge — lets a linear model carve out the
+    // sharp validity boundary), log2 spatial/fanout pressure, a
+    // one-hot innermost nontrivial temporal dim (nd slots), and per
+    // tensor the log2 temporal volume of dims that do not index it
+    // (the refetch multiplier the level imposes on that tensor — the
+    // main driver of traffic below it). Plus one global: log2 total
+    // spatial unrolling.
+    featureCount_ = nl * (6 + nd + nt) + 1;
+    tensorDims_.reserve(nt);
+    for (int t = 0; t < nt; ++t)
+        tensorDims_.push_back(ba.workload().tensor(t).indexingDims());
+    const std::size_t f = static_cast<std::size_t>(featureCount_);
+    reg_.init(f);
+    cls_.init(f);
+    wReg_.assign(f, 0.0);
+    wCls_.assign(f, 0.0);
+}
+
+void
+SurrogateModel::Accum::init(std::size_t f)
+{
+    sumX.assign(f, 0.0);
+    xtx.assign(f * (f + 1) / 2, 0.0);
+    xty.assign(f, 0.0);
+}
+
+void
+SurrogateModel::Accum::add(const std::vector<double> &x, double y)
+{
+    const std::size_t f = sumX.size();
+    ++count;
+    sumY += y;
+    for (std::size_t i = 0; i < f; ++i) {
+        sumX[i] += x[i];
+        xty[i] += x[i] * y;
+        const double xi = x[i];
+        double *row = &xtx[triIndex(i, i, f)];
+        for (std::size_t j = i; j < f; ++j)
+            row[j - i] += xi * x[j];
+    }
+}
+
+void
+SurrogateModel::featurize(const Mapping &m, std::vector<double> &out) const
+{
+    const Workload &wl = ba_.workload();
+    const int nl = ba_.numLevels();
+    const int nd = wl.numDims();
+    out.assign(featureCount_, 0.0);
+
+    std::size_t k = 0;
+    for (int l = 0; l < nl; ++l) {
+        const LevelMapping &lm = m.level(l);
+        double tvol = 1, svol = 1;
+        for (int d = 0; d < nd; ++d) {
+            tvol *= static_cast<double>(lm.temporal[d]);
+            svol *= static_cast<double>(lm.spatial[d]);
+        }
+        out[k++] = log2Clamped(tvol);
+        out[k++] = log2Clamped(svol);
+
+        const std::vector<std::int64_t> fps = m.footprints(l, wl);
+        double bits = 0;
+        for (int t = 0; t < ba_.numTensors(); ++t)
+            if (ba_.stores(l, t))
+                bits += static_cast<double>(fps[t])
+                        * wl.tensor(t).wordBits;
+        out[k++] = log2Clamped(1.0 + bits);
+
+        // Capacity pressure: log2 of the effective footprint over the
+        // level's budget, mirroring BoundArch::fits (double-buffer
+        // shrink, per-partition budgets, DRAM unbounded). Negative
+        // means it fits; the hinge isolates the overflow regime.
+        const LevelSpec &lv = ba_.arch().levels[l];
+        double pressure = 0;
+        if (!lv.isDram) {
+            const double shrink = lv.doubleBuffered ? 2.0 : 1.0;
+            if (lv.partitions.empty()) {
+                pressure = std::log2((1.0 + bits * shrink)
+                                     / (1.0 + static_cast<double>(
+                                                  lv.capacityBits)));
+            } else {
+                pressure = -64.0;
+                for (const auto &p : lv.partitions) {
+                    double pbits = 0;
+                    for (int t = 0; t < ba_.numTensors(); ++t)
+                        if (ba_.stores(l, t)
+                            && ba_.partitionOf(t) == p.name)
+                            pbits += static_cast<double>(fps[t])
+                                     * wl.tensor(t).wordBits;
+                    pressure = std::max(
+                        pressure,
+                        std::log2((1.0 + pbits * shrink)
+                                  / (1.0 + static_cast<double>(
+                                               p.capacityBits))));
+                }
+            }
+        }
+        out[k++] = pressure;
+        out[k++] = std::max(0.0, pressure);
+
+        // Spatial pressure: unrolling relative to the level's fanout
+        // (0 when svol == fanout, i.e. perfectly utilized).
+        const double fanout
+            = static_cast<double>(std::max(1, lv.fanout));
+        out[k++] = log2Clamped(svol) - std::log2(fanout);
+
+        // Innermost nontrivial temporal loop: the last entry of the
+        // order permutation whose factor exceeds 1 (orders run
+        // outermost-first). Captures the stationarity class.
+        int inner = -1;
+        for (int pos = static_cast<int>(lm.order.size()) - 1; pos >= 0;
+             --pos) {
+            const DimId d = lm.order[pos];
+            if (lm.temporal[d] > 1) {
+                inner = d;
+                break;
+            }
+        }
+        for (int d = 0; d < nd; ++d)
+            out[k + d] = (d == inner) ? 1.0 : 0.0;
+        k += nd;
+
+        for (int t = 0; t < ba_.numTensors(); ++t) {
+            double refetch = 0;
+            for (int d = 0; d < nd; ++d)
+                if (!tensorDims_[t].contains(d))
+                    refetch += log2Clamped(
+                        static_cast<double>(lm.temporal[d]));
+            out[k++] = refetch;
+        }
+    }
+    out[k++] = log2Clamped(static_cast<double>(m.totalSpatial()));
+    SUNSTONE_ASSERT(k == static_cast<std::size_t>(featureCount_),
+                    "surrogate feature layout mismatch");
+}
+
+/** Tier separation for predicted-invalid candidates; far larger than
+ *  any clamped log-metric yet finite (order stays total). */
+constexpr double kTierPenalty = 1e6;
+
+double
+SurrogateModel::predict(const std::vector<double> &features) const
+{
+    double r = bReg_;
+    double c = bCls_;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        r += wReg_[i] * features[i];
+        c += wCls_[i] * features[i];
+    }
+    // Clamp the regression to the realized valid range: extrapolations
+    // into the overflow regime are meaningless and must not let a
+    // predicted-invalid candidate outrank the penalty tier.
+    r = std::clamp(r, clampLo_, clampHi_);
+    return (c > 0.5 ? kTierPenalty : 0.0) + r;
+}
+
+void
+SurrogateModel::observe(const std::vector<double> &features, double metric)
+{
+    const bool valid = std::isfinite(metric) && metric > 0;
+    if (valid) {
+        const double y = std::log(metric);
+        if (reg_.count == 0) {
+            vMin_ = y;
+            vMax_ = y;
+        } else {
+            vMin_ = std::min(vMin_, y);
+            vMax_ = std::max(vMax_, y);
+        }
+        reg_.add(features, y);
+        sumYYv_ += y * y;
+    }
+    cls_.add(features, valid ? 0.0 : 1.0);
+    dirty_ = true;
+    ++observed_;
+}
+
+bool
+SurrogateModel::solve(const Accum &a, std::vector<double> &w, double &b)
+{
+    if (a.count < 2)
+        return false;
+
+    // Solve the centered ridge normal equations (Cov + lambda I) w = c
+    // by Cholesky. Centering removes the intercept from the system;
+    // the ridge keeps it solvable long before count reaches the
+    // feature count and absorbs constant (zero-variance) features.
+    const std::size_t f = a.sumX.size();
+    const double n = static_cast<double>(a.count);
+    const double ymean = a.sumY / n;
+
+    solveScratch_.assign(f * f + 2 * f, 0.0);
+    double *m = solveScratch_.data();      // f*f, row-major, symmetric
+    double *rhs = m + f * f;               // f
+    double *mean = rhs + f;                // f
+    for (std::size_t i = 0; i < f; ++i)
+        mean[i] = a.sumX[i] / n;
+    double trace = 0;
+    for (std::size_t i = 0; i < f; ++i) {
+        for (std::size_t j = i; j < f; ++j) {
+            const double cov
+                = a.xtx[triIndex(i, j, f)] / n - mean[i] * mean[j];
+            m[i * f + j] = cov;
+            m[j * f + i] = cov;
+        }
+        trace += m[i * f + i];
+        rhs[i] = a.xty[i] / n - mean[i] * ymean;
+    }
+    double lambda = kRidge * std::max(trace / static_cast<double>(f),
+                                      1e-9);
+
+    // In-place Cholesky with deterministic restarts at 10x the ridge
+    // whenever a pivot degenerates (possible with heavily duplicated
+    // rows); give up and keep the previous weights after a few tries.
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        for (std::size_t i = 0; i < f; ++i)
+            m[i * f + i] += lambda;
+        bool ok = true;
+        for (std::size_t i = 0; i < f && ok; ++i) {
+            for (std::size_t j = i; j < f; ++j) {
+                double s = m[i * f + j];
+                for (std::size_t k = 0; k < i; ++k)
+                    s -= m[i * f + k] * m[j * f + k];
+                if (i == j) {
+                    if (s <= 1e-15) {
+                        ok = false;
+                        break;
+                    }
+                    m[i * f + i] = std::sqrt(s);
+                } else {
+                    m[j * f + i] = s / m[i * f + i];
+                }
+            }
+        }
+        if (!ok) {
+            // Rebuild the upper triangle trampled by the failed
+            // factorization, bump the ridge, retry.
+            for (std::size_t i = 0; i < f; ++i)
+                for (std::size_t j = i; j < f; ++j) {
+                    const double cov = a.xtx[triIndex(i, j, f)] / n
+                                       - mean[i] * mean[j];
+                    m[i * f + j] = cov;
+                    m[j * f + i] = cov;
+                }
+            lambda *= 10.0;
+            continue;
+        }
+        // Forward then back substitution into w.
+        w.resize(f);
+        for (std::size_t i = 0; i < f; ++i) {
+            double s = rhs[i];
+            for (std::size_t k = 0; k < i; ++k)
+                s -= m[i * f + k] * w[k];
+            w[i] = s / m[i * f + i];
+        }
+        for (std::size_t ii = f; ii-- > 0;) {
+            double s = w[ii];
+            for (std::size_t k = ii + 1; k < f; ++k)
+                s -= m[k * f + ii] * w[k];
+            w[ii] = s / m[ii * f + ii];
+        }
+        b = ymean;
+        for (std::size_t i = 0; i < f; ++i)
+            b -= w[i] * mean[i];
+        return true;
+    }
+    return false;
+}
+
+void
+SurrogateModel::refit()
+{
+    if (!dirty_)
+        return;
+    dirty_ = false;
+
+    solve(reg_, wReg_, bReg_);
+    solve(cls_, wCls_, bCls_);
+
+    // Clamp band for the regression score: the realized valid range
+    // padded by one standard deviation (so confident "worse than
+    // anything seen" predictions still order behind the seen range).
+    if (reg_.count >= 2) {
+        const double n = static_cast<double>(reg_.count);
+        const double mean = reg_.sumY / n;
+        const double var
+            = std::max(0.0, (sumYYv_ - n * mean * mean)
+                                / static_cast<double>(reg_.count - 1));
+        const double sd = var > 1e-12 ? std::sqrt(var) : 1.0;
+        clampLo_ = vMin_ - sd;
+        clampHi_ = vMax_ + sd;
+    }
+}
+
+void
+SurrogateModel::updateGate(const std::vector<double> &preds,
+                           const std::vector<double> &metrics)
+{
+    SUNSTONE_ASSERT(preds.size() == metrics.size(),
+                    "gate update size mismatch");
+    // Kendall tau-a over the batch, skipping pairs tied in either
+    // ranking (infinities compare as equal to each other).
+    std::int64_t concordant = 0, discordant = 0;
+    for (std::size_t i = 0; i + 1 < preds.size(); ++i) {
+        for (std::size_t j = i + 1; j < preds.size(); ++j) {
+            if (preds[i] == preds[j])
+                continue;
+            const double mi = metrics[i], mj = metrics[j];
+            if (mi == mj || (!std::isfinite(mi) && !std::isfinite(mj)))
+                continue;
+            const bool predLess = preds[i] < preds[j];
+            const bool metricLess
+                = !std::isfinite(mj) || (std::isfinite(mi) && mi < mj);
+            (predLess == metricLess) ? ++concordant : ++discordant;
+        }
+    }
+    const std::int64_t pairs = concordant + discordant;
+    if (pairs >= kMinTauPairs) {
+        const double tau = static_cast<double>(concordant - discordant)
+                           / static_cast<double>(pairs);
+        tauEwma_ = tauInit_ ? (1.0 - kTauAlpha) * tauEwma_ + kTauAlpha * tau
+                            : tau;
+        tauInit_ = true;
+    }
+    if (!gateOpen_) {
+        if (observed_ >= opts_.minSamples && tauEwma_ >= opts_.tauOpen)
+            gateOpen_ = true;
+    } else if (tauEwma_ < opts_.tauClose) {
+        gateOpen_ = false;
+    }
+}
+
+void
+SurrogateModel::rankBatch(const std::vector<Mapping> &batch,
+                          std::vector<std::size_t> &order,
+                          std::vector<double> &preds)
+{
+    refit();
+    const std::size_t n = batch.size();
+    preds.resize(n);
+    std::vector<double> local;
+    for (std::size_t i = 0; i < n; ++i) {
+        featurize(batch[i], local);
+        preds[i] = predict(local);
+    }
+    order.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&preds](std::size_t a, std::size_t b) {
+                         return preds[a] < preds[b];
+                     });
+}
+
+std::string
+SurrogateModel::saveState() const
+{
+    std::ostringstream os;
+    os << "{\"version\": 1";
+    os << ", \"observed\": " << observed_;
+    os << ", \"tau\": " << jsonDouble(tauEwma_);
+    os << ", \"tau_init\": " << (tauInit_ ? "true" : "false");
+    os << ", \"gate_open\": " << (gateOpen_ ? "true" : "false");
+    os << ", \"sum_yyv\": " << jsonDouble(sumYYv_);
+    os << ", \"v_min\": " << jsonDouble(vMin_);
+    os << ", \"v_max\": " << jsonDouble(vMax_);
+    auto arr = [&os](const char *name, const std::vector<double> &v) {
+        os << ", \"" << name << "\": [";
+        for (std::size_t i = 0; i < v.size(); ++i)
+            os << (i ? ", " : "") << jsonDouble(v[i]);
+        os << "]";
+    };
+    // Weights and biases are derived state: refit() reproduces them
+    // bit-exactly from these sums, so they are deliberately omitted.
+    auto accum = [&os, &arr](const char *prefix, const Accum &a) {
+        os << ", \"" << prefix << "_count\": " << a.count;
+        os << ", \"" << prefix << "_sum_y\": " << jsonDouble(a.sumY);
+        arr((std::string(prefix) + "_sum_x").c_str(), a.sumX);
+        arr((std::string(prefix) + "_xty").c_str(), a.xty);
+        arr((std::string(prefix) + "_xtx").c_str(), a.xtx);
+    };
+    accum("reg", reg_);
+    accum("cls", cls_);
+    os << "}";
+    return os.str();
+}
+
+bool
+SurrogateModel::restoreState(const std::string &payload)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(payload, v, &err))
+        return false;
+    const JsonValue *ver = v.find("version");
+    if (!ver || ver->asInt() != 1)
+        return false;
+    auto loadArr = [&v](const char *name, std::size_t want,
+                        std::vector<double> &out) {
+        const JsonValue *a = v.find(name);
+        if (!a || !a->isArray() || a->items.size() != want)
+            return false;
+        out.resize(a->items.size());
+        for (std::size_t i = 0; i < a->items.size(); ++i)
+            out[i] = a->items[i].asDouble();
+        return true;
+    };
+    const std::size_t fc = static_cast<std::size_t>(featureCount_);
+    auto loadAccum = [&](const char *prefix, Accum &a) {
+        const std::string p(prefix);
+        std::vector<double> sx, xy, xx;
+        if (!loadArr((p + "_sum_x").c_str(), fc, sx)
+            || !loadArr((p + "_xty").c_str(), fc, xy)
+            || !loadArr((p + "_xtx").c_str(), fc * (fc + 1) / 2, xx))
+            return false;
+        const JsonValue *c = v.find(p + "_count");
+        const JsonValue *s = v.find(p + "_sum_y");
+        if (!c || !s)
+            return false;
+        a.count = c->asInt();
+        a.sumY = s->asDouble();
+        a.sumX = std::move(sx);
+        a.xty = std::move(xy);
+        a.xtx = std::move(xx);
+        return true;
+    };
+    Accum reg, cls;
+    if (!loadAccum("reg", reg) || !loadAccum("cls", cls))
+        return false;
+    reg_ = std::move(reg);
+    cls_ = std::move(cls);
+    const JsonValue *f = nullptr;
+    observed_ = (f = v.find("observed")) ? f->asInt() : 0;
+    tauEwma_ = (f = v.find("tau")) ? f->asDouble() : 0;
+    tauInit_ = (f = v.find("tau_init")) && f->asBool();
+    gateOpen_ = (f = v.find("gate_open")) && f->asBool();
+    sumYYv_ = (f = v.find("sum_yyv")) ? f->asDouble() : 0;
+    vMin_ = (f = v.find("v_min")) ? f->asDouble() : 0;
+    vMax_ = (f = v.find("v_max")) ? f->asDouble() : 0;
+    // Weights are rebuilt lazily from the restored sums; refit() is a
+    // pure function of them, so the resumed run ranks identically.
+    wReg_.assign(fc, 0.0);
+    wCls_.assign(fc, 0.0);
+    bReg_ = bCls_ = clampLo_ = clampHi_ = 0;
+    dirty_ = observed_ > 0;
+    return true;
+}
+
+} // namespace sunstone

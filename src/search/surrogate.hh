@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Online surrogate ranker for candidate mappings (DESIGN.md §15). An
+ * incrementally refit linear ridge regression over cheap structural
+ * features — per-level log tile volumes, stored-footprint sizes,
+ * capacity and fanout pressure, innermost-loop class, total spatial
+ * unrolling — learns the log-metric
+ * from the (features, metric) pairs the SearchDriver already streams
+ * through the full cost model.
+ * Once the model's streaming rank correlation (Kendall-tau against
+ * realized metrics, EWMA-smoothed) clears a confidence gate, each batch
+ * is reordered best-predicted-first and its tail pruned before the full
+ * model is paid; until then ranking is pass-through, so cold-start
+ * behavior is unchanged.
+ *
+ * Everything here is serial and deterministic: the driver featurizes,
+ * predicts, and trains only on its bookkeeping thread, in consumption
+ * order, so a fixed seed stays bit-identical at any thread count. State
+ * round-trips through saveState()/restoreState() exactly (doubles are
+ * printed at max_digits10, which re-parses to the same bits), giving
+ * bit-identical checkpoint/resume.
+ */
+
+#ifndef SUNSTONE_SEARCH_SURROGATE_HH
+#define SUNSTONE_SEARCH_SURROGATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hh"
+#include "mapping/mapping.hh"
+
+namespace sunstone {
+
+/** Tuning knobs for the surrogate ranker (CLI: --surrogate*). */
+struct SurrogateOptions
+{
+    /** Master switch; off leaves every search path byte-identical. */
+    bool enabled = false;
+
+    /**
+     * Fraction of each batch pruned (never evaluated by the full model)
+     * once the confidence gate is open. Clamped to [0, 0.95]; at least
+     * one candidate per batch always survives.
+     */
+    double pruneFraction = 0.5;
+
+    /** Full-model observations required before the gate may open. */
+    std::int64_t minSamples = 256;
+
+    /** Observations required before ranking reorders anything. */
+    std::int64_t rankWarmup = 64;
+
+    /** EWMA Kendall-tau at/above which the prune gate opens. */
+    double tauOpen = 0.45;
+
+    /** EWMA Kendall-tau below which an open gate closes (hysteresis). */
+    double tauClose = 0.20;
+};
+
+/**
+ * What a CandidateStream permits the surrogate to do with its batches.
+ * Streams whose bookkeeping requires a result for every generated
+ * candidate (e.g. the GA, which scores whole generations) declare
+ * RankOnly: batches are still reordered best-first — improving
+ * time-to-quality and mid-batch stop decisions — but never truncated.
+ */
+enum class SurrogatePolicy { RankAndPrune, RankOnly };
+
+/**
+ * The online ranker. One instance per SearchDriver, bound to the
+ * driver's BoundArch (feature layout depends on level and dim counts).
+ */
+class SurrogateModel
+{
+  public:
+    SurrogateModel(const BoundArch &ba, const SurrogateOptions &opts);
+
+    const SurrogateOptions &options() const { return opts_; }
+    int featureCount() const { return featureCount_; }
+
+    /** Extracts the feature vector of m into out (resized). */
+    void featurize(const Mapping &m, std::vector<double> &out) const;
+
+    /** Predicted log-metric (monotone rank score). */
+    double predict(const std::vector<double> &features) const;
+
+    /**
+     * Refits the ridge weights from the accumulated normal equations
+     * when observations arrived since the last fit. rankBatch() calls
+     * this itself; callers using predict() directly (the refinement
+     * hill-climb) should call it once per ranked group.
+     */
+    void refit();
+
+    /**
+     * Trains on one realized outcome. @param metric the search metric
+     * (EDP or energy); +infinity for invalid mappings, which are taught
+     * as "several sigma worse than average" so the ranker learns to
+     * sink them. Must be called serially, in consumption order.
+     */
+    void observe(const std::vector<double> &features, double metric);
+
+    /**
+     * Folds one batch's (prediction, realized metric) pairs into the
+     * streaming Kendall-tau estimate and updates the gate. Predictions
+     * must predate the batch's observe() calls.
+     */
+    void updateGate(const std::vector<double> &preds,
+                    const std::vector<double> &metrics);
+
+    /**
+     * Computes order (indices into batch, best-predicted first, stable
+     * on ties) and preds (per original index). Deterministic.
+     */
+    void rankBatch(const std::vector<Mapping> &batch,
+                   std::vector<std::size_t> &order,
+                   std::vector<double> &preds);
+
+    /** @return whether enough observations exist to rank batches. */
+    bool ranking() const { return observed_ >= opts_.rankWarmup; }
+
+    /** @return whether the prune gate is currently open. */
+    bool gateOpen() const { return gateOpen_; }
+
+    /** @return full-model observations consumed so far. */
+    std::int64_t observed() const { return observed_; }
+
+    /** @return current EWMA Kendall-tau (0 before any estimate). */
+    double tau() const { return tauEwma_; }
+
+    /** Serializes all mutable state as JSON (bit-exact doubles). */
+    std::string saveState() const;
+
+    /** Restores saveState() output. @return false on malformed input. */
+    bool restoreState(const std::string &payload);
+
+  private:
+    const BoundArch &ba_;
+    SurrogateOptions opts_;
+    int featureCount_ = 0;
+    /** Cached per-tensor indexing-dim sets (feature extraction). */
+    std::vector<DimSet> tensorDims_;
+
+    // Two linear ridge models over raw features, both refit from
+    // accumulated normal equations (centered, Cholesky) once per ranked
+    // batch — exact regularized least squares on everything observed so
+    // far, O(f^2) per observe / O(f^3) per batch for f ~ tens.
+    //
+    //  - The *regression* fits the log-metric of VALID observations
+    //    only. Folding invalid samples in with synthetic targets
+    //    poisons the fit (the regressor burns its capacity separating
+    //    the two populations and ranks valid candidates no better than
+    //    chance); keeping them out preserves within-valid rank quality.
+    //  - The *classifier* fits a 0/1 invalidity indicator over ALL
+    //    observations (a linear probability model; only its ordering
+    //    matters).
+    //
+    // predict() combines them as a two-tier score: candidates the
+    // classifier flags as invalid rank strictly after the rest, and
+    // each tier orders by the regression clamped to the realized
+    // valid-target range (extrapolations into the overflow regime are
+    // meaningless and must not outrank the penalty tier).
+    struct Accum
+    {
+        std::int64_t count = 0;
+        std::vector<double> sumX;
+        double sumY = 0;
+        std::vector<double> xtx; // upper triangle, row-major
+        std::vector<double> xty;
+
+        void init(std::size_t f);
+        void add(const std::vector<double> &x, double y);
+    };
+    /** Solves the centered ridge system of a into w (size f) and b. */
+    bool solve(const Accum &a, std::vector<double> &w, double &b);
+
+    bool dirty_ = false;
+    Accum reg_;  // valid samples, target log(metric)
+    Accum cls_;  // all samples, target 1.0 invalid / 0.0 valid
+    double sumYYv_ = 0;               // Sum y^2 over valid samples
+    double vMin_ = 0, vMax_ = 0;      // realized valid-target range
+
+    std::vector<double> wReg_, wCls_;
+    double bReg_ = 0, bCls_ = 0;
+    double clampLo_ = 0, clampHi_ = 0;
+
+    std::int64_t observed_ = 0;
+    double tauEwma_ = 0;
+    bool tauInit_ = false;
+    bool gateOpen_ = false;
+
+    // refit() scratch (full matrix + rhs), kept to avoid reallocation.
+    std::vector<double> solveScratch_;
+};
+
+} // namespace sunstone
+
+#endif // SUNSTONE_SEARCH_SURROGATE_HH

@@ -7,6 +7,8 @@
  *   --metrics-json F      {"engine": ..., "registry": ...}
  *   --snapshot-json F     live-telemetry JSONL time series
  *   --convergence-json F  incumbent trajectories
+ *   --bench-json F        a `sunstone bench` artifact (BENCH_eval.json
+ *                         or BENCH_search.json; schema-sniffed)
  *   --trace-json F        Chrome trace_event spans
  *   --diag-dir D          a crash/exit bundle (reads metrics.json,
  *                         engine.json, events.jsonl, crash.txt, and
@@ -17,9 +19,13 @@
  * percentiles (p50/p90/p99 interpolated from the histogram buckets),
  * the cache hit/miss breakdown, per-layer/per-chain fusion outcomes,
  * the snapshot time series (records, eval-rate trend, final search
- * states), convergence trajectories, span totals, and the flight-event
- * tail. Sections whose artifact was not supplied are skipped, so the
- * command composes with whatever a run actually produced.
+ * states), convergence trajectories with time-to-quality (evals and
+ * seconds to within 1%/5% of each trajectory's final metric), the
+ * surrogate/warm-start counters from the metrics registry, bench timing
+ * tables (iterations whose coefficient of variation exceeds 15% are
+ * flagged as noisy), span totals, and the flight-event tail. Sections
+ * whose artifact was not supplied are skipped, so the command composes
+ * with whatever a run actually produced.
  *
  * Torn trailing lines in the snapshot JSONL (a killed writer) are
  * counted and skipped — every complete line parses by construction.
@@ -35,6 +41,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/convergence.hh"
 #include "obs/metrics.hh"
 
 namespace sunstone {
@@ -388,6 +395,137 @@ printConvergence(const JsonValue &doc)
     }
 }
 
+/**
+ * Time-to-quality per trajectory (DESIGN.md §15): the evaluation count
+ * and wall-clock at which the incumbent first came within 1% and 5% of
+ * the trajectory's final metric — the number the surrogate ranker is
+ * meant to shrink.
+ */
+void
+printTimeToQuality(const JsonValue &doc)
+{
+    const JsonValue *trajs = doc.find("trajectories");
+    if (!trajs || !trajs->isArray() || trajs->items.empty())
+        return;
+    section("time to quality");
+    std::printf("  %-34s %10s %10s %12s %12s\n", "trajectory",
+                "to 5% (ev)", "to 1% (ev)", "to 1% (s)", "final");
+    for (const JsonValue &t : trajs->items) {
+        const JsonValue *pts = t.find("points");
+        if (!pts || !pts->isArray() || pts->items.empty())
+            continue;
+        std::vector<obs::ConvergencePoint> points;
+        points.reserve(pts->items.size());
+        for (const JsonValue &p : pts->items) {
+            obs::ConvergencePoint cp;
+            if (const JsonValue *v = p.find("seconds"))
+                cp.seconds = v->asDouble();
+            if (const JsonValue *v = p.find("evaluations"))
+                cp.evaluations = v->asInt();
+            if (const JsonValue *v = p.find("metric"))
+                cp.metric = v->asDouble();
+            points.push_back(cp);
+        }
+        const obs::TimeToQuality q = obs::timeToQuality(points);
+        std::printf("  %-34s %10lld %10lld %12.3f %12.6g\n",
+                    t.find("name") ? t.find("name")->asString().c_str()
+                                   : "?",
+                    static_cast<long long>(q.evalsTo5pct),
+                    static_cast<long long>(q.evalsTo1pct),
+                    q.secondsTo1pct, q.finalMetric);
+    }
+}
+
+/**
+ * Surrogate ranker and warm-start counters from the flat metrics
+ * registry ("search.<mapper>.surrogate.*" / ".warmstart.*" keys).
+ */
+void
+printSurrogate(const JsonValue &metricsDoc)
+{
+    const JsonValue *reg = metricsDoc.find("registry");
+    if (!reg || !reg->isObject())
+        return;
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto &[name, v] : reg->fields)
+        if (name.find(".surrogate.") != std::string::npos ||
+            name.find(".warmstart.") != std::string::npos)
+            rows.emplace_back(name, v.asDouble());
+    if (rows.empty())
+        return;
+    section("surrogate / warm start");
+    std::sort(rows.begin(), rows.end());
+    for (const auto &[name, v] : rows)
+        std::printf("  %-40s %.6g\n", name.c_str(), v);
+}
+
+/** CV above which a bench iteration set is reported as noisy. */
+constexpr double kNoisyCv = 0.15;
+
+/**
+ * A `sunstone bench` artifact. Sniffs the schema: the timing document
+ * (BENCH_eval.json) prints best/median/CV per benchmark and flags noisy
+ * iteration sets; the search time-to-quality document
+ * (BENCH_search.json) prints per-workload eval reductions.
+ */
+void
+printBench(const JsonValue &doc)
+{
+    if (const JsonValue *benches = doc.find("benchmarks");
+        benches && benches->isArray()) {
+        section("bench timings");
+        std::printf("  %-30s %12s %12s %8s\n", "benchmark", "best s",
+                    "median s", "cv");
+        int noisy = 0;
+        for (const JsonValue &b : benches->items) {
+            const double cv =
+                b.find("cv") ? b.find("cv")->asDouble() : 0;
+            const bool flag = cv > kNoisyCv;
+            noisy += flag;
+            std::printf("  %-30s %12.6f %12.6f %7.1f%%%s\n",
+                        b.find("name")
+                            ? b.find("name")->asString().c_str()
+                            : "?",
+                        b.find("best_seconds")
+                            ? b.find("best_seconds")->asDouble()
+                            : 0,
+                        b.find("median_seconds")
+                            ? b.find("median_seconds")->asDouble()
+                            : 0,
+                        100.0 * cv, flag ? "  NOISY" : "");
+        }
+        if (noisy)
+            std::printf("  %d benchmark(s) above %.0f%% CV: timings on "
+                        "this host are unstable; prefer median over "
+                        "best/mean.\n",
+                        noisy, 100.0 * kNoisyCv);
+        return;
+    }
+    const JsonValue *wls = doc.find("workloads");
+    if (!wls || !wls->isArray())
+        return;
+    section("search time to quality (bench)");
+    std::printf("  %-24s %12s %12s %12s %s\n", "workload", "base best",
+                "surr. cut", "warm cut", "within 1%");
+    for (const JsonValue &w : wls->items) {
+        const auto pct = [&](const char *key) {
+            const JsonValue *v = w.find(key);
+            return v ? 100.0 * v->asDouble() : 0.0;
+        };
+        std::printf("  %-24s %12.6g %11.1f%% %11.1f%% %s\n",
+                    w.find("name") ? w.find("name")->asString().c_str()
+                                   : "?",
+                    w.find("baseline_best")
+                        ? w.find("baseline_best")->asDouble()
+                        : 0,
+                    pct("eval_reduction"), pct("warm_reduction"),
+                    w.find("on_within_1pct") &&
+                            w.find("on_within_1pct")->asBool()
+                        ? "yes"
+                        : "NO");
+    }
+}
+
 void
 printTrace(const JsonValue &doc)
 {
@@ -470,17 +608,19 @@ run(const std::map<std::string, std::string> &kv)
     std::string metricsPath = get("metrics-json");
     std::string snapshotPath = get("snapshot-json");
     std::string convergencePath = get("convergence-json");
+    std::string benchPath = get("bench-json");
     std::string tracePath = get("trace-json");
     const std::string diagDir = get("diag-dir");
 
     if (statsPath.empty() && metricsPath.empty() &&
         snapshotPath.empty() && convergencePath.empty() &&
-        tracePath.empty() && diagDir.empty()) {
+        benchPath.empty() && tracePath.empty() && diagDir.empty()) {
         std::printf(
             "usage: sunstone report [--stats-json F] [--metrics-json F]\n"
             "                       [--snapshot-json F] "
             "[--convergence-json F]\n"
-            "                       [--trace-json F] [--diag-dir D]\n");
+            "                       [--bench-json F] [--trace-json F] "
+            "[--diag-dir D]\n");
         return 2;
     }
 
@@ -534,6 +674,17 @@ run(const std::map<std::string, std::string> &kv)
         if (!loadJson(convergencePath, conv))
             SUNSTONE_FATAL("cannot read '", convergencePath, "'");
         printConvergence(conv);
+        printTimeToQuality(conv);
+    }
+    if (haveMetrics)
+        printSurrogate(metricsDoc);
+    else if (!diagDir.empty())
+        printSurrogate(diagMetrics);
+    if (!benchPath.empty()) {
+        JsonValue benchDoc;
+        if (!loadJson(benchPath, benchDoc))
+            SUNSTONE_FATAL("cannot read '", benchPath, "'");
+        printBench(benchDoc);
     }
     if (!tracePath.empty() || !diagDir.empty()) {
         JsonValue trace;

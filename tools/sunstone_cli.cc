@@ -31,6 +31,20 @@
  * stops at the next batch boundary, writes a final checkpoint, and the
  * best-so-far result is reported with stop reason "cancelled".
  *
+ * Surrogate ranking + warm starting (both map modes; DESIGN.md §15):
+ *   --surrogate on|off    online linear ranker over cheap mapping
+ *                         features reorders each candidate batch
+ *                         best-first and, once its streaming rank
+ *                         correlation clears a confidence gate, prunes
+ *                         the predicted-worst tail (default off; `off`
+ *                         is bit-identical to builds without the flag)
+ *   --surrogate-prune F   fraction of each batch pruned once the gate
+ *                         opens (default 0.5, clamped to [0, 0.95])
+ *   --warmstart-store F   persistent best-mapping store; searches are
+ *                         seeded from stored bests of structurally
+ *                         similar layers and realized bests are
+ *                         recorded back (file created when missing)
+ *
  *   sunstone map --net NAME [--batch N] [--seq N] [--fuse off|greedy]
  *                [--arch ...] [--stats-json F]
  *                [--trace-json F] [--metrics-json F]
@@ -76,11 +90,13 @@
  *
  *   sunstone report [--stats-json F] [--metrics-json F]
  *                   [--snapshot-json F] [--convergence-json F]
- *                   [--trace-json F] [--diag-dir D]
+ *                   [--bench-json F] [--trace-json F] [--diag-dir D]
  *       Digest run artifacts offline: wall-clock attribution by
  *       phase/mapper, eval-latency percentiles, cache hit/miss
  *       breakdown, per-layer/per-chain fusion outcomes, snapshot and
- *       convergence series, span totals, flight-event tail.
+ *       convergence series with time-to-quality, surrogate/warm-start
+ *       counters, bench timing/CV tables (BENCH_eval.json or
+ *       BENCH_search.json), span totals, flight-event tail.
  *
  *   sunstone eval --mapping F [workload opts] [--arch ...]
  *       Re-evaluate a saved mapping.
@@ -133,6 +149,8 @@
 #include "mappers/timeloop_mapper.hh"
 #include "search/checkpoint.hh"
 #include "search/stop_policy.hh"
+#include "search/surrogate.hh"
+#include "search/warmstart.hh"
 #include "model/eval_engine.hh"
 #include "obs/convergence.hh"
 #include "obs/flight_recorder.hh"
@@ -449,9 +467,39 @@ stopPolicyFromArgs(const Args &a, std::optional<std::uint64_t> &seed)
 }
 
 /**
+ * Parses --surrogate on|off and --surrogate-prune into SurrogateOptions.
+ * --surrogate-prune without --surrogate on is rejected — silently
+ * ignoring it would misreport what the run did.
+ */
+SurrogateOptions
+surrogateFromArgs(const Args &a)
+{
+    SurrogateOptions o;
+    if (a.has("surrogate")) {
+        const std::string v = a.get("surrogate");
+        if (v == "on")
+            o.enabled = true;
+        else if (v != "off")
+            SUNSTONE_FATAL("--surrogate expects 'on' or 'off', got '", v,
+                           "'");
+    }
+    if (a.has("surrogate-prune")) {
+        if (!o.enabled)
+            SUNSTONE_FATAL("--surrogate-prune requires --surrogate on");
+        const double f = finiteArg(a, "surrogate-prune");
+        if (f < 0 || f > 0.95)
+            SUNSTONE_FATAL("--surrogate-prune must be in [0, 0.95], "
+                           "got '",
+                           a.get("surrogate-prune"), "'");
+        o.pruneFraction = f;
+    }
+    return o;
+}
+
+/**
  * Builds the SearchContext every search in `map` runs under: StopPolicy
- * and seed from the flags, the shared engine, the convergence sink, and
- * the checkpoint/resume configuration.
+ * and seed from the flags, the shared engine, the convergence sink, the
+ * surrogate configuration, and the checkpoint/resume configuration.
  */
 SearchContext
 searchContextFromArgs(const Args &a, EvalEngine &engine,
@@ -462,6 +510,7 @@ searchContextFromArgs(const Args &a, EvalEngine &engine,
     SearchContext sc(&engine, stopPolicyFromArgs(a, seed), convergence);
     if (seed)
         sc.setSeed(*seed);
+    sc.setSurrogate(surrogateFromArgs(a));
     if (a.has("checkpoint"))
         sc.setCheckpointPath(a.get("checkpoint"));
     if (a.has("resume")) {
@@ -704,6 +753,7 @@ cmdMapNet(const Args &a)
     ObsSinks sinks(a);
     NetSchedulerOptions opts;
     opts.fusion = fusionFromArgs(a);
+    opts.warmstartStore = a.get("warmstart-store");
     opts.sunstone.optimizeEdp = !a.has("energy");
     if (a.has("beam"))
         opts.sunstone.beamWidth =
@@ -790,6 +840,19 @@ cmdMap(const Args &a)
     EvalEngine engine(EvalEngineOptions{.threads = threads});
     SearchContext sc = searchContextFromArgs(a, engine,
                                              sinks.convergence());
+    // Warm starting for a single-layer search: seed from the stored
+    // bests of similar shapes, record the realized best back after the
+    // search. A missing store file is an empty store, not an error.
+    WarmStartStore wstore;
+    const std::string wsPath = a.get("warmstart-store");
+    if (!wsPath.empty()) {
+        std::string err;
+        std::ifstream probe(wsPath);
+        if (probe.good() && !wstore.load(wsPath, &err))
+            SUNSTONE_FATAL("bad --warmstart-store '", wsPath, "': ",
+                           err);
+        sc.setWarmStarts(wstore.query(ba));
+    }
     LiveTelemetry telemetry(a, engine);
     g_signalFlush = [&] {
         if (telemetry.snapshot)
@@ -854,6 +917,11 @@ cmdMap(const Args &a)
         std::printf("no valid mapping found: %s\n",
                     mr.invalidReason.c_str());
         return 1;
+    }
+    if (!wsPath.empty() &&
+        wstore.record(ba, wl.name(), mr.cost.edp, mr.mapping)) {
+        if (!wstore.save(wsPath))
+            SUNSTONE_FATAL("cannot write '", wsPath, "'");
     }
     std::printf("mapper  %s (%.3f s, %lld candidates, stop: %s)\n\n",
                 mapper.c_str(), mr.seconds,
