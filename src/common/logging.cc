@@ -100,6 +100,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedFatalCapture::active())
+        throw FatalError(msg + " (at " + file + ":" +
+                         std::to_string(line) + ")");
     std::cerr << stamp() << "fatal: " << msg << "\n  at " << file << ":"
               << line << std::endl;
     std::exit(1);
@@ -127,5 +130,22 @@ debugImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+namespace {
+
+/** Nesting depth of ScopedFatalCapture on this thread. */
+thread_local int gFatalCaptureDepth = 0;
+
+} // anonymous namespace
+
+ScopedFatalCapture::ScopedFatalCapture() { ++gFatalCaptureDepth; }
+
+ScopedFatalCapture::~ScopedFatalCapture() { --gFatalCaptureDepth; }
+
+bool
+ScopedFatalCapture::active()
+{
+    return gFatalCaptureDepth > 0;
+}
 
 } // namespace sunstone

@@ -23,12 +23,46 @@
 #define SUNSTONE_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace sunstone {
 
 /** Global verbosity, most to least verbose. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/**
+ * Thrown by fatal() instead of exiting while a ScopedFatalCapture is
+ * active on the calling thread. The message includes the source
+ * location the banner would have printed.
+ */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive on a thread, fatal() on that thread throws FatalError
+ * instead of terminating the process. This is how a long-running
+ * service (the scheduler session's request loop) turns a bad *request*
+ * — unparsable einsum, unknown architecture — into an error response
+ * without dying; panic() still aborts, since that is a library bug.
+ * Captures nest; the process-exit behavior returns when the outermost
+ * scope ends. Thread-local: worker threads spawned inside a captured
+ * region keep the default exit-on-fatal behavior.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+
+    /** Whether a capture is active on the calling thread. */
+    static bool active();
+};
 
 namespace detail {
 

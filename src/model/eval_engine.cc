@@ -114,6 +114,32 @@ hashFactors(const std::vector<std::int64_t> &v, std::uint64_t seed)
     return h;
 }
 
+SearchStats
+SearchStats::deltaSince(const SearchStats &earlier) const
+{
+    SearchStats d = *this;
+    d.evaluations -= earlier.evaluations;
+    d.cacheHits -= earlier.cacheHits;
+    d.cacheMisses -= earlier.cacheMisses;
+    d.invalidMappings -= earlier.invalidMappings;
+    d.prunes -= earlier.prunes;
+    d.evictions -= earlier.evictions;
+    d.prefixHits -= earlier.prefixHits;
+    d.prefixMisses -= earlier.prefixMisses;
+    d.scratchReuses -= earlier.scratchReuses;
+    d.batches -= earlier.batches;
+    return d;
+}
+
+double
+SearchStats::hitRate() const
+{
+    const std::int64_t lookups = cacheHits + cacheMisses;
+    if (lookups <= 0)
+        return 1.0;
+    return static_cast<double>(cacheHits) / static_cast<double>(lookups);
+}
+
 std::string
 SearchStats::toJson() const
 {

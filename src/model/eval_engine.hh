@@ -80,6 +80,19 @@ struct SearchStats
 
     /** Renders the snapshot as a JSON object. */
     std::string toJson() const;
+
+    /**
+     * Counter-wise difference of two snapshots of one engine
+     * (this - earlier): what a bounded span of work — e.g. one service
+     * request on a long-lived session engine — contributed. Histograms
+     * and phase wall-clock are not differenced; the delta keeps this
+     * snapshot's copies.
+     */
+    SearchStats deltaSince(const SearchStats &earlier) const;
+
+    /** Cache hits over cache lookups (hits + misses); 1 when no lookup
+     *  happened (an all-cached span has nothing left to miss). */
+    double hitRate() const;
 };
 
 /**

@@ -1,0 +1,139 @@
+#include "service/artifacts.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "service/signals.hh"
+
+namespace sunstone {
+namespace service {
+
+ArtifactSet::ArtifactSet(const ArtifactOptions &opts, EvalEngine &engine)
+    : opts_(opts), engine_(engine)
+{
+    if (!opts_.tracePath.empty())
+        obs::tracer().setEnabled(true);
+    if (!opts_.snapshotPath.empty()) {
+        snapshot_ = std::make_unique<obs::SnapshotWriter>(
+            opts_.snapshotPath, opts_.snapshotIntervalMs);
+        snapshot_->setExtraProvider([this] {
+            return "{\"engine\": " + engine_.stats().toJson() + "}";
+        });
+    }
+    if (opts_.progress)
+        progress_ = std::make_unique<obs::ProgressReporter>();
+    if (!opts_.diagDir.empty()) {
+        diag_ = true;
+        obs::setDiagDir(opts_.diagDir);
+        obs::setDiagExtraProvider([this] {
+            return "{\"engine\": " + engine_.stats().toJson() + "}";
+        });
+        obs::installCrashHandlers();
+    }
+}
+
+ArtifactSet::~ArtifactSet() { stop(); }
+
+obs::ConvergenceRecorder *
+ArtifactSet::convergence()
+{
+    return opts_.convergencePath.empty() ? nullptr : &recorder_;
+}
+
+void
+ArtifactSet::start()
+{
+    if (snapshot_ && !snapshot_->start())
+        SUNSTONE_FATAL("cannot write '", snapshot_->path(), "'");
+    if (progress_)
+        progress_->start();
+}
+
+void
+ArtifactSet::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    if (progress_)
+        progress_->stop();
+    if (snapshot_)
+        snapshot_->stop();
+    if (diag_) {
+        if (SignalBridge::instance().signalCount() > 0)
+            obs::writeDiagBundle("termination signal (cooperative)");
+        obs::setDiagExtraProvider(nullptr);
+        diag_ = false;
+    }
+}
+
+void
+ArtifactSet::writeStats(const std::string &doc)
+{
+    if (opts_.statsJsonPath.empty())
+        return;
+    std::ofstream os(opts_.statsJsonPath);
+    if (!os)
+        SUNSTONE_FATAL("cannot write '", opts_.statsJsonPath, "'");
+    os << doc << "\n";
+    std::printf("wrote %s\n", opts_.statsJsonPath.c_str());
+}
+
+void
+ArtifactSet::writeFinal()
+{
+    flushSinks(/*best_effort=*/false);
+}
+
+void
+ArtifactSet::flushBestEffort()
+{
+    if (snapshot_)
+        snapshot_->writeNow();
+    flushSinks(/*best_effort=*/true);
+    obs::writeDiagBundle("forced exit: repeated termination signal");
+}
+
+bool
+ArtifactSet::hasLiveTelemetry() const
+{
+    return snapshot_ || progress_ || !opts_.diagDir.empty();
+}
+
+void
+ArtifactSet::flushSinks(bool best_effort)
+{
+    if (!opts_.tracePath.empty()) {
+        obs::tracer().setEnabled(false);
+        const bool ok = obs::tracer().writeChromeJson(opts_.tracePath);
+        if (!ok && !best_effort)
+            SUNSTONE_FATAL("cannot write '", opts_.tracePath, "'");
+        if (!best_effort)
+            std::printf("wrote %s\n", opts_.tracePath.c_str());
+    }
+    if (!opts_.metricsPath.empty()) {
+        const std::string doc =
+            "{\"engine\": " + engine_.stats().toJson() +
+            ", \"registry\": " + obs::metrics().toJson() + "}";
+        std::ofstream os(opts_.metricsPath);
+        if (!os && !best_effort)
+            SUNSTONE_FATAL("cannot write '", opts_.metricsPath, "'");
+        os << doc << "\n";
+        if (!best_effort)
+            std::printf("wrote %s\n", opts_.metricsPath.c_str());
+    }
+    if (!opts_.convergencePath.empty()) {
+        const bool ok = recorder_.writeJson(opts_.convergencePath);
+        if (!ok && !best_effort)
+            SUNSTONE_FATAL("cannot write '", opts_.convergencePath, "'");
+        if (!best_effort)
+            std::printf("wrote %s\n", opts_.convergencePath.c_str());
+    }
+}
+
+} // namespace service
+} // namespace sunstone

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Run-artifact sinks shared by the CLI's map modes, `sunstone serve`,
+ * and the SchedulerSession (DESIGN.md §16). One ArtifactSet bundles
+ * everything a run can leave behind — the stats/trace/metrics/
+ * convergence documents, the live snapshot/progress threads, and the
+ * crash-diagnostics directory — behind three entry points:
+ *
+ *  - writeFinal()       the normal exit path (fatal()s on I/O errors,
+ *                       prints "wrote ..." like the CLI always has);
+ *  - flushBestEffort()  the forced-exit path (second termination
+ *                       signal, crash handlers): flush what we can,
+ *                       never fatal, never print;
+ *  - writeStats()       the --stats-json document.
+ *
+ * flushBestEffort() is the single shared implementation of what used to
+ * be two near-identical `g_signalFlush` lambdas in cmdMap/cmdMapNet; it
+ * is what the session registers with the SignalBridge while a request
+ * is running.
+ */
+
+#ifndef SUNSTONE_SERVICE_ARTIFACTS_HH
+#define SUNSTONE_SERVICE_ARTIFACTS_HH
+
+#include <memory>
+#include <string>
+
+#include "model/eval_engine.hh"
+#include "obs/convergence.hh"
+#include "obs/progress.hh"
+#include "obs/snapshot.hh"
+
+namespace sunstone {
+namespace service {
+
+/** Which artifacts a run wants, and where. Empty paths disable. */
+struct ArtifactOptions
+{
+    std::string statsJsonPath;   ///< --stats-json
+    std::string tracePath;       ///< --trace-json
+    std::string metricsPath;     ///< --metrics-json
+    std::string convergencePath; ///< --convergence-json
+    std::string snapshotPath;    ///< --snapshot-json
+    int snapshotIntervalMs = 1000;
+    bool progress = false;       ///< --progress
+    std::string diagDir;         ///< --diag-dir
+};
+
+/** The sinks of one run (a CLI command or a serve session). */
+class ArtifactSet
+{
+  public:
+    /**
+     * Prepares the sinks: enables the tracer when a trace is requested,
+     * builds the snapshot writer and progress reporter, and configures
+     * the crash-diagnostics directory and handlers. `engine` is the
+     * engine whose stats the snapshot/diag documents embed; it must
+     * outlive the set.
+     */
+    ArtifactSet(const ArtifactOptions &opts, EvalEngine &engine);
+    ~ArtifactSet();
+
+    ArtifactSet(const ArtifactSet &) = delete;
+    ArtifactSet &operator=(const ArtifactSet &) = delete;
+
+    /** The convergence recorder, or nullptr when no sink wants it. */
+    obs::ConvergenceRecorder *convergence();
+
+    /** Starts the live threads (snapshot, progress); call pre-search. */
+    void start();
+
+    /**
+     * Stops the live threads, writes the cooperative-cancellation diag
+     * bundle when a termination signal was seen, and detaches the
+     * global diag providers. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** Writes the --stats-json document ("{"result": ..., "engine":
+     *  ...}" is the caller's to compose). No-op without a path. */
+    void writeStats(const std::string &doc);
+
+    /** Normal-exit rendering of trace/metrics/convergence. */
+    void writeFinal();
+
+    /**
+     * The shared forced-exit flush: one snapshot record, best-effort
+     * trace/metrics/convergence, and a diag bundle. Safe to call from
+     * any thread in normal (non-signal) context.
+     */
+    void flushBestEffort();
+
+    /** Whether any live sink (snapshot/progress/diag) is configured. */
+    bool hasLiveTelemetry() const;
+
+  private:
+    void flushSinks(bool best_effort);
+
+    ArtifactOptions opts_;
+    EvalEngine &engine_;
+    obs::ConvergenceRecorder recorder_;
+    std::unique_ptr<obs::SnapshotWriter> snapshot_;
+    std::unique_ptr<obs::ProgressReporter> progress_;
+    bool diag_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace service
+} // namespace sunstone
+
+#endif // SUNSTONE_SERVICE_ARTIFACTS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Session-owned cooperative cancellation (DESIGN.md §16). A
+ * CancellationSource wraps the atomic flag every StopPolicy in a
+ * request points at; the search drivers poll it at batch boundaries.
+ * The flag used to be a process global in the CLI (`g_cancelRequested`);
+ * owning it here lets each SchedulerSession cancel (and reset) its own
+ * traffic, and lets embedders cancel programmatically instead of only
+ * via signals.
+ */
+
+#ifndef SUNSTONE_SERVICE_CANCELLATION_HH
+#define SUNSTONE_SERVICE_CANCELLATION_HH
+
+#include <atomic>
+
+namespace sunstone {
+namespace service {
+
+/** A resettable cancellation flag shared by a session's requests. */
+class CancellationSource
+{
+  public:
+    /** Raises the flag; every in-flight search stops cooperatively. */
+    void
+    requestCancel()
+    {
+        flag_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /** Lowers the flag (between requests; never during one). */
+    void
+    reset()
+    {
+        flag_.store(false, std::memory_order_relaxed);
+    }
+
+    /** The flag StopPolicy::cancel points at. Stable for the source's
+     *  lifetime. */
+    std::atomic<bool> *flag() { return &flag_; }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+} // namespace service
+} // namespace sunstone
+
+#endif // SUNSTONE_SERVICE_CANCELLATION_HH

@@ -1,0 +1,120 @@
+#include "service/signals.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/flight_recorder.hh"
+
+namespace sunstone {
+namespace service {
+
+namespace {
+
+// The only state the signal handler touches. Both are lock-free
+// atomics; fetch_add/store on them is async-signal-safe.
+std::atomic<int> gSignalCount{0};
+std::atomic<int> gLastSignal{0};
+
+extern "C" void
+onTerminationSignal(int sig)
+{
+    gLastSignal.store(sig, std::memory_order_relaxed);
+    const int n =
+        gSignalCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Third signal: the watcher thread (which handles the second-signal
+    // flush) is itself stuck. _Exit is async-signal-safe.
+    if (n >= 3)
+        std::_Exit(128 + sig);
+}
+
+std::mutex gMtx;
+CancellationSource *gCancel = nullptr;
+std::function<void()> gForceFlush;
+bool gInstalled = false;
+
+void
+watcherLoop()
+{
+    bool cancelRaised = false;
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const int n = gSignalCount.load(std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        if (!cancelRaised) {
+            cancelRaised = true;
+            CancellationSource *cancel;
+            {
+                std::lock_guard<std::mutex> lock(gMtx);
+                cancel = gCancel;
+            }
+            if (cancel)
+                cancel->requestCancel();
+            obs::flightRecorder().record(
+                "signal.cancel", "termination signal; cooperative "
+                                 "cancellation raised");
+        }
+        if (n >= 2) {
+            // Second signal: drain is too slow. Flush from this thread
+            // (normal context) and exit with the signal status.
+            std::function<void()> flush;
+            {
+                std::lock_guard<std::mutex> lock(gMtx);
+                flush = gForceFlush;
+            }
+            if (flush)
+                flush();
+            std::_Exit(128 + gLastSignal.load(std::memory_order_relaxed));
+        }
+    }
+}
+
+} // anonymous namespace
+
+SignalBridge &
+SignalBridge::instance()
+{
+    static SignalBridge bridge;
+    return bridge;
+}
+
+void
+SignalBridge::install()
+{
+    std::lock_guard<std::mutex> lock(gMtx);
+    if (gInstalled)
+        return;
+    gInstalled = true;
+    std::signal(SIGINT, onTerminationSignal);
+    std::signal(SIGTERM, onTerminationSignal);
+    // The watcher lives for the rest of the process; it spends its life
+    // asleep unless a signal arrives.
+    std::thread(watcherLoop).detach();
+}
+
+void
+SignalBridge::attach(CancellationSource *cancel)
+{
+    std::lock_guard<std::mutex> lock(gMtx);
+    gCancel = cancel;
+}
+
+void
+SignalBridge::setForceFlush(std::function<void()> flush)
+{
+    std::lock_guard<std::mutex> lock(gMtx);
+    gForceFlush = std::move(flush);
+}
+
+int
+SignalBridge::signalCount() const
+{
+    return gSignalCount.load(std::memory_order_relaxed);
+}
+
+} // namespace service
+} // namespace sunstone

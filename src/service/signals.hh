@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Async-signal-safe SIGINT/SIGTERM bridge (DESIGN.md §16).
+ *
+ * The old CLI handler invoked a `std::function` flush callback directly
+ * from signal context — allocation and lock acquisition in a signal
+ * handler, the classic async-signal-safety bug. The bridge replaces it:
+ * the handler only touches lock-free atomics (fetch_add on an
+ * std::atomic<int> is async-signal-safe when lock-free, which it is on
+ * every supported target), and a dedicated watcher thread polls those
+ * flags from normal context, where allocating and locking are legal.
+ *
+ * Escalation ladder (exit codes preserved from the old CLI):
+ *  1st signal  - watcher raises the attached CancellationSource; the
+ *                searches drain cooperatively and the normal exit path
+ *                writes every artifact.
+ *  2nd signal  - the run is stuck or draining too slowly: the watcher
+ *                runs the registered best-effort flush (from its own
+ *                thread, not signal context) and _Exit(128 + sig).
+ *  3rd signal  - last resort if the watcher itself is wedged (e.g. the
+ *                flush deadlocked): the handler _Exit(128 + sig)s
+ *                directly, which is async-signal-safe.
+ */
+
+#ifndef SUNSTONE_SERVICE_SIGNALS_HH
+#define SUNSTONE_SERVICE_SIGNALS_HH
+
+#include <functional>
+
+#include "service/cancellation.hh"
+
+namespace sunstone {
+namespace service {
+
+/** Process-wide signal bridge; one instance, installed on demand. */
+class SignalBridge
+{
+  public:
+    static SignalBridge &instance();
+
+    /**
+     * Installs the SIGINT/SIGTERM handlers and starts the watcher
+     * thread. Idempotent; cheap after the first call.
+     */
+    void install();
+
+    /**
+     * Attaches the cancellation source the first signal raises (null
+     * detaches). The caller keeps ownership; detach before destroying
+     * the source.
+     */
+    void attach(CancellationSource *cancel);
+
+    /**
+     * Registers the best-effort flush the watcher runs on the second
+     * signal, right before _Exit (null clears). Runs on the watcher
+     * thread — normal context, allocation and locks are fine.
+     */
+    void setForceFlush(std::function<void()> flush);
+
+    /** Termination signals received so far (0 in an uninterrupted run). */
+    int signalCount() const;
+
+  private:
+    SignalBridge() = default;
+};
+
+} // namespace service
+} // namespace sunstone
+
+#endif // SUNSTONE_SERVICE_SIGNALS_HH

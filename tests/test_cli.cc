@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace sunstone {
@@ -215,6 +216,80 @@ TEST(Cli, CheckCatchesInjectedFaultAndWritesRepro)
         std::ifstream f(prefix + ext);
         EXPECT_TRUE(f.good()) << prefix << ext;
     }
+}
+
+TEST(Cli, ServeAnswersNdjsonRequestsAndDedups)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string reqs = dir + "/serve_reqs.ndjson";
+    {
+        std::ofstream f(reqs);
+        // Two identical requests (the second must be deduped), one
+        // malformed line (the server must answer and keep going), and a
+        // health scrape.
+        f << "{\"id\": \"a\", \"kind\": \"map\", \"workload\": "
+             "{\"conv\": \"n=1,k=8,c=8,p=8,q=8,r=3,s=3\"}, "
+             "\"stop\": {\"seed\": 3, \"max_evals\": 600}}\n";
+        f << "{\"id\": \"b\", \"kind\": \"map\", \"workload\": "
+             "{\"conv\": \"n=1,k=8,c=8,p=8,q=8,r=3,s=3\"}, "
+             "\"stop\": {\"seed\": 3, \"max_evals\": 600}}\n";
+        f << "this is not json\n";
+        f << "{\"id\": \"h\", \"kind\": \"health\"}\n";
+    }
+    auto r = runCli("serve --metrics-json " + dir +
+                    "/serve_metrics.json < " + reqs);
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("\"id\": \"a\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"id\": \"b\""), std::string::npos);
+    // The dedup marker on the repeat.
+    EXPECT_NE(r.output.find("\"cached\": true"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("bad request"), std::string::npos);
+    EXPECT_NE(r.output.find("\"health\""), std::string::npos);
+    // EOF shuts the session down cleanly and flushes the metrics doc.
+    std::ifstream metrics(dir + "/serve_metrics.json");
+    ASSERT_TRUE(metrics.good());
+    std::string doc((std::istreambuf_iterator<char>(metrics)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(doc.find("\"executed\": 3"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"deduped\": 1"), std::string::npos) << doc;
+}
+
+TEST(Cli, ServeShutsDownCleanlyOnSigterm)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string script = dir + "/serve_term.sh";
+    {
+        std::ofstream f(script);
+        // Hold stdin open so the server is idle-waiting, then SIGTERM
+        // it: the exit must be clean (code 0) with metrics flushed.
+        // A fifo (not a `sleep N |` pipeline) keeps stdin open without
+        // leaving a long-lived writer the shell would wait on.
+        f << "fifo=" << dir << "/serve_term_fifo\n"
+          << "rm -f $fifo && mkfifo $fifo\n"
+          << SUNSTONE_BIN_DIR << "/tools/sunstone serve --metrics-json "
+          << dir << "/serve_term_metrics.json < $fifo >/dev/null 2>&1 &\n"
+          << "srv=$!\n"
+          << "exec 3>$fifo\n"
+          << "sleep 1\n"
+          << "kill -TERM $srv\n"
+          << "wait $srv\n"
+          << "echo served_exit=$?\n"
+          << "exec 3>&-\n";
+    }
+    CliResult res;
+    FILE *pipe = popen(("sh " + script).c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::array<char, 4096> buf;
+    while (fgets(buf.data(), buf.size(), pipe))
+        res.output += buf.data();
+    res.exitCode = WEXITSTATUS(pclose(pipe));
+    EXPECT_EQ(res.exitCode, 0);
+    EXPECT_NE(res.output.find("served_exit=0"), std::string::npos)
+        << res.output;
+    std::ifstream metrics(dir + "/serve_term_metrics.json");
+    EXPECT_TRUE(metrics.good());
 }
 
 TEST(Cli, UnknownCommandFails)

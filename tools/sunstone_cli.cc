@@ -1,6 +1,11 @@
 /**
  * @file
- * Command-line front end to the library. Subcommands:
+ * Command-line front end to the library. Since the service-core
+ * extraction (DESIGN.md §16) this file is exactly what a front end
+ * should be: argv parsing into a service::MappingRequest, one
+ * SchedulerSession call, and rendering of the response — the search
+ * orchestration, signal handling, artifact sinks, and warm-start
+ * plumbing all live in src/service/. Subcommands:
  *
  *   sunstone describe --einsum "<expr>" --dims k=64,c=32,...
  *       Print the inferred reuse table (Table III style).
@@ -27,8 +32,9 @@
  *                      as max_consecutive_invalid, with a warning)
  *   --checkpoint F     periodically snapshot resumable search state
  *   --resume F         continue from a snapshot written by --checkpoint
- * SIGINT/SIGTERM raise the cooperative cancellation flag: the search
- * stops at the next batch boundary, writes a final checkpoint, and the
+ * SIGINT/SIGTERM raise the cooperative cancellation flag (see
+ * src/service/signals.hh for the escalation ladder): the search stops
+ * at the next batch boundary, writes a final checkpoint, and the
  * best-so-far result is reported with stop reason "cancelled".
  *
  * Surrogate ranking + warm starting (both map modes; DESIGN.md §15):
@@ -73,30 +79,33 @@
  *
  * Live telemetry (both map modes; see DESIGN.md §14):
  *   --progress            throttled single-line progress on stderr
- *                         (units done, evals/sec, incumbent, ETA to the
- *                         dominant StopPolicy bound)
  *   --snapshot-json F     append-only JSONL time series of the metrics
- *                         registry + live per-search state; every
- *                         complete line is a parseable record even if
- *                         the process is killed mid-run
+ *                         registry + live per-search state
  *   --snapshot-interval-ms N  snapshot period (default 1000)
  *   --diag-dir D          on fatal signals, std::terminate, repeated
  *                         SIGINT/SIGTERM, or cancelled exit, write a
- *                         diagnostics bundle (crash.txt, events.jsonl
- *                         flight-recorder ring, metrics.json,
- *                         engine.json, trace.json) into D
+ *                         diagnostics bundle into D
  * A second SIGINT/SIGTERM while the cooperative cancellation is still
  * draining force-flushes all telemetry sinks and exits immediately.
+ *
+ *   sunstone serve [--threads N] [--warmstart-store F]
+ *                  [--queue-capacity N] [--metrics-json F]
+ *       Long-lived scheduler session over newline-delimited JSON on
+ *       stdin/stdout: one MappingRequest object per line in, one
+ *       MappingResponse per line out (src/service/request.hh is the
+ *       schema; field values are the same strings the map flags take).
+ *       Identical deterministic requests are deduplicated against the
+ *       session's result cache (`"cached": true` in the response) and
+ *       repeat layer structures hit the shared engine's memo cache —
+ *       the per-request `engine_delta.hit_rate` makes both observable.
+ *       A {"kind": "health"} line scrapes session/engine/registry
+ *       metrics. EOF or SIGINT/SIGTERM shuts down cleanly (exit 0);
+ *       --metrics-json captures the final health document.
  *
  *   sunstone report [--stats-json F] [--metrics-json F]
  *                   [--snapshot-json F] [--convergence-json F]
  *                   [--bench-json F] [--trace-json F] [--diag-dir D]
- *       Digest run artifacts offline: wall-clock attribution by
- *       phase/mapper, eval-latency percentiles, cache hit/miss
- *       breakdown, per-layer/per-chain fusion outcomes, snapshot and
- *       convergence series with time-to-quality, surrogate/warm-start
- *       counters, bench timing/CV tables (BENCH_eval.json or
- *       BENCH_search.json), span totals, flight-event tail.
+ *       Digest run artifacts offline.
  *
  *   sunstone eval --mapping F [workload opts] [--arch ...]
  *       Re-evaluate a saved mapping.
@@ -108,11 +117,6 @@
  *                  [--repro-prefix P] [--inject-fault top-level-reads]
  *       Differential-fuzz the analytical cost model against the
  *       loop-nest oracle on random (workload, arch, mapping) triples.
- *       On a mismatch the reproducer is shrunk to a minimal triple,
- *       printed, optionally saved as P.workload/P.arch/P.mapping, and
- *       the exit status is 1. Runs are deterministic per seed;
- *       --inject-fault plants a known model-side perturbation so the
- *       harness itself can be tested.
  *
  * Workload options: --einsum/--dims/--bits, or --workload-file F, or a
  * preset: --conv n=16,k=64,c=64,p=56,q=56,r=3,s=3[,stride=1].
@@ -121,48 +125,32 @@
  */
 
 #include <algorithm>
-#include <atomic>
-#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "arch/arch_config.hh"
 #include "common/parse.hh"
-#include "arch/presets.hh"
-#include "core/net_scheduler.hh"
-#include "core/sunstone.hh"
 #include "mapping/serialize.hh"
-#include "model/diffcheck.hh"
-#include "mappers/cosa_mapper.hh"
-#include "mappers/dmaze_mapper.hh"
-#include "mappers/exhaustive_mapper.hh"
-#include "mappers/gamma_mapper.hh"
-#include "mappers/interstellar_mapper.hh"
-#include "mappers/timeloop_mapper.hh"
-#include "search/checkpoint.hh"
-#include "search/stop_policy.hh"
-#include "search/surrogate.hh"
-#include "search/warmstart.hh"
-#include "model/eval_engine.hh"
-#include "obs/convergence.hh"
-#include "obs/flight_recorder.hh"
-#include "obs/metrics.hh"
-#include "obs/progress.hh"
-#include "obs/snapshot.hh"
 #include "obs/thread_registry.hh"
-#include "obs/trace.hh"
-#include "workload/nets.hh"
-#include "workload/zoo.hh"
+#include "service/serve.hh"
+#include "service/session.hh"
+#include "service/signals.hh"
 
 using namespace sunstone;
+using service::ArtifactOptions;
+using service::ArtifactSet;
+using service::MappingRequest;
+using service::MappingResponse;
+using service::RequestKind;
+using service::SchedulerSession;
+using service::ServeOptions;
+using service::SessionOptions;
+using service::SignalBridge;
 
 namespace {
 
@@ -200,182 +188,6 @@ parseArgs(int argc, char **argv)
         a.kv[key] = value;
     }
     return a;
-}
-
-std::vector<std::pair<std::string, std::int64_t>>
-parsePairs(const std::string &text)
-{
-    std::vector<std::pair<std::string, std::int64_t>> out;
-    std::istringstream is(text);
-    std::string item;
-    while (std::getline(is, item, ',')) {
-        const auto eq = item.find('=');
-        if (eq == std::string::npos)
-            SUNSTONE_FATAL("expected name=value in '", item, "'");
-        std::int64_t v;
-        if (!tryParseInt64(item.substr(eq + 1), v))
-            SUNSTONE_FATAL("value in '", item,
-                           "' is not a valid integer");
-        out.emplace_back(item.substr(0, eq), v);
-    }
-    return out;
-}
-
-Workload
-workloadFromArgs(const Args &a)
-{
-    if (a.has("workload-file"))
-        return loadWorkloadFile(a.get("workload-file"));
-    if (a.has("conv")) {
-        ConvShape sh;
-        for (auto &[k, v] : parsePairs(a.get("conv"))) {
-            if (k == "n")
-                sh.n = v;
-            else if (k == "k")
-                sh.k = v;
-            else if (k == "c")
-                sh.c = v;
-            else if (k == "p")
-                sh.p = v;
-            else if (k == "q")
-                sh.q = v;
-            else if (k == "r")
-                sh.r = v;
-            else if (k == "s")
-                sh.s = v;
-            else if (k == "stride")
-                sh.strideH = sh.strideW = v;
-            else
-                SUNSTONE_FATAL("unknown conv parameter '", k, "'");
-        }
-        return makeConv2D(sh);
-    }
-    if (!a.has("einsum") || !a.has("dims"))
-        SUNSTONE_FATAL("specify a workload: --einsum + --dims, --conv, "
-                       "or --workload-file");
-    Workload wl = parseEinsum(a.get("name", "workload"), a.get("einsum"),
-                              parsePairs(a.get("dims")));
-    if (a.has("bits"))
-        for (auto &[t, b] : parsePairs(a.get("bits")))
-            wl.setWordBits(wl.tensorByName(t), static_cast<int>(b));
-    return wl;
-}
-
-ArchSpec
-archFromArgs(const Args &a)
-{
-    if (a.has("arch-file"))
-        return loadArchFile(a.get("arch-file"));
-    const std::string name = a.get("arch", "conventional");
-    if (name == "conventional")
-        return makeConventional();
-    if (name == "simba")
-        return makeSimbaLike();
-    if (name == "eyeriss")
-        return makeEyerissLike();
-    if (name == "diannao")
-        return makeDianNaoLike();
-    if (name == "toy")
-        return makeToyArch();
-    SUNSTONE_FATAL("unknown architecture '", name,
-                   "' (try conventional, simba, eyeriss, diannao, toy, "
-                   "or --arch-file)");
-}
-
-void
-printReuseTable(const Workload &wl)
-{
-    std::printf("workload: %s\n\n", wl.toString().c_str());
-    std::printf("%-10s | %-14s | %-14s | %s\n", "tensor", "indexed by",
-                "reused by", "partially reused by");
-    auto render = [&](DimSet s) {
-        std::string out;
-        for (DimId d : s) {
-            if (!out.empty())
-                out += ",";
-            out += wl.dimName(d);
-        }
-        return out.empty() ? std::string("-") : out;
-    };
-    for (TensorId t = 0; t < wl.numTensors(); ++t) {
-        const TensorReuse &r = wl.reuse(t);
-        std::printf("%-10s | %-14s | %-14s | %s\n",
-                    wl.tensor(t).name.c_str(), render(r.indexing).c_str(),
-                    render(r.fullyReusedBy).c_str(),
-                    render(r.partiallyReusedBy).c_str());
-    }
-}
-
-void
-printCost(const BoundArch &ba, const CostResult &cost)
-{
-    std::printf("energy  %.6g pJ\ndelay   %.6g s\nEDP     %.6g J*s\n"
-                "util    %.1f%%  (bound by %s)\n",
-                cost.totalEnergyPj, cost.delaySeconds, cost.edp,
-                100.0 * cost.utilization, cost.bottleneck.c_str());
-    std::printf("per-level energy:");
-    for (int l = 0; l < ba.numLevels(); ++l)
-        std::printf(" %s=%.4g", ba.arch().levels[l].name.c_str(),
-                    cost.levelEnergyPj[l]);
-    std::printf(" MAC=%.4g NoC=%.4g\n", cost.macEnergyPj,
-                cost.nocEnergyPj);
-}
-
-int
-cmdDescribe(const Args &a)
-{
-    printReuseTable(workloadFromArgs(a));
-    return 0;
-}
-
-void
-writeStatsJson(const std::string &path, const std::string &json)
-{
-    std::ofstream os(path);
-    if (!os)
-        SUNSTONE_FATAL("cannot write '", path, "'");
-    os << json << "\n";
-    std::printf("wrote %s\n", path.c_str());
-}
-
-/**
- * Cooperative cancellation: the first SIGINT/SIGTERM only raises this
- * flag; the SearchDriver polls it at batch boundaries, checkpoints, and
- * returns the best-so-far result with stop reason "cancelled", after
- * which every requested telemetry sink is written by the normal exit
- * path.
- */
-std::atomic<bool> g_cancelRequested{false};
-std::atomic<int> g_terminationSignals{0};
-
-/**
- * Force-flushes telemetry when the cooperative path cannot: installed
- * by the map commands once their sinks exist, invoked on a *second*
- * SIGINT/SIGTERM. Like the crash handlers it is best-effort (allocates,
- * takes locks — not async-signal-safe), but at that point the process
- * is exiting regardless and partial telemetry beats none.
- */
-std::function<void()> g_signalFlush;
-
-void
-onTerminationSignal(int sig)
-{
-    if (g_terminationSignals.fetch_add(1) == 0) {
-        g_cancelRequested.store(true);
-        return;
-    }
-    // Second signal: the search is stuck or draining too slowly. Flush
-    // what we can and exit with the conventional signal status.
-    if (g_signalFlush)
-        g_signalFlush();
-    std::_Exit(128 + sig);
-}
-
-void
-installCancellationHandler()
-{
-    std::signal(SIGINT, onTerminationSignal);
-    std::signal(SIGTERM, onTerminationSignal);
 }
 
 /**
@@ -429,101 +241,6 @@ finiteArg(const Args &a, const char *name)
     return x;
 }
 
-/**
- * Builds the unified StopPolicy from --stop-policy (lowest precedence),
- * then the individual flags, and attaches the cancellation flag. A
- * `seed` key / --seed lands in `seed`.
- */
-StopPolicy
-stopPolicyFromArgs(const Args &a, std::optional<std::uint64_t> &seed)
-{
-    StopPolicy p;
-    if (a.has("stop-policy")) {
-        std::string err;
-        if (!loadStopPolicyFile(a.get("stop-policy"), p, &seed, &err))
-            SUNSTONE_FATAL("bad --stop-policy '", a.get("stop-policy"),
-                           "': ", err);
-    }
-    if (a.has("deadline-ms"))
-        p.deadlineSeconds = finiteArg(a, "deadline-ms") / 1000.0;
-    std::int64_t v;
-    if (a.has("max-evals")) {
-        if (!tryParseInt64(a.get("max-evals"), v) || v < 1)
-            SUNSTONE_FATAL("--max-evals needs a positive integer");
-        p.maxEvals = v;
-    }
-    if (a.has("plateau")) {
-        if (!tryParseInt64(a.get("plateau"), v) || v < 1)
-            SUNSTONE_FATAL("--plateau needs a positive integer");
-        p.plateau = v;
-    }
-    if (a.has("seed")) {
-        if (!tryParseInt64(a.get("seed"), v) || v < 0)
-            SUNSTONE_FATAL("--seed needs a non-negative integer");
-        seed = static_cast<std::uint64_t>(v);
-    }
-    p.cancel = &g_cancelRequested;
-    return p;
-}
-
-/**
- * Parses --surrogate on|off and --surrogate-prune into SurrogateOptions.
- * --surrogate-prune without --surrogate on is rejected — silently
- * ignoring it would misreport what the run did.
- */
-SurrogateOptions
-surrogateFromArgs(const Args &a)
-{
-    SurrogateOptions o;
-    if (a.has("surrogate")) {
-        const std::string v = a.get("surrogate");
-        if (v == "on")
-            o.enabled = true;
-        else if (v != "off")
-            SUNSTONE_FATAL("--surrogate expects 'on' or 'off', got '", v,
-                           "'");
-    }
-    if (a.has("surrogate-prune")) {
-        if (!o.enabled)
-            SUNSTONE_FATAL("--surrogate-prune requires --surrogate on");
-        const double f = finiteArg(a, "surrogate-prune");
-        if (f < 0 || f > 0.95)
-            SUNSTONE_FATAL("--surrogate-prune must be in [0, 0.95], "
-                           "got '",
-                           a.get("surrogate-prune"), "'");
-        o.pruneFraction = f;
-    }
-    return o;
-}
-
-/**
- * Builds the SearchContext every search in `map` runs under: StopPolicy
- * and seed from the flags, the shared engine, the convergence sink, the
- * surrogate configuration, and the checkpoint/resume configuration.
- */
-SearchContext
-searchContextFromArgs(const Args &a, EvalEngine &engine,
-                      obs::ConvergenceRecorder *convergence)
-{
-    installCancellationHandler();
-    std::optional<std::uint64_t> seed;
-    SearchContext sc(&engine, stopPolicyFromArgs(a, seed), convergence);
-    if (seed)
-        sc.setSeed(*seed);
-    sc.setSurrogate(surrogateFromArgs(a));
-    if (a.has("checkpoint"))
-        sc.setCheckpointPath(a.get("checkpoint"));
-    if (a.has("resume")) {
-        SearchCheckpoint ck;
-        std::string err;
-        if (!SearchCheckpoint::load(a.get("resume"), ck, &err))
-            SUNSTONE_FATAL("cannot resume from '", a.get("resume"),
-                           "': ", err);
-        sc.setResume(std::move(ck));
-    }
-    return sc;
-}
-
 unsigned
 threadsFromArgs(const Args &a)
 {
@@ -534,247 +251,175 @@ threadsFromArgs(const Args &a)
     return std::clamp(std::thread::hardware_concurrency(), 2u, 8u);
 }
 
-/**
- * Shared handling of the three observability sinks. Construction enables
- * the tracer when --trace-json is given; write() renders every requested
- * file once the search has quiesced.
- */
-struct ObsSinks
+/** Maps the shared map/eval/net flags onto the request schema. */
+MappingRequest
+requestFromArgs(const Args &a)
 {
-    std::string tracePath, metricsPath, convergencePath;
-    obs::ConvergenceRecorder recorder;
+    MappingRequest req;
 
-    explicit ObsSinks(const Args &a)
-        : tracePath(a.get("trace-json")),
-          metricsPath(a.get("metrics-json")),
-          convergencePath(a.get("convergence-json"))
-    {
-        if (!tracePath.empty())
-            obs::tracer().setEnabled(true);
+    req.workloadFile = a.get("workload-file");
+    req.conv = a.get("conv");
+    req.einsum = a.get("einsum");
+    req.dims = a.get("dims");
+    req.bits = a.get("bits");
+    req.workloadName = a.get("name");
+
+    req.archName = a.get("arch", "conventional");
+    req.archFile = a.get("arch-file");
+
+    req.mapper = a.get("mapper", "sunstone");
+    req.optimizeEdp = !a.has("energy");
+    if (a.has("beam"))
+        req.beamWidth =
+            static_cast<int>(positiveArg(a, "beam", 1 << 30));
+    // --budget is a timeloop-only knob; other mappers historically
+    // ignored it, so it is not even parsed for them.
+    if (req.mapper == "timeloop" && a.has("budget"))
+        req.budgetSeconds = finiteArg(a, "budget");
+
+    req.stopPolicyFile = a.get("stop-policy");
+    if (a.has("deadline-ms"))
+        req.deadlineMs = finiteArg(a, "deadline-ms");
+    std::int64_t v;
+    if (a.has("max-evals")) {
+        if (!tryParseInt64(a.get("max-evals"), v) || v < 1)
+            SUNSTONE_FATAL("--max-evals needs a positive integer");
+        req.maxEvals = v;
     }
-
-    /** @return the recorder, or nullptr when no sink was requested. */
-    obs::ConvergenceRecorder *
-    convergence()
-    {
-        return convergencePath.empty() ? nullptr : &recorder;
+    if (a.has("plateau")) {
+        if (!tryParseInt64(a.get("plateau"), v) || v < 1)
+            SUNSTONE_FATAL("--plateau needs a positive integer");
+        req.plateau = v;
     }
-
-    void
-    write(const EvalEngine &engine)
-    {
-        flush(engine, /*best_effort=*/false);
+    if (a.has("seed")) {
+        if (!tryParseInt64(a.get("seed"), v) || v < 0)
+            SUNSTONE_FATAL("--seed needs a non-negative integer");
+        req.seed = static_cast<std::uint64_t>(v);
     }
+    req.checkpointPath = a.get("checkpoint");
+    req.resumePath = a.get("resume");
 
-    /**
-     * Renders every requested sink. The best-effort variant (the
-     * forced-exit signal path) neither fatals nor prints — it just gets
-     * as much telemetry to disk as it can.
-     */
-    void
-    flush(const EvalEngine &engine, bool best_effort)
-    {
-        if (!tracePath.empty()) {
-            obs::tracer().setEnabled(false);
-            const bool ok = obs::tracer().writeChromeJson(tracePath);
-            if (!ok && !best_effort)
-                SUNSTONE_FATAL("cannot write '", tracePath, "'");
-            if (!best_effort)
-                std::printf("wrote %s\n", tracePath.c_str());
-        }
-        if (!metricsPath.empty()) {
-            const std::string doc =
-                "{\"engine\": " + engine.stats().toJson() +
-                ", \"registry\": " + obs::metrics().toJson() + "}";
-            if (best_effort) {
-                std::ofstream os(metricsPath);
-                os << doc << "\n";
-            } else {
-                writeStatsJson(metricsPath, doc);
-            }
-        }
-        if (!convergencePath.empty()) {
-            const bool ok = recorder.writeJson(convergencePath);
-            if (!ok && !best_effort)
-                SUNSTONE_FATAL("cannot write '", convergencePath, "'");
-            if (!best_effort)
-                std::printf("wrote %s\n", convergencePath.c_str());
-        }
+    if (a.has("surrogate")) {
+        const std::string s = a.get("surrogate");
+        if (s == "on")
+            req.surrogate = true;
+        else if (s != "off")
+            SUNSTONE_FATAL("--surrogate expects 'on' or 'off', got '", s,
+                           "'");
     }
-};
-
-/**
- * The live-telemetry bundle (DESIGN.md §14): --progress, --snapshot-json
- * [--snapshot-interval-ms], and --diag-dir, shared by both map modes.
- * start() must run before the search, stop() after it has quiesced (the
- * destructor stops too). While active, a second SIGINT/SIGTERM and the
- * fatal-signal handlers can flush everything the run has produced.
- */
-struct LiveTelemetry
-{
-    std::unique_ptr<obs::SnapshotWriter> snapshot;
-    std::unique_ptr<obs::ProgressReporter> progress;
-    bool diag = false;
-
-    LiveTelemetry(const Args &a, EvalEngine &engine)
-    {
-        if (a.has("snapshot-json")) {
-            int interval = 1000;
-            if (a.has("snapshot-interval-ms"))
-                interval = static_cast<int>(
-                    positiveArg(a, "snapshot-interval-ms", 1 << 30));
-            snapshot = std::make_unique<obs::SnapshotWriter>(
-                a.get("snapshot-json"), interval);
-            snapshot->setExtraProvider([&engine] {
-                return "{\"engine\": " + engine.stats().toJson() + "}";
-            });
-        }
-        if (a.has("progress"))
-            progress = std::make_unique<obs::ProgressReporter>();
-        if (a.has("diag-dir")) {
-            diag = true;
-            obs::setDiagDir(a.get("diag-dir"));
-            obs::setDiagExtraProvider([&engine] {
-                return "{\"engine\": " + engine.stats().toJson() + "}";
-            });
-            obs::installCrashHandlers();
-        }
+    if (a.has("surrogate-prune")) {
+        if (!req.surrogate)
+            SUNSTONE_FATAL("--surrogate-prune requires --surrogate on");
+        const double f = finiteArg(a, "surrogate-prune");
+        if (f < 0 || f > 0.95)
+            SUNSTONE_FATAL("--surrogate-prune must be in [0, 0.95], "
+                           "got '",
+                           a.get("surrogate-prune"), "'");
+        req.surrogatePrune = f;
     }
+    // --warmstart-store both names the session's store (below) and opts
+    // the request into seeding, exactly the old coupled behavior.
+    req.warmStart = a.has("warmstart-store");
 
-    ~LiveTelemetry() { stop(); }
+    req.net = a.get("net");
+    if (a.has("batch"))
+        req.batch = positiveArg(a, "batch");
+    if (a.has("seq"))
+        req.seq = positiveArg(a, "seq");
+    req.fuse = a.get("fuse", "off");
 
-    void
-    start()
-    {
-        if (snapshot && !snapshot->start())
-            SUNSTONE_FATAL("cannot write '", snapshot->path(), "'");
-        if (progress)
-            progress->start();
-    }
-
-    /**
-     * Stops the threads, writes the cooperative-cancellation diag
-     * bundle when one was requested, and detaches the global providers
-     * (they capture the engine, which dies with the command).
-     */
-    void
-    stop()
-    {
-        if (progress)
-            progress->stop();
-        if (snapshot)
-            snapshot->stop();
-        if (diag) {
-            if (g_terminationSignals.load() > 0)
-                obs::writeDiagBundle("termination signal (cooperative)");
-            obs::setDiagExtraProvider(nullptr);
-            diag = false;
-        }
-    }
-};
-
-/** The "result" half of the --stats-json document for single-layer map. */
-std::string
-mapperResultJson(const std::string &mapper, const MapperResult &mr)
-{
-    std::ostringstream os;
-    os.precision(17);
-    os << "{\"mapper\": \"" << mapper << "\", \"found\": "
-       << (mr.found ? "true" : "false")
-       << ", \"stop_reason\": \"" << mr.stopReason << "\""
-       << ", \"seconds\": " << mr.seconds
-       << ", \"mappings_evaluated\": " << mr.mappingsEvaluated;
-    if (mr.found)
-        os << ", \"energy_pj\": " << mr.cost.totalEnergyPj
-           << ", \"delay_seconds\": " << mr.cost.delaySeconds
-           << ", \"edp\": " << mr.cost.edp
-           << ", \"utilization\": " << mr.cost.utilization;
-    os << "}";
-    return os.str();
+    req.mappingFile = a.get("mapping");
+    return req;
 }
 
-NetGraph
-netGraphFromArgs(const Args &a)
+SessionOptions
+sessionOptionsFromArgs(const Args &a)
 {
-    const std::string net = a.get("net");
-    const std::int64_t batch =
-        a.has("batch") ? positiveArg(a, "batch") : -1;
-    auto b = [&](std::int64_t dflt) { return batch > 0 ? batch : dflt; };
-    // --seq names the sequence length of attention nets; --batch is
-    // accepted there too for backward compatibility.
-    const std::int64_t seq =
-        a.has("seq") ? positiveArg(a, "seq") : b(512);
-    if (net == "resnet18")
-        return NetGraph::fromLayers(resnet18Layers(b(16)));
-    if (net == "resnet18-fused")
-        return resnet18Graph(b(16));
-    if (net == "inception")
-        return NetGraph::fromLayers(inceptionV3Layers(b(16)));
-    if (net == "inception-wu")
-        return NetGraph::fromLayers(inceptionV3WeightUpdateLayers(b(16)));
-    if (net == "alexnet")
-        return NetGraph::fromLayers(alexnetLayers(b(4)));
-    if (net == "vgg16")
-        return NetGraph::fromLayers(vgg16Layers(b(4)));
-    if (net == "nondnn")
-        return NetGraph::fromLayers(nonDnnSuite());
-    if (net == "tcl")
-        return NetGraph::fromLayers(tclSuite());
-    if (net == "attention")
-        return attentionGraph(seq);
-    if (net == "depthwise")
-        return NetGraph::fromLayers(depthwiseSuite(b(4)));
-    SUNSTONE_FATAL("unknown net '", net,
-                   "' (try resnet18, resnet18-fused, inception, "
-                   "inception-wu, alexnet, vgg16, nondnn, tcl, "
-                   "attention, depthwise)");
+    SessionOptions o;
+    o.threads = threadsFromArgs(a);
+    o.warmStartPath = a.get("warmstart-store");
+    o.logSink = [](const std::string &s) {
+        std::printf("%s\n", s.c_str());
+    };
+    return o;
 }
 
-FusionMode
-fusionFromArgs(const Args &a)
+ArtifactOptions
+artifactOptionsFromArgs(const Args &a)
 {
-    const std::string v = a.get("fuse", "off");
-    if (v == "off")
-        return FusionMode::Off;
-    if (v == "greedy")
-        return FusionMode::Greedy;
-    SUNSTONE_FATAL("--fuse expects 'off' or 'greedy', got '", v, "'");
+    ArtifactOptions o;
+    o.statsJsonPath = a.get("stats-json");
+    o.tracePath = a.get("trace-json");
+    o.metricsPath = a.get("metrics-json");
+    o.convergencePath = a.get("convergence-json");
+    o.snapshotPath = a.get("snapshot-json");
+    if (a.has("snapshot-interval-ms"))
+        o.snapshotIntervalMs = static_cast<int>(
+            positiveArg(a, "snapshot-interval-ms", 1 << 30));
+    o.progress = a.has("progress");
+    o.diagDir = a.get("diag-dir");
+    return o;
+}
+
+void
+printReuseTable(const Workload &wl)
+{
+    std::printf("workload: %s\n\n", wl.toString().c_str());
+    std::printf("%-10s | %-14s | %-14s | %s\n", "tensor", "indexed by",
+                "reused by", "partially reused by");
+    auto render = [&](DimSet s) {
+        std::string out;
+        for (DimId d : s) {
+            if (!out.empty())
+                out += ",";
+            out += wl.dimName(d);
+        }
+        return out.empty() ? std::string("-") : out;
+    };
+    for (TensorId t = 0; t < wl.numTensors(); ++t) {
+        const TensorReuse &r = wl.reuse(t);
+        std::printf("%-10s | %-14s | %-14s | %s\n",
+                    wl.tensor(t).name.c_str(), render(r.indexing).c_str(),
+                    render(r.fullyReusedBy).c_str(),
+                    render(r.partiallyReusedBy).c_str());
+    }
+}
+
+void
+printCost(const BoundArch &ba, const CostResult &cost)
+{
+    std::printf("energy  %.6g pJ\ndelay   %.6g s\nEDP     %.6g J*s\n"
+                "util    %.1f%%  (bound by %s)\n",
+                cost.totalEnergyPj, cost.delaySeconds, cost.edp,
+                100.0 * cost.utilization, cost.bottleneck.c_str());
+    std::printf("per-level energy:");
+    for (int l = 0; l < ba.numLevels(); ++l)
+        std::printf(" %s=%.4g", ba.arch().levels[l].name.c_str(),
+                    cost.levelEnergyPj[l]);
+    std::printf(" MAC=%.4g NoC=%.4g\n", cost.macEnergyPj,
+                cost.nocEnergyPj);
+}
+
+int
+cmdDescribe(const Args &a)
+{
+    printReuseTable(service::materializeWorkload(requestFromArgs(a)));
+    return 0;
 }
 
 int
 cmdMapNet(const Args &a)
 {
-    ArchSpec arch = archFromArgs(a);
-    NetGraph graph = netGraphFromArgs(a);
-    if (a.get("arch") == "simba" && !a.has("bits"))
-        for (int i = 0; i < graph.numNodes(); ++i)
-            applySimbaPrecisions(graph.node(i).workload);
+    MappingRequest req = requestFromArgs(a);
+    req.kind = RequestKind::Net;
 
-    ObsSinks sinks(a);
-    NetSchedulerOptions opts;
-    opts.fusion = fusionFromArgs(a);
-    opts.warmstartStore = a.get("warmstart-store");
-    opts.sunstone.optimizeEdp = !a.has("energy");
-    if (a.has("beam"))
-        opts.sunstone.beamWidth =
-            static_cast<int>(positiveArg(a, "beam", 1 << 30));
-    opts.sunstone.threads = threadsFromArgs(a);
-    EvalEngine engine(
-        EvalEngineOptions{.threads = opts.sunstone.threads});
-    opts.engine = &engine;
+    SchedulerSession session(sessionOptionsFromArgs(a));
+    SignalBridge::instance().install();
+    SignalBridge::instance().attach(&session.cancellation());
+    ArtifactSet artifacts(artifactOptionsFromArgs(a), session.engine());
 
-    SearchContext sc = searchContextFromArgs(a, engine,
-                                             sinks.convergence());
-    LiveTelemetry telemetry(a, engine);
-    g_signalFlush = [&] {
-        if (telemetry.snapshot)
-            telemetry.snapshot->writeNow();
-        sinks.flush(engine, /*best_effort=*/true);
-        obs::writeDiagBundle("forced exit: repeated termination signal");
-    };
-    telemetry.start();
-    NetScheduleResult r = scheduleNet(sc, arch, graph, opts);
-    telemetry.stop();
+    const MappingResponse resp = session.execute(req, &artifacts);
+    const NetScheduleResult &r = *resp.net;
 
     std::printf("%-12s | %5s | %10s | %12s | %8s | %s\n", "layer",
                 "count", "EDP", "energy pJ", "time s", "via");
@@ -807,11 +452,10 @@ cmdMapNet(const Args &a)
                 static_cast<long long>(r.stats.cacheMisses),
                 static_cast<long long>(r.stats.prunes), r.seconds);
     if (a.has("stats-json"))
-        writeStatsJson(a.get("stats-json"),
-                       "{\"result\": " + r.toJson() + ", \"engine\": " +
-                           engine.stats().toJson() + "}");
-    sinks.write(engine);
-    g_signalFlush = nullptr;
+        artifacts.writeStats("{\"result\": " + r.toJson() +
+                             ", \"engine\": " +
+                             session.engine().stats().toJson() + "}");
+    artifacts.writeFinal();
     return r.allFound ? 0 : 1;
 }
 
@@ -827,140 +471,67 @@ cmdMap(const Args &a)
                            "scheduler");
         return cmdMapNet(a);
     }
-    Workload wl = workloadFromArgs(a);
-    ArchSpec arch = archFromArgs(a);
-    if (a.get("arch") == "simba" && !a.has("bits"))
-        applySimbaPrecisions(wl);
-    BoundArch ba(arch, wl);
+    MappingRequest req = requestFromArgs(a);
+    req.kind = RequestKind::Map;
 
-    const std::string mapper = a.get("mapper", "sunstone");
-    const bool edp = !a.has("energy");
-    const unsigned threads = threadsFromArgs(a);
-    ObsSinks sinks(a);
-    EvalEngine engine(EvalEngineOptions{.threads = threads});
-    SearchContext sc = searchContextFromArgs(a, engine,
-                                             sinks.convergence());
-    // Warm starting for a single-layer search: seed from the stored
-    // bests of similar shapes, record the realized best back after the
-    // search. A missing store file is an empty store, not an error.
-    WarmStartStore wstore;
-    const std::string wsPath = a.get("warmstart-store");
-    if (!wsPath.empty()) {
-        std::string err;
-        std::ifstream probe(wsPath);
-        if (probe.good() && !wstore.load(wsPath, &err))
-            SUNSTONE_FATAL("bad --warmstart-store '", wsPath, "': ",
-                           err);
-        sc.setWarmStarts(wstore.query(ba));
-    }
-    LiveTelemetry telemetry(a, engine);
-    g_signalFlush = [&] {
-        if (telemetry.snapshot)
-            telemetry.snapshot->writeNow();
-        sinks.flush(engine, /*best_effort=*/true);
-        obs::writeDiagBundle("forced exit: repeated termination signal");
-    };
-    telemetry.start();
-    MapperResult mr;
-    if (mapper == "sunstone") {
-        SunstoneOptions opts;
-        opts.optimizeEdp = edp;
-        if (a.has("beam"))
-            opts.beamWidth =
-                static_cast<int>(positiveArg(a, "beam", 1 << 30));
-        opts.threads = threads;
-        SunstoneResult r = sunstoneOptimize(sc, ba, opts);
-        mr.found = r.found;
-        mr.mapping = r.mapping;
-        mr.cost = r.cost;
-        mr.seconds = r.seconds;
-        mr.mappingsEvaluated = r.candidatesExamined;
-        mr.stopReason = r.stopReason;
-        if (!r.found) {
-            mr.invalid = true;
-            mr.invalidReason = "search produced no valid mapping";
-        }
-    } else if (mapper == "timeloop") {
-        TimeloopOptions opts = TimeloopOptions::slow();
-        opts.optimizeEdp = edp;
-        opts.threads = threads;
-        if (a.has("budget"))
-            opts.maxSeconds = finiteArg(a, "budget");
-        mr = TimeloopMapper(opts).optimize(sc, ba);
-    } else if (mapper == "dmaze") {
-        mr = DMazeMapper(DMazeOptions::slow()).optimize(sc, ba);
-    } else if (mapper == "inter") {
-        mr = InterstellarMapper(InterstellarOptions{}).optimize(sc, ba);
-    } else if (mapper == "cosa") {
-        mr = CosaMapper(CosaOptions{}).optimize(sc, ba);
-    } else if (mapper == "gamma") {
-        GammaOptions opts;
-        opts.optimizeEdp = edp;
-        mr = GammaMapper(opts).optimize(sc, ba);
-    } else if (mapper == "exhaustive") {
-        ExhaustiveOptions opts;
-        opts.optimizeEdp = edp;
-        mr = ExhaustiveMapper(opts).optimize(sc, ba);
-    } else {
-        SUNSTONE_FATAL("unknown mapper '", mapper, "'");
-    }
-    telemetry.stop();
+    SchedulerSession session(sessionOptionsFromArgs(a));
+    SignalBridge::instance().install();
+    SignalBridge::instance().attach(&session.cancellation());
+    ArtifactSet artifacts(artifactOptionsFromArgs(a), session.engine());
+
+    const MappingResponse resp = session.execute(req, &artifacts);
+    const MapperResult &mr = resp.result;
+
     if (a.has("stats-json"))
-        writeStatsJson(a.get("stats-json"),
-                       "{\"result\": " + mapperResultJson(mapper, mr) +
-                           ", \"engine\": " + engine.stats().toJson() +
-                           "}");
-    sinks.write(engine);
-    g_signalFlush = nullptr;
+        artifacts.writeStats("{\"result\": " + resp.resultJson() +
+                             ", \"engine\": " +
+                             session.engine().stats().toJson() + "}");
+    artifacts.writeFinal();
 
     if (!mr.found) {
         std::printf("no valid mapping found: %s\n",
                     mr.invalidReason.c_str());
         return 1;
     }
-    if (!wsPath.empty() &&
-        wstore.record(ba, wl.name(), mr.cost.edp, mr.mapping)) {
-        if (!wstore.save(wsPath))
-            SUNSTONE_FATAL("cannot write '", wsPath, "'");
-    }
     std::printf("mapper  %s (%.3f s, %lld candidates, stop: %s)\n\n",
-                mapper.c_str(), mr.seconds,
+                req.mapper.c_str(), mr.seconds,
                 static_cast<long long>(mr.mappingsEvaluated),
                 mr.stopReason.empty() ? "exhausted"
                                       : mr.stopReason.c_str());
-    std::printf("%s\n", mr.mapping.toString(ba).c_str());
+    std::printf("%s\n", resp.mappingText.c_str());
+    BoundArch ba(*resp.arch, *resp.workload);
     printCost(ba, mr.cost);
     if (a.has("save-mapping"))
         saveMappingFile(mr.mapping, ba, a.get("save-mapping"));
     if (a.has("save-workload"))
-        saveWorkloadFile(wl, a.get("save-workload"));
+        saveWorkloadFile(*resp.workload, a.get("save-workload"));
     return 0;
 }
 
 int
 cmdEval(const Args &a)
 {
-    Workload wl = workloadFromArgs(a);
-    ArchSpec arch = archFromArgs(a);
-    BoundArch ba(arch, wl);
-    if (!a.has("mapping"))
-        SUNSTONE_FATAL("eval needs --mapping <file>");
-    Mapping m = loadMappingFile(a.get("mapping"), ba);
-    CostResult cost = evaluateMapping(ba, m);
-    if (!cost.valid) {
+    MappingRequest req = requestFromArgs(a);
+    req.kind = RequestKind::Eval;
+
+    SchedulerSession session(sessionOptionsFromArgs(a));
+    const MappingResponse resp = session.execute(req);
+
+    if (!resp.result.found) {
         std::printf("mapping is INVALID: %s\n",
-                    cost.invalidReason.c_str());
+                    resp.result.cost.invalidReason.c_str());
         return 1;
     }
-    std::printf("%s\n", m.toString(ba).c_str());
-    printCost(ba, cost);
+    std::printf("%s\n", resp.mappingText.c_str());
+    BoundArch ba(*resp.arch, *resp.workload);
+    printCost(ba, resp.result.cost);
     return 0;
 }
 
 int
 cmdArch(const Args &a)
 {
-    ArchSpec arch = archFromArgs(a);
+    ArchSpec arch = service::materializeArch(requestFromArgs(a));
     if (a.has("save")) {
         saveArchFile(arch, a.get("save"));
         std::printf("wrote %s\n", a.get("save").c_str());
@@ -973,32 +544,26 @@ cmdArch(const Args &a)
 int
 cmdCheck(const Args &a)
 {
-    DiffcheckOptions opts;
+    MappingRequest req;
+    req.kind = RequestKind::Check;
     std::int64_t v;
     if (a.has("trials")) {
         if (!tryParseInt64(a.get("trials"), v) || v < 1)
             SUNSTONE_FATAL("--trials needs a positive integer");
-        opts.trials = static_cast<int>(v);
+        req.checkTrials = static_cast<int>(v);
     }
     if (a.has("seed")) {
         if (!tryParseInt64(a.get("seed"), v) || v < 0)
             SUNSTONE_FATAL("--seed needs a non-negative integer");
-        opts.seed = static_cast<std::uint64_t>(v);
+        req.checkSeed = static_cast<std::uint64_t>(v);
     }
-    opts.shrink = !a.has("no-shrink");
-    if (a.has("inject-fault")) {
-        const std::string f = a.get("inject-fault");
-        if (f == "top-level-reads")
-            opts.fault = DiffcheckOptions::Fault::TopLevelReads;
-        else
-            SUNSTONE_FATAL("unknown fault '", f,
-                           "' (known: top-level-reads)");
-    }
-    opts.log = [](const std::string &s) {
-        std::printf("%s\n", s.c_str());
-    };
+    req.checkShrink = !a.has("no-shrink");
+    req.checkFault = a.get("inject-fault");
 
-    const DiffcheckReport rep = runDiffcheck(opts);
+    SchedulerSession session(sessionOptionsFromArgs(a));
+    const MappingResponse resp = session.execute(req);
+    const DiffcheckReport &rep = *resp.check;
+
     if (rep.ok()) {
         std::printf("check: %d trials, model and oracle agree\n",
                     rep.trialsRun);
@@ -1028,12 +593,25 @@ cmdCheck(const Args &a)
     return 1;
 }
 
+int
+cmdServe(const Args &a)
+{
+    ServeOptions o;
+    o.session.threads = threadsFromArgs(a);
+    o.session.warmStartPath = a.get("warmstart-store");
+    if (a.has("queue-capacity"))
+        o.session.queueCapacity = static_cast<std::size_t>(
+            positiveArg(a, "queue-capacity", 1 << 20));
+    o.metricsPath = a.get("metrics-json");
+    return service::runServe(o);
+}
+
 void
 usage()
 {
     std::printf(
-        "usage: sunstone <describe|map|eval|arch|check|bench|report> "
-        "[options]\n"
+        "usage: sunstone <describe|map|eval|arch|check|serve|bench|"
+        "report> [options]\n"
         "see the header of tools/sunstone_cli.cc for the full option "
         "list\n");
 }
@@ -1066,6 +644,8 @@ main(int argc, char **argv)
         return cmdArch(a);
     if (a.command == "check")
         return cmdCheck(a);
+    if (a.command == "serve")
+        return cmdServe(a);
     if (a.command == "bench")
         return sunstone::bench::run(a.kv);
     if (a.command == "report")
